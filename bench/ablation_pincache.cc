@@ -1,0 +1,37 @@
+// Ablation (paper §4.4.1, last paragraph): the lazy-unpin pinned-buffer
+// cache. "For applications that reuse the same set of buffers repeatedly,
+// this overhead can be avoided by keeping the buffers pinned and mapped."
+// ttcp reuses ONE buffer for every write — the best case for the cache —
+// so the per-packet pin/unpin/map cost should collapse to the first touch.
+#include <cstdio>
+
+#include "apps/experiment.h"
+
+using namespace nectar;
+
+int main() {
+  const auto params = core::HostParams::alpha3000_400();
+  const std::size_t write = 256 * 1024;
+  const std::size_t bytes = 16 * 1024 * 1024;
+
+  std::printf("Ablation: lazy-unpin pin cache (single-copy stack, %zu KB writes)\n\n",
+              write / 1024);
+  std::printf("%-22s %10s %12s %12s\n", "configuration", "Mbit/s", "utilization",
+              "efficiency");
+
+  for (const auto& [name, pages] :
+       {std::pair{"eager unpin (paper)", std::size_t{0}},
+        std::pair{"pin cache 256 pages", std::size_t{256}},
+        std::pair{"pin cache 64 pages", std::size_t{64}}}) {
+    auto r = apps::run_cell(params, write, bytes,
+                            socket::CopyPolicy::kAlwaysSingleCopy, pages);
+    std::printf("%-22s %10.1f %12.2f %12.1f%s\n", name, r.throughput_mbps,
+                r.sender.utilization, r.sender.efficiency_mbps(),
+                r.completed ? "" : "  [INCOMPLETE]");
+  }
+
+  std::printf("\nWith the cache, repeated IO from the same buffers amortizes the\n"
+              "Table 2 VM costs away, pushing efficiency toward the per-packet\n"
+              "limit (\"usage of the API has share semantics\", SS4.4.1).\n");
+  return 0;
+}

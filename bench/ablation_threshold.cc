@@ -1,0 +1,46 @@
+// Ablation (paper §4.4.3): the copy-vs-single-copy size threshold. "Copy
+// avoidance only pays off for large transfers; for small transfers, copying
+// and potentially coalescing the data is simpler and more efficient."
+//
+// Sweep the write size under three policies: always-copy, always-single-copy,
+// and the automatic threshold policy, which should track the better of the
+// two on both sides of the crossover.
+#include <cstdio>
+
+#include "apps/experiment.h"
+
+using namespace nectar;
+
+int main() {
+  const auto params = core::HostParams::alpha3000_400();
+  const std::size_t bytes = 8 * 1024 * 1024;
+  const std::size_t threshold = 16 * 1024;
+
+  std::printf("Ablation: path-selection threshold (auto = single-copy at >= %zu KB)\n\n",
+              threshold / 1024);
+  std::printf("%9s | %21s | %21s | %21s\n", "size", "always copy",
+              "always single-copy", "auto threshold");
+  std::printf("%9s | %10s %10s | %10s %10s | %10s %10s\n", "(bytes)", "Mb/s",
+              "eff", "Mb/s", "eff", "Mb/s", "eff");
+  std::printf("-----------------------------------------------------------------------------------\n");
+
+  for (std::size_t kb : {2, 4, 8, 16, 32, 64, 128}) {
+    const std::size_t sz = kb * 1024;
+    auto c = apps::run_cell(params, sz, bytes, socket::CopyPolicy::kNeverSingleCopy,
+                            0, threshold);
+    auto s = apps::run_cell(params, sz, bytes, socket::CopyPolicy::kAlwaysSingleCopy,
+                            0, threshold);
+    auto a = apps::run_cell(params, sz, bytes, socket::CopyPolicy::kAuto, 0,
+                            threshold);
+    std::printf("%9zu | %10.1f %10.1f | %10.1f %10.1f | %10.1f %10.1f\n", sz,
+                c.throughput_mbps, c.sender.efficiency_mbps(), s.throughput_mbps,
+                s.sender.efficiency_mbps(), a.throughput_mbps,
+                a.sender.efficiency_mbps());
+  }
+  std::printf("\nAbove the threshold the auto policy tracks the single-copy column\n"
+              "(§4.4.3's per-size optimization). Below it, auto takes the copy\n"
+              "path but — unlike the 'always copy' baseline, which models the\n"
+              "fully unmodified stack — still offloads the checksum to the CAB,\n"
+              "so it beats both pure configurations at small sizes.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// §2.1 claim: a FIFO MAC on a switch-based network suffers head-of-line
+// blocking, limiting utilization to ~58% under uniform random traffic
+// (Hluchyj & Karol [10]); the CAB's logical channels (per-destination
+// queues) recover the lost bandwidth.
+//
+// 8x8 input-queued switch, saturated inputs, fixed-size packets.
+#include <cstdio>
+
+#include "hippi/switch.h"
+#include "sim/rng.h"
+
+using namespace nectar;
+
+namespace {
+
+double run_mode(hippi::MacMode mode, int nports, std::size_t pkt_size,
+                sim::Duration duration, std::uint64_t seed) {
+  sim::Simulator simu;
+  hippi::Switch sw(simu, mode);
+  std::vector<std::unique_ptr<hippi::Endpoint>> sinks;
+
+  struct Sink final : hippi::Endpoint {
+    void hippi_receive(hippi::Packet&&) override {}
+  };
+  for (int i = 0; i < nports; ++i) {
+    sinks.push_back(std::make_unique<Sink>());
+    sw.attach(static_cast<hippi::Addr>(i + 1), sinks.back().get());
+  }
+
+  // Saturation sources: keep each input's backlog topped up with packets to
+  // uniformly random destinations.
+  sim::Rng rng(seed);
+  constexpr std::size_t kBacklog = 8;
+  auto top_up = [&](int port) {
+    const auto src = static_cast<hippi::Addr>(port + 1);
+    while (sw.input_backlog(src) < kBacklog) {
+      hippi::Addr dst;
+      do {
+        dst = static_cast<hippi::Addr>(rng.uniform_below(nports) + 1);
+      } while (dst == src);
+      hippi::Packet p;
+      p.bytes.resize(pkt_size);
+      hippi::write_header(p.bytes, hippi::FrameHeader{dst, src, hippi::kTypeRaw, 0,
+                                                      static_cast<std::uint32_t>(
+                                                          pkt_size -
+                                                          hippi::kHeaderSize)});
+      sw.submit(std::move(p));
+    }
+  };
+
+  // Re-fill on a cadence finer than a packet service time.
+  const sim::Duration tick =
+      sim::transfer_time(static_cast<std::int64_t>(pkt_size), hippi::kLineRateBps) / 2;
+  std::function<void()> pump = [&] {
+    for (int i = 0; i < nports; ++i) top_up(i);
+    if (simu.now() < duration) simu.after(tick, pump);
+  };
+  pump();
+  simu.run_until(duration);
+  return sw.utilization(duration);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPorts = 8;
+  constexpr std::size_t kPkt = 8 * 1024;
+  constexpr sim::Duration kDur = 2 * sim::kSecond;
+
+  std::printf("HOL blocking on an %dx%d input-queued HIPPI switch "
+              "(uniform random traffic, saturated inputs)\n\n",
+              kPorts, kPorts);
+  std::printf("%-18s %12s\n", "MAC mode", "utilization");
+
+  double fifo_sum = 0, lc_sum = 0;
+  const int kRuns = 3;
+  for (int r = 0; r < kRuns; ++r) {
+    fifo_sum += run_mode(hippi::MacMode::kFifo, kPorts, kPkt, kDur, 1000 + r);
+    lc_sum += run_mode(hippi::MacMode::kLogicalChannels, kPorts, kPkt, kDur, 2000 + r);
+  }
+  const double fifo = fifo_sum / kRuns;
+  const double lc = lc_sum / kRuns;
+  std::printf("%-18s %12.3f   (theory [10]: ~0.586 for large N; paper: \"at most 58%%\")\n",
+              "FIFO", fifo);
+  std::printf("%-18s %12.3f   (logical channels bypass the blocked head)\n",
+              "logical channels", lc);
+  std::printf("\nlogical channels recover %.0f%% of the FIFO loss\n",
+              lc > fifo ? 100.0 * (lc - fifo) / (1.0 - fifo) : 0.0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Microbenchmarks (real host time, google-benchmark): the checksum engine
+// shared by the software stack and the simulated CAB hardware.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "checksum/internet_checksum.h"
+#include "sim/rng.h"
+
+namespace {
+
+std::vector<std::byte> random_buf(std::size_t n) {
+  std::vector<std::byte> buf(n);
+  nectar::sim::Rng rng(42);
+  rng.fill(buf);
+  return buf;
+}
+
+void BM_OnesSumReference(benchmark::State& state) {
+  const auto buf = random_buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nectar::checksum::ones_sum_ref(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OnesSumReference)->Range(64, 64 << 10);
+
+void BM_OnesSumOptimized(benchmark::State& state) {
+  const auto buf = random_buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nectar::checksum::ones_sum(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OnesSumOptimized)->Range(64, 64 << 10);
+
+void BM_OnesSumUnaligned(benchmark::State& state) {
+  const auto buf = random_buf(static_cast<std::size_t>(state.range(0)) + 1);
+  const std::span<const std::byte> odd{buf.data() + 1,
+                                       static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nectar::checksum::ones_sum(odd));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OnesSumUnaligned)->Range(64, 64 << 10);
+
+void BM_IncrementalAdjust(benchmark::State& state) {
+  std::uint16_t csum = 0x1234;
+  std::uint16_t w = 0;
+  for (auto _ : state) {
+    csum = nectar::checksum::adjust(csum, w, static_cast<std::uint16_t>(w + 1));
+    ++w;
+    benchmark::DoNotOptimize(csum);
+  }
+}
+BENCHMARK(BM_IncrementalAdjust);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Microbenchmarks (real host time, google-benchmark): mbuf framework
+// operations on the paths the stack exercises per packet.
+#include <benchmark/benchmark.h>
+
+#include "mbuf/mbuf_ops.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace nectar;
+
+void BM_MbufGetFree(benchmark::State& state) {
+  sim::Simulator simu;
+  mbuf::MbufPool pool(simu);
+  for (auto _ : state) {
+    mbuf::Mbuf* m = pool.get();
+    benchmark::DoNotOptimize(m);
+    pool.free_chain(m);
+  }
+}
+BENCHMARK(BM_MbufGetFree);
+
+void BM_ClusterChainBuild32K(benchmark::State& state) {
+  sim::Simulator simu;
+  mbuf::MbufPool pool(simu);
+  std::vector<std::byte> src(8192, std::byte{7});
+  for (auto _ : state) {
+    mbuf::Mbuf* head = nullptr;
+    mbuf::Mbuf** link = &head;
+    for (int i = 0; i < 4; ++i) {
+      mbuf::Mbuf* c = pool.get_cluster(i == 0);
+      c->append(src);
+      *link = c;
+      link = &c->next;
+    }
+    benchmark::DoNotOptimize(head);
+    pool.free_chain(head);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32768);
+}
+BENCHMARK(BM_ClusterChainBuild32K);
+
+void BM_CopymShare32K(benchmark::State& state) {
+  sim::Simulator simu;
+  mbuf::MbufPool pool(simu);
+  std::vector<std::byte> src(8192, std::byte{7});
+  mbuf::Mbuf* head = nullptr;
+  mbuf::Mbuf** link = &head;
+  for (int i = 0; i < 4; ++i) {
+    mbuf::Mbuf* c = pool.get_cluster(i == 0);
+    c->append(src);
+    *link = c;
+    link = &c->next;
+  }
+  head->pkthdr.len = 32768;
+  for (auto _ : state) {
+    mbuf::Mbuf* copy = mbuf::m_copym(head, 100, 30000);
+    benchmark::DoNotOptimize(copy);
+    pool.free_chain(copy);
+  }
+  pool.free_chain(head);
+}
+BENCHMARK(BM_CopymShare32K);
+
+void BM_InCksumChain32K(benchmark::State& state) {
+  sim::Simulator simu;
+  mbuf::MbufPool pool(simu);
+  sim::Rng rng(3);
+  std::vector<std::byte> src(8192);
+  mbuf::Mbuf* head = nullptr;
+  mbuf::Mbuf** link = &head;
+  for (int i = 0; i < 4; ++i) {
+    rng.fill(src);
+    mbuf::Mbuf* c = pool.get_cluster(i == 0);
+    c->append(src);
+    *link = c;
+    link = &c->next;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbuf::in_cksum_range(head, 0, 32768));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32768);
+  pool.free_chain(head);
+}
+BENCHMARK(BM_InCksumChain32K);
+
+void BM_PrependHeaders(benchmark::State& state) {
+  sim::Simulator simu;
+  mbuf::MbufPool pool(simu);
+  for (auto _ : state) {
+    mbuf::Mbuf* m = pool.get_hdr();
+    m->align_end(20);
+    m->set_len(20);
+    m->pkthdr.len = 20;
+    m = mbuf::m_prepend(m, 20);  // IP
+    m = mbuf::m_prepend(m, 60);  // HIPPI
+    benchmark::DoNotOptimize(m);
+    pool.free_chain(m);
+  }
+}
+BENCHMARK(BM_PrependHeaders);
+
+}  // namespace
+
+BENCHMARK_MAIN();

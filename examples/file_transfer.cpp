@@ -1,0 +1,138 @@
+// file_transfer: the paper's motivating workload — bulk data transfer where
+// the hosts are the bottleneck (§1) — dressed up as a simple file transfer
+// with an application-level framing protocol on top of the stream socket.
+//
+// A "file server" on host B streams a 64 MB file (length-prefixed chunks);
+// the client on host A receives and verifies it. Run on both stack paths and
+// report how many CPU cycles each leaves for the application ("util can be
+// viewed as a user program doing useful work while communication is taking
+// place", §7.1).
+#include <cstdio>
+
+#include "apps/ttcp.h"
+#include "checksum/wire.h"
+#include "core/testbed.h"
+
+using namespace nectar;
+
+namespace {
+
+constexpr std::size_t kFileSize = 64 * 1024 * 1024;
+constexpr std::size_t kChunk = 256 * 1024;
+constexpr std::uint32_t kSeed = 77;
+
+struct Result {
+  bool ok = false;
+  double elapsed_s = 0;
+  double tput_mbps = 0;
+  double sender_util = 0;
+  double receiver_util = 0;
+};
+
+sim::Task<void> server(core::Testbed& tb, core::Host::Process& proc,
+                       socket::CopyPolicy policy) {
+  auto ctx = proc.ctx();
+  socket::SocketOptions so;
+  so.policy = policy;
+  apps::apply_stack_mode(tb, policy, so);
+  socket::Socket sock(tb.b->stack(), socket::Socket::Proto::kTcp, so);
+  sock.listen(21);
+  if (!co_await sock.accept(ctx)) co_return;
+
+  // Header: 8 bytes of file length.
+  mem::UserBuffer hdr(proc.as, 8);
+  wire::store_be32(hdr.view().data(), 0);
+  wire::store_be32(hdr.view().data() + 4, kFileSize);
+  (void)co_await sock.send(ctx, hdr.as_uio());
+
+  mem::UserBuffer chunk(proc.as, kChunk);
+  std::size_t sent = 0;
+  while (sent < kFileSize) {
+    // Fill with the file's content at this offset (a real server would read
+    // from its cache; the pattern stands in for file bytes).
+    auto v = chunk.view();
+    for (std::size_t i = 0; i < kChunk; ++i)
+      v[i] = mem::UserBuffer::pattern_byte(kSeed, sent + i);
+    sent += co_await sock.send(ctx, chunk.as_uio(0, std::min(kChunk, kFileSize - sent)));
+  }
+  co_await sock.close(ctx);
+  co_await sock.wait_closed();
+}
+
+Result run_transfer(socket::CopyPolicy policy) {
+  core::Testbed tb;
+  auto& ps = tb.b->create_process("fileserver");
+  auto& pc = tb.a->create_process("client");
+  Result res;
+  bool done = false;
+
+  auto client = [&]() -> sim::Task<void> {
+    auto ctx = pc.ctx();
+    socket::SocketOptions so;
+    so.policy = policy;
+    apps::apply_stack_mode(tb, policy, so);
+    socket::Socket sock(tb.a->stack(), socket::Socket::Proto::kTcp, so);
+    if (!co_await sock.connect(ctx, core::Testbed::kIpB, 21)) {
+      done = true;
+      co_return;
+    }
+    const auto t0a = core::CpuSnapshot::take(*tb.a);
+    const auto t0b = core::CpuSnapshot::take(*tb.b);
+    const sim::Time t0 = tb.sim.now();
+
+    mem::UserBuffer buf(pc.as, kChunk);
+    std::size_t got = 0;
+    std::uint64_t file_len = 0;
+    bool have_hdr = false;
+    std::size_t errors = 0;
+    for (;;) {
+      const std::size_t n = co_await sock.recv(ctx, buf.as_uio());
+      if (n == 0) break;
+      std::size_t off = 0;
+      if (!have_hdr) {
+        file_len = wire::load_be32(buf.view().data() + 4);
+        have_hdr = true;
+        off = 8;
+      }
+      for (std::size_t i = off; i < n; ++i) {
+        if (buf.view()[i] != mem::UserBuffer::pattern_byte(kSeed, got + i - off))
+          ++errors;
+      }
+      got += n - off;
+      if (got >= file_len) break;
+    }
+    const sim::Time t1 = tb.sim.now();
+    const auto t1a = core::CpuSnapshot::take(*tb.a);
+    const auto t1b = core::CpuSnapshot::take(*tb.b);
+    res.ok = got == kFileSize && errors == 0;
+    res.elapsed_s = sim::to_seconds(t1 - t0);
+    res.tput_mbps = sim::throughput_mbps(static_cast<std::int64_t>(got), t1 - t0);
+    res.receiver_util = core::utilization_between(*tb.a, pc, t0a, t1a).utilization;
+    res.sender_util = core::utilization_between(*tb.b, ps, t0b, t1b).utilization;
+    done = true;
+  };
+
+  sim::spawn(server(tb, ps, policy));
+  sim::spawn(client());
+  tb.run_until_done(done, 600 * sim::kSecond);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("file_transfer: 64 MB over TCP/HIPPI, Alpha 3000/400 hosts\n\n");
+  std::printf("%-14s %10s %10s %12s %12s %8s\n", "stack", "seconds", "Mbit/s",
+              "sender CPU", "recv CPU", "intact");
+  for (const auto& [name, policy] :
+       {std::pair{"unmodified", socket::CopyPolicy::kNeverSingleCopy},
+        std::pair{"single-copy", socket::CopyPolicy::kAlwaysSingleCopy}}) {
+    const Result r = run_transfer(policy);
+    std::printf("%-14s %10.2f %10.1f %11.0f%% %11.0f%% %8s\n", name, r.elapsed_s,
+                r.tput_mbps, 100 * r.sender_util, 100 * r.receiver_util,
+                r.ok ? "yes" : "NO");
+  }
+  std::printf("\nSame wire, same file: the single-copy server leaves most of both\n"
+              "CPUs free for applications while sustaining the same transfer rate.\n");
+  return 0;
+}

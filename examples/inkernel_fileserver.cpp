@@ -1,0 +1,76 @@
+// inkernel_fileserver: the paper's §5 in-kernel application scenario — an
+// NFS-like block server living in host B's kernel, serving block reads over
+// UDP with share-semantics mbuf chains.
+//
+// Through the CAB this is automatically single-copy with outboard
+// checksumming ("the data is copied once using DMA, and the checksum is
+// calculated during that copy", §5) with zero changes to the server code;
+// its requests arrive partly outboard (M_WCAB) and go through the interop
+// conversion layer.
+#include <cstdio>
+
+#include "checksum/wire.h"
+#include "core/testbed.h"
+#include "kernapp/block_server.h"
+
+using namespace nectar;
+
+int main() {
+  core::Testbed tb;
+  kernapp::BlockServer server(*tb.b, 2049);
+  constexpr int kRequests = 64;
+  constexpr std::uint32_t kReadLen = 56 * 1024;
+  sim::spawn(server.serve(kRequests));
+
+  auto& proc = tb.a->create_process("nfs_client");
+  bool done = false;
+  int verified = 0;
+  sim::Time t0 = 0, t1 = 0;
+
+  auto client = [&]() -> sim::Task<void> {
+    auto ctx = proc.ctx();
+    socket::Socket sock(tb.a->stack(), socket::Socket::Proto::kUdp);
+    sock.bind(3001);
+    mem::UserBuffer req(proc.as, kernapp::BlockServer::kHdrSize);
+    mem::UserBuffer reply(proc.as, kernapp::BlockServer::kBlockSize +
+                                       kernapp::BlockServer::kHdrSize);
+    t0 = tb.sim.now();
+    for (std::uint32_t bn = 0; bn < kRequests; ++bn) {
+      wire::store_be32(req.view().data(), bn);
+      wire::store_be32(req.view().data() + 4, kReadLen);
+      (void)co_await sock.sendto(ctx, req.as_uio(), core::Testbed::kIpB, 2049);
+      const auto r = co_await sock.recvfrom(ctx, reply.as_uio());
+      bool ok = r.len == kernapp::BlockServer::kHdrSize + kReadLen &&
+                wire::load_be32(reply.view().data()) == bn;
+      if (ok) {
+        for (std::size_t i = 0; i < kReadLen; ++i) {
+          if (reply.view()[kernapp::BlockServer::kHdrSize + i] !=
+              server.block_byte(bn, i)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) ++verified;
+    }
+    t1 = tb.sim.now();
+    done = true;
+  };
+  sim::spawn(client());
+  tb.run_until_done(done, 600 * sim::kSecond);
+
+  const std::uint64_t bytes = static_cast<std::uint64_t>(kRequests) * kReadLen;
+  std::printf("inkernel_fileserver: %d block reads of %u KB over UDP/HIPPI\n\n",
+              kRequests, kReadLen / 1024);
+  std::printf("  served          %llu bytes in %.3f s  (%.1f Mbit/s)\n",
+              static_cast<unsigned long long>(bytes), sim::to_seconds(t1 - t0),
+              sim::throughput_mbps(static_cast<std::int64_t>(bytes), t1 - t0));
+  std::printf("  blocks verified %d / %d\n", verified, kRequests);
+  std::printf("  server requests %llu (bad: %llu)\n",
+              static_cast<unsigned long long>(server.stats.requests),
+              static_cast<unsigned long long>(server.stats.bad_requests));
+  std::printf("\nThe server never copied a byte in the kernel: its cluster-mbuf\n"
+              "replies were DMAed outboard with the UDP checksum computed by the\n"
+              "CAB during the transfer.\n");
+  return verified == kRequests ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// multi_device: one stack, many paths (paper Figure 4 / §4.1 / §5).
+//
+// Both hosts carry a CAB (HIPPI) *and* a classic Ethernet on the same single
+// protocol stack. The same socket code reaches either network purely through
+// routing; single-copy descriptors convert transparently at the Ethernet
+// driver's entry point, and an in-kernel ping responder answers over both.
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "kernapp/ping.h"
+
+using namespace nectar;
+
+namespace {
+
+struct XferResult {
+  double tput = 0;
+  bool ok = false;
+  std::uint64_t converted = 0;
+};
+
+XferResult transfer(core::Testbed& tb, net::IpAddr dst, const char* tag) {
+  auto& ptx = tb.a->create_process(std::string("tx_") + tag);
+  auto& prx = tb.b->create_process(std::string("rx_") + tag);
+  XferResult res;
+  bool done = false;
+  const std::size_t total = 2 * 1024 * 1024;
+
+  auto rx = [&]() -> sim::Task<void> {
+    auto ctx = prx.ctx();
+    socket::Socket s(tb.b->stack(), socket::Socket::Proto::kTcp);
+    s.listen(5050);
+    if (!co_await s.accept(ctx)) co_return;
+    mem::UserBuffer buf(prx.as, 128 * 1024);
+    std::size_t got = 0;
+    const sim::Time t0 = tb.sim.now();
+    while (got < total) {
+      const std::size_t n = co_await s.recv(ctx, buf.as_uio());
+      if (n == 0) break;
+      got += n;
+    }
+    res.ok = got == total;
+    res.tput = sim::throughput_mbps(static_cast<std::int64_t>(got),
+                                    tb.sim.now() - t0);
+    done = true;
+  };
+  auto tx = [&]() -> sim::Task<void> {
+    auto ctx = ptx.ctx();
+    socket::SocketOptions so;
+    so.policy = socket::CopyPolicy::kAuto;  // the stack decides per route
+    socket::Socket c(tb.a->stack(), socket::Socket::Proto::kTcp, so);
+    if (!co_await c.connect(ctx, dst, 5050)) co_return;
+    mem::UserBuffer buf(ptx.as, 64 * 1024);
+    std::size_t sent = 0;
+    while (sent < total) sent += co_await c.send(ctx, buf.as_uio());
+    co_await c.close(ctx);
+  };
+  sim::spawn(rx());
+  sim::spawn(tx());
+  tb.run_until_done(done, 3600 * sim::kSecond);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  core::TestbedOptions opts;
+  opts.with_ethernet = true;
+  opts.ether_bandwidth_bps = 10e6 / 8.0;  // classic 10 Mbit/s Ethernet
+  core::Testbed tb(opts);
+
+  std::printf("multi_device: one stack, two interfaces per host\n\n");
+
+  // Same application code, two destinations: routing picks the device and
+  // thereby the data path (single-copy on HIPPI, traditional on Ethernet).
+  const XferResult hippi = transfer(tb, core::Testbed::kIpB, "hippi");
+  std::printf("  2 MB via CAB/HIPPI   (10.0.0.2):    %8.1f Mbit/s  %s\n",
+              hippi.tput, hippi.ok ? "ok" : "FAILED");
+  const XferResult ether = transfer(tb, core::Testbed::kEthB, "ether");
+  std::printf("  2 MB via Ethernet    (192.168.1.2): %8.1f Mbit/s  %s\n",
+              ether.tput, ether.ok ? "ok" : "FAILED");
+
+  // In-kernel responder reachable over both interfaces with the same code.
+  kernapp::PingResponder responder(*tb.b);
+  bool done = false;
+  sim::Duration rtt_hippi = -1, rtt_ether = -1;
+  auto pinger = [&]() -> sim::Task<void> {
+    rtt_hippi = co_await kernapp::ping_once(*tb.a, core::Testbed::kIpB, 1024, 5);
+    rtt_ether = co_await kernapp::ping_once(*tb.a, core::Testbed::kEthB, 1024, 5);
+    done = true;
+  };
+  sim::spawn(pinger());
+  tb.run_until_done(done, 3600 * sim::kSecond);
+  std::printf("\n  in-kernel echo RTT:  HIPPI %.0f us, Ethernet %.0f us\n",
+              sim::to_usec(rtt_hippi), sim::to_usec(rtt_ether));
+
+  std::printf("\nSockets, TCP, IP, and the in-kernel application are byte-for-byte\n"
+              "the same on both paths; the network layer's route decided whether a\n"
+              "packet travelled as an outboard descriptor or as copied kernel data\n"
+              "(this is why the paper builds ONE stack, not two, SS4.1).\n");
+  return (hippi.ok && ether.ok && rtt_hippi > 0 && rtt_ether > 0) ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a two-host CAB testbed, run one bulk TCP transfer on
+// each stack path, and print the paper's three metrics.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the public API: core::Testbed wires
+// two simulated Alpha hosts to HIPPI through CAB adaptors; apps::run_ttcp
+// runs the paper's measurement workload.
+#include <cstdio>
+
+#include "apps/ttcp.h"
+
+int main() {
+  using namespace nectar;
+
+  std::printf("nectar quickstart: 16 MB bulk TCP transfer, 64 KB writes,\n"
+              "two simulated DEC Alpha 3000/400 hosts over HIPPI via the CAB\n\n");
+
+  for (const auto& [name, policy] :
+       {std::pair{"unmodified stack (copy + software checksum)",
+                  socket::CopyPolicy::kNeverSingleCopy},
+        std::pair{"single-copy stack (outboard buffering + checksum)",
+                  socket::CopyPolicy::kAlwaysSingleCopy}}) {
+    core::Testbed tb;  // fresh hosts + wire per run
+    apps::TtcpConfig cfg;
+    cfg.policy = policy;
+    cfg.write_size = 64 * 1024;
+    cfg.total_bytes = 16 * 1024 * 1024;
+    cfg.verify_data = true;
+
+    const apps::TtcpResult r = apps::run_ttcp(tb, cfg);
+    std::printf("%s\n", name);
+    if (!r.completed) {
+      std::printf("  TRANSFER FAILED\n");
+      return 1;
+    }
+    std::printf("  throughput     %7.1f Mbit/s\n", r.throughput_mbps);
+    std::printf("  utilization    %7.2f   (sender CPU share)\n",
+                r.sender.utilization);
+    std::printf("  efficiency     %7.1f Mbit/s at 100%% CPU\n",
+                r.sender.efficiency_mbps());
+    std::printf("  data errors    %7llu   (every byte verified)\n\n",
+                static_cast<unsigned long long>(r.data_errors));
+  }
+
+  std::printf("The single-copy stack moves each byte across the memory bus once\n"
+              "(DMA with the checksum computed in flight); the unmodified stack\n"
+              "copies into kernel buffers and reads everything again to checksum.\n");
+  return 0;
+}

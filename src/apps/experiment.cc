@@ -1,0 +1,145 @@
+#include "apps/experiment.h"
+
+namespace nectar::apps {
+
+using core::HostParams;
+using core::Testbed;
+using core::TestbedOptions;
+
+TtcpResult run_cell(const HostParams& params, std::size_t write_size,
+                    std::size_t total_bytes, socket::CopyPolicy policy,
+                    std::size_t pin_cache_pages, std::size_t threshold,
+                    std::size_t window) {
+  TestbedOptions opts;
+  opts.params_a = params;
+  opts.params_b = params;
+  opts.params_a.pin_cache_pages = pin_cache_pages;
+  opts.params_b.pin_cache_pages = pin_cache_pages;
+  Testbed tb(opts);
+
+  TtcpConfig cfg;
+  cfg.write_size = write_size;
+  cfg.total_bytes = total_bytes;
+  cfg.policy = policy;
+  cfg.single_copy_threshold = threshold;
+  cfg.tcp.sndbuf = window;
+  cfg.tcp.rcvbuf = window;
+  return run_ttcp(tb, cfg);
+}
+
+double run_raw_hippi(const HostParams& params, std::size_t packet_size,
+                     std::size_t total_bytes) {
+  TestbedOptions opts;
+  opts.params_a = params;
+  opts.params_b = params;
+  Testbed tb(opts);
+  auto& proc = tb.a->create_process("rawtx");
+  auto& env = tb.a->stack().env();
+
+  struct State {
+    bool done = false;
+    std::uint64_t sent = 0;
+    int inflight = 0;
+    sim::Time t0 = 0, t1 = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  auto driver = [&](core::Testbed& t, core::Host::Process& p,
+                    std::shared_ptr<State> s) -> sim::Task<void> {
+    auto& stack = t.a->stack();
+    auto& cab = *t.cab_a;
+    auto& dev = cab.device();
+    sim::Condition slot(t.sim);
+    const std::size_t frame = hippi::kHeaderSize + packet_size;
+
+    // Pre-pinned staging buffer: raw tests amortize VM work away.
+    mem::UserBuffer buf(p.as, frame);
+    buf.fill_pattern(99);
+    hippi::FrameHeader fh;
+    fh.dst = Testbed::kHaB;
+    fh.src = Testbed::kHaA;
+    fh.type = hippi::kTypeRaw;
+    fh.payload_len = static_cast<std::uint32_t>(packet_size);
+    hippi::write_header(buf.view(), fh);
+    co_await env.vm.pin(p.as, buf.addr(), frame, p.sys_acct, sim::Priority::Normal);
+    co_await env.vm.map(p.as, buf.addr(), frame, p.sys_acct, sim::Priority::Normal);
+
+    s->t0 = t.sim.now();
+    while (s->sent < total_bytes) {
+      while (s->inflight >= 4) co_await slot.wait();
+      // Raw interface: one syscall + driver issue per packet.
+      co_await env.cpu.run(sim::usec(stack.costs().syscall_us +
+                                     stack.costs().driver_issue_us),
+                           p.sys_acct, sim::Priority::Normal);
+      auto h = dev.nm().alloc(frame);
+      if (!h) {  // outboard full: wait for a slot to drain
+        co_await slot.wait();
+        continue;
+      }
+      cab::SdmaRequest req;
+      req.dir = cab::SdmaRequest::Dir::kToCab;
+      req.handle = *h;
+      req.segs.push_back(cab::SdmaSeg{buf.addr(), buf.view()});
+      auto* devp = &dev;
+      const cab::Handle hh = *h;
+      State* sp = s.get();
+      sim::Condition* slotp = &slot;
+      req.on_complete = [devp, hh, sp, slotp, frame](const cab::SdmaRequest&) {
+        cab::MdmaXmit::Request mr;
+        mr.handle = hh;
+        mr.len = frame;
+        mr.on_complete = [devp, hh, sp, slotp] {
+          devp->nm().release(hh);
+          --sp->inflight;
+          slotp->notify_all();
+        };
+        devp->mdma_xmit().post(mr);
+      };
+      ++s->inflight;
+      if (!dev.sdma().post(std::move(req))) {
+        --s->inflight;
+        dev.nm().release(*h);
+        co_await slot.wait();
+        continue;
+      }
+      s->sent += packet_size;
+    }
+    while (s->inflight > 0) co_await slot.wait();
+    s->t1 = t.sim.now();
+    s->done = true;
+  };
+
+  sim::spawn(driver(tb, proc, st));
+  tb.run_until_done(st->done, 600 * sim::kSecond);
+  if (!st->done || st->t1 <= st->t0) return 0.0;
+  return sim::throughput_mbps(static_cast<std::int64_t>(st->sent),
+                              st->t1 - st->t0);
+}
+
+std::vector<StackSweepPoint> run_figure_sweep(const HostParams& params,
+                                              const std::vector<std::size_t>& sizes,
+                                              std::size_t bytes_per_point,
+                                              bool include_raw) {
+  std::vector<StackSweepPoint> out;
+  for (const std::size_t sz : sizes) {
+    StackSweepPoint pt;
+    pt.write_size = sz;
+
+    TtcpResult un = run_cell(params, sz, bytes_per_point,
+                             socket::CopyPolicy::kNeverSingleCopy);
+    TtcpResult mo = run_cell(params, sz, bytes_per_point,
+                             socket::CopyPolicy::kAlwaysSingleCopy);
+    pt.ok = un.completed && mo.completed;
+    pt.tput_unmod = un.throughput_mbps;
+    pt.util_unmod = un.sender.utilization;
+    pt.eff_unmod = un.sender.efficiency_mbps();
+    pt.tput_mod = mo.throughput_mbps;
+    pt.util_mod = mo.sender.utilization;
+    pt.eff_mod = mo.sender.efficiency_mbps();
+    if (include_raw) pt.tput_raw = run_raw_hippi(params, sz, bytes_per_point);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace nectar::apps

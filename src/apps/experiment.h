@@ -1,0 +1,39 @@
+// Experiment runners for the paper's Figure 5 / Figure 6 sweeps.
+#pragma once
+
+#include <vector>
+
+#include "apps/ttcp.h"
+
+namespace nectar::apps {
+
+struct StackSweepPoint {
+  std::size_t write_size = 0;
+  double tput_unmod = 0, util_unmod = 0, eff_unmod = 0;
+  double tput_mod = 0, util_mod = 0, eff_mod = 0;
+  double tput_raw = 0;
+  bool ok = true;
+};
+
+// One fresh two-host testbed per (size, stack) cell: unmodified stack
+// (kNeverSingleCopy), modified stack (kAlwaysSingleCopy — the paper's
+// measurement configuration, §7.1), and the raw-HIPPI packet generator.
+std::vector<StackSweepPoint> run_figure_sweep(const core::HostParams& params,
+                                              const std::vector<std::size_t>& sizes,
+                                              std::size_t bytes_per_point,
+                                              bool include_raw = true);
+
+// Raw HIPPI: well-formed packets of `packet_size` pushed straight through
+// SDMA+MDMA from a pre-pinned buffer, 4 in flight (§7.2: "the highest
+// throughput one can expect for a given packet size").
+double run_raw_hippi(const core::HostParams& params, std::size_t packet_size,
+                     std::size_t total_bytes);
+
+// Single ttcp cell (used by ablation benches too).
+TtcpResult run_cell(const core::HostParams& params, std::size_t write_size,
+                    std::size_t total_bytes, socket::CopyPolicy policy,
+                    std::size_t pin_cache_pages = 0,
+                    std::size_t threshold = 16 * 1024,
+                    std::size_t window = 512 * 1024);
+
+}  // namespace nectar::apps

@@ -1,0 +1,14 @@
+#include "apps/util_soaker.h"
+
+namespace nectar::apps {
+
+sim::Task<void> UtilSoaker::run() {
+  auto& cpu = host.cpu();
+  while (!stop) {
+    const sim::Time before = host.sim().now();
+    co_await cpu.run(quantum, proc.user_acct, sim::Priority::Background);
+    user_time += host.sim().now() - before >= 0 ? cpu.scaled(quantum) : 0;
+  }
+}
+
+}  // namespace nectar::apps

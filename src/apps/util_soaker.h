@@ -1,0 +1,27 @@
+// util: the paper's compute-bound low-priority soaker process (§7.1).
+//
+// The real methodology runs util to absorb every CPU cycle ttcp doesn't use,
+// then charges util's *system* time to ttcp (interrupt-context protocol work
+// is billed to whichever process is running). In the simulation the CPU
+// accounts give that decomposition directly; util exists (a) to validate the
+// accounting methodology against the paper's formula in tests and (b) to
+// reproduce the measurement-noise environment (interrupts delayed by up to
+// one quantum).
+#pragma once
+
+#include "core/host.h"
+
+namespace nectar::apps {
+
+struct UtilSoaker {
+  core::Host& host;
+  core::Host::Process& proc;
+  bool stop = false;
+  sim::Duration quantum = sim::usec(50);
+  sim::Duration user_time = 0;  // what util itself would report
+
+  // Spawn with sim::spawn(soaker.run()).
+  sim::Task<void> run();
+};
+
+}  // namespace nectar::apps

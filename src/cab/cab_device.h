@@ -1,0 +1,56 @@
+// The assembled Gigabit Nectar CAB (Communication Acceleration Board).
+//
+// Composes network memory, the SDMA engine, and the two MDMA engines, and
+// attaches to a HIPPI fabric. From the host's viewpoint (§2.2) it is "a
+// large bank of memory accompanied by a means for transferring data into and
+// out of that memory": the driver allocates packet buffers, posts SDMA and
+// MDMA requests, and receives interrupts via callbacks.
+//
+// It also implements mbuf::OutboardOwner so M_WCAB mbufs can share and
+// release outboard buffers without the mbuf layer knowing about the CAB.
+#pragma once
+
+#include "cab/mdma.h"
+#include "cab/network_memory.h"
+#include "cab/sdma.h"
+#include "mbuf/descriptor.h"
+
+namespace nectar::cab {
+
+struct CabConfig {
+  std::size_t memory_bytes = 4u << 20;  // 4 MB network memory
+  std::size_t page_size = 4096;
+  SdmaConfig sdma;
+  MdmaConfig mdma;
+};
+
+class CabDevice final : public mbuf::OutboardOwner {
+ public:
+  CabDevice(sim::Simulator& sim, hippi::Fabric& fabric, hippi::Addr addr,
+            const CabConfig& cfg)
+      : addr_(addr),
+        nm_(cfg.memory_bytes, cfg.page_size),
+        sdma_(sim, nm_, cfg.sdma),
+        mdma_xmit_(sim, nm_, fabric, cfg.mdma),
+        mdma_recv_(sim, nm_, sdma_, cfg.mdma) {
+    fabric.attach(addr, &mdma_recv_);
+  }
+
+  [[nodiscard]] hippi::Addr addr() const noexcept { return addr_; }
+  [[nodiscard]] NetworkMemory& nm() noexcept { return nm_; }
+  [[nodiscard]] SdmaEngine& sdma() noexcept { return sdma_; }
+  [[nodiscard]] MdmaXmit& mdma_xmit() noexcept { return mdma_xmit_; }
+  [[nodiscard]] MdmaRecv& mdma_recv() noexcept { return mdma_recv_; }
+
+  void outboard_retain(std::uint32_t handle) override { nm_.retain(handle); }
+  void outboard_release(std::uint32_t handle) override { nm_.release(handle); }
+
+ private:
+  hippi::Addr addr_;
+  NetworkMemory nm_;
+  SdmaEngine sdma_;
+  MdmaXmit mdma_xmit_;
+  MdmaRecv mdma_recv_;
+};
+
+}  // namespace nectar::cab

@@ -1,0 +1,48 @@
+// The CAB's two hardware checksum units (§2.1, §4.3).
+//
+// Transmit: the checksum is computed while data flows *into* network memory
+// (it cannot be computed during the media transfer because TCP/UDP carry the
+// checksum in the header). The engine skips the first S words, sums the
+// body, combines with the seed the host left in the checksum field, writes
+// the finished checksum into that field, and saves the body sum so a
+// header-only retransmission can be re-checksummed without touching data.
+//
+// Receive: computed while data flows from the network into network memory,
+// starting at a host-selectable word offset, and handed to the host with the
+// packet notification so protocol processing never reads the data.
+//
+// Both units produce RFC 1071 sums via checksum::ones_sum, so "hardware" and
+// software checksums agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "checksum/internet_checksum.h"
+
+namespace nectar::cab {
+
+class ChecksumEngine {
+ public:
+  // Sum `data` starting at word offset `skip_words` (bytes before that are
+  // ignored). Returns the partial (unfolded) ones-complement sum.
+  std::uint32_t sum_from(std::span<const std::byte> data, std::uint16_t skip_words) {
+    const std::size_t skip = static_cast<std::size_t>(skip_words) * 4;
+    if (skip >= data.size()) return 0;
+    bytes_summed_ += data.size() - skip;
+    return checksum::ones_sum(data.subspan(skip));
+  }
+
+  // Combine a header seed (folded partial sum, as stored by the host in the
+  // checksum field) with a body sum and produce the finished checksum.
+  static std::uint16_t finish_with_seed(std::uint16_t seed, std::uint32_t body_sum) {
+    return checksum::finish(static_cast<std::uint32_t>(seed) + body_sum);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_summed() const noexcept { return bytes_summed_; }
+
+ private:
+  std::uint64_t bytes_summed_ = 0;
+};
+
+}  // namespace nectar::cab

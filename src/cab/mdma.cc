@@ -1,0 +1,89 @@
+#include "cab/mdma.h"
+
+#include <cstring>
+#include <memory>
+
+namespace nectar::cab {
+
+void MdmaXmit::post(Request r) {
+  q_.push_back(std::move(r));
+  kick();
+}
+
+void MdmaXmit::kick() {
+  if (busy_ || q_.empty()) return;
+  busy_ = true;
+  Request r = std::move(q_.front());
+  q_.pop_front();
+
+  const sim::Duration t =
+      cfg_.setup +
+      sim::transfer_time(static_cast<std::int64_t>(r.len), cfg_.line_rate_bps);
+  stats_.busy_time += t;
+
+  // Snapshot the bytes at transmit time (a retransmission may rewrite the
+  // header while an earlier copy is still "on the wire").
+  auto pkt = std::make_shared<hippi::Packet>();
+  auto src = nm_.bytes(r.handle, 0, r.len);
+  pkt->bytes.assign(src.begin(), src.end());
+
+  auto done = std::make_shared<std::function<void()>>(std::move(r.on_complete));
+  sim_.after(t, [this, pkt, done] {
+    ++stats_.packets;
+    stats_.bytes += pkt->size();
+    fabric_->submit(std::move(*pkt));
+    busy_ = false;
+    if (*done) (*done)();
+    kick();
+  });
+}
+
+void MdmaRecv::hippi_receive(hippi::Packet&& p) {
+  const std::size_t len = p.bytes.size();
+  auto h = nm_.alloc(len);
+  if (!h) {
+    ++stats_.drops_no_memory;
+    return;
+  }
+  ++stats_.packets;
+  stats_.bytes += len;
+
+  // Data lands in network memory as it comes off the media; the checksum is
+  // computed during that transfer (so it is available with the packet).
+  auto dst = nm_.bytes(*h, 0, len);
+  std::memcpy(dst.data(), p.bytes.data(), len);
+  const std::uint32_t hw_sum = sdma_.checksum().sum_from(dst, rx_skip_words_);
+
+  const std::size_t head_len = std::min<std::size_t>(autodma_bytes(), len);
+  const bool fits = head_len == len;
+  if (fits) ++stats_.fully_autodma;
+
+  // Auto-DMA the first L words to the host through the shared SDMA engine
+  // (all host<->CAB traffic shares the TURBOchannel).
+  auto desc = std::make_shared<RecvDesc>();
+  desc->total_len = len;
+  desc->hw_sum = hw_sum;
+  desc->head.resize(head_len);
+  desc->handle = fits ? std::nullopt : std::optional<Handle>(*h);
+
+  SdmaRequest req;
+  req.dir = SdmaRequest::Dir::kFromCab;
+  req.handle = *h;
+  req.cab_off = 0;
+  req.segs.push_back(SdmaSeg{0, std::span<std::byte>(desc->head)});
+  req.interrupt_on_done = true;
+  const Handle handle = *h;
+  const bool release_after = fits;
+  req.on_complete = [this, desc, handle, release_after](const SdmaRequest&) {
+    if (release_after) nm_.release(handle);
+    if (deliver_) deliver_(std::move(*desc));
+  };
+  // Auto-DMA must not fail: the engine queue is sized for it, but if the
+  // host has wedged the queue, drop the packet (as real hardware would).
+  if (!sdma_.post(std::move(req))) {
+    ++stats_.drops_no_memory;
+    nm_.release(*h);
+  }
+}
+
+}  // namespace nectar::cab

@@ -1,0 +1,110 @@
+// The two media DMA engines (§2.1, §2.2).
+//
+// Transmit (MdmaXmit): moves a fully-formed packet from network memory onto
+// the HIPPI media, occupying the media for the packet's serialization time.
+// No host interrupt is needed for TCP data — the acknowledgement confirms
+// delivery — but a completion callback is available (UDP/raw senders use it
+// to release the outboard buffer).
+//
+// Receive (MdmaRecv): terminates the HIPPI attachment. An arriving packet is
+// placed in network memory, its checksum computed on the way in (starting at
+// the host-configured word offset), and the first L words are auto-DMAed
+// into host memory through the shared SDMA engine; the host is then
+// interrupted with a receive descriptor. Packets that fit entirely in the
+// auto-DMA window release their outboard buffer immediately — the host sees
+// a plain data packet (the "regular mbuf" receive path, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "cab/sdma.h"
+#include "hippi/framing.h"
+
+namespace nectar::cab {
+
+struct MdmaConfig {
+  double line_rate_bps = hippi::kLineRateBps;  // 100 MByte/s
+  sim::Duration setup = sim::usec(10);
+};
+
+class MdmaXmit {
+ public:
+  MdmaXmit(sim::Simulator& sim, NetworkMemory& nm, hippi::Fabric& fabric,
+           const MdmaConfig& cfg)
+      : sim_(sim), nm_(nm), fabric_(&fabric), cfg_(cfg) {}
+
+  struct Request {
+    Handle handle = 0;
+    std::size_t len = 0;  // bytes to transmit from offset 0
+    std::function<void()> on_complete;
+  };
+
+  void post(Request r);
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::Duration busy_time = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
+
+ private:
+  void kick();
+
+  sim::Simulator& sim_;
+  NetworkMemory& nm_;
+  hippi::Fabric* fabric_;
+  MdmaConfig cfg_;
+  bool busy_ = false;
+  std::deque<Request> q_;
+  Stats stats_;
+};
+
+// Receive descriptor handed to the host interrupt handler.
+struct RecvDesc {
+  std::optional<Handle> handle;    // residual outboard data, if any
+  std::vector<std::byte> head;     // first min(L*4, len) bytes of the packet
+  std::size_t total_len = 0;       // full packet length
+  std::uint32_t hw_sum = 0;        // ones-sum from rx skip offset to end
+};
+
+class MdmaRecv final : public hippi::Endpoint {
+ public:
+  MdmaRecv(sim::Simulator& sim, NetworkMemory& nm, SdmaEngine& sdma,
+           const MdmaConfig& cfg)
+      : sim_(sim), nm_(nm), sdma_(sdma), cfg_(cfg) {}
+
+  // Host-configurable (§2.2, §4.3).
+  void set_autodma_words(std::uint32_t l) noexcept { autodma_words_ = l; }
+  void set_rx_skip_words(std::uint16_t s) noexcept { rx_skip_words_ = s; }
+  [[nodiscard]] std::uint32_t autodma_words() const noexcept { return autodma_words_; }
+  [[nodiscard]] std::uint32_t autodma_bytes() const noexcept { return autodma_words_ * 4; }
+
+  void set_deliver(std::function<void(RecvDesc&&)> fn) { deliver_ = std::move(fn); }
+
+  void hippi_receive(hippi::Packet&& p) override;
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops_no_memory = 0;
+    std::uint64_t fully_autodma = 0;  // packets that fit in the window
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkMemory& nm_;
+  SdmaEngine& sdma_;
+  MdmaConfig cfg_;
+  std::uint32_t autodma_words_ = 176;  // paper's value
+  std::uint16_t rx_skip_words_ = 20;   // HIPPI + IP headers
+  std::function<void(RecvDesc&&)> deliver_;
+  Stats stats_;
+};
+
+}  // namespace nectar::cab

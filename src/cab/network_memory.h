@@ -1,0 +1,75 @@
+// CAB network memory: the outboard packet buffer pool (§2.1, §2.2).
+//
+// "Packets must start on a page boundary in CAB memory, and all but the last
+//  page must be full pages" — so a packet buffer is a run of CAB pages, and
+// allocation is page-granular. Buffers are refcounted: TCP may hold an
+// M_WCAB reference for retransmission while an MDMA transmit is in flight,
+// and m_copym shares rather than copies.
+//
+// The memory also stores, per packet, the transmit *body checksum* the SDMA
+// engine saved when the data first flowed outboard; a retransmission only
+// transfers a fresh header and the engine combines its new seed with this
+// saved sum (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nectar::cab {
+
+using Handle = std::uint32_t;
+
+class NetworkMemory {
+ public:
+  explicit NetworkMemory(std::size_t bytes, std::size_t page_size = 4096);
+
+  // Allocate a packet buffer of `len` bytes (rounded up to whole pages,
+  // contiguous). Returns nullopt when memory is exhausted (counted).
+  std::optional<Handle> alloc(std::size_t len);
+
+  void retain(Handle h);
+  void release(Handle h);
+
+  [[nodiscard]] std::span<std::byte> bytes(Handle h, std::size_t off, std::size_t len);
+  [[nodiscard]] std::span<const std::byte> bytes(Handle h, std::size_t off,
+                                                 std::size_t len) const;
+
+  [[nodiscard]] std::size_t packet_len(Handle h) const;
+  [[nodiscard]] int refcount(Handle h) const;
+
+  void set_body_sum(Handle h, std::uint32_t sum);
+  [[nodiscard]] std::optional<std::uint32_t> body_sum(Handle h) const;
+
+  [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return store_.size(); }
+  [[nodiscard]] std::size_t free_bytes() const noexcept { return free_pages_ * page_size_; }
+  [[nodiscard]] std::size_t live_packets() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t alloc_failures() const noexcept { return alloc_failures_; }
+
+ private:
+  struct Slot {
+    std::size_t first_page = 0;
+    std::size_t npages = 0;
+    std::size_t len = 0;
+    int refs = 0;
+    std::optional<std::uint32_t> body_sum;
+    bool live = false;
+  };
+
+  const Slot& slot(Handle h) const;
+  Slot& slot(Handle h);
+
+  std::size_t page_size_;
+  std::vector<std::byte> store_;
+  std::vector<bool> page_used_;
+  std::size_t free_pages_;
+  std::vector<Slot> slots_;
+  std::vector<Handle> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t alloc_failures_ = 0;
+  std::size_t next_fit_ = 0;  // rotating first-fit cursor
+};
+
+}  // namespace nectar::cab

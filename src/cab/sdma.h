@@ -1,0 +1,100 @@
+// The SDMA engine: scatter/gather DMA between host memory and CAB network
+// memory over the (TcIA-limited) TURBOchannel (§2.1, §2.2, §7.1).
+//
+// One engine serves both directions plus receive auto-DMA, so all host<->CAB
+// traffic contends for the same bus bandwidth — the bottleneck the paper
+// identifies ("the bottleneck is the transfer of data across the
+// Turbochannel"). Requests queue FIFO behind a bounded command queue (the
+// register file); the host driver must check queue space.
+//
+// Alignment (§4.5): starting addresses in host memory must be 32-bit word
+// aligned. The engine *rejects* misaligned segments by throwing — the driver
+// is responsible for routing unaligned requests through the copy path, so a
+// throw here is a host software bug, exactly as it would be a wedged device
+// on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cab/checksum_engine.h"
+#include "cab/network_memory.h"
+#include "mem/address_space.h"
+#include "sim/event_queue.h"
+
+namespace nectar::cab {
+
+struct SdmaSeg {
+  mem::VAddr vaddr = 0;          // simulated host address (alignment checks)
+  std::span<std::byte> bytes;    // resolved host memory
+};
+
+struct SdmaRequest {
+  enum class Dir { kToCab, kFromCab };
+  Dir dir = Dir::kToCab;
+  Handle handle = 0;
+  std::size_t cab_off = 0;       // offset within the packet buffer
+  std::vector<SdmaSeg> segs;     // host side, in stream order
+
+  // Transmit checksum (kToCab only).
+  bool csum_enable = false;
+  std::uint16_t skip_words = 0;   // S
+  std::uint16_t csum_offset = 0;  // byte offset of checksum field in packet
+  // Header-rewrite (re)transmission: this request carries only headers; the
+  // engine combines the seed with the packet's saved body sum.
+  bool header_rewrite = false;
+  // Data staging (copy-in before headers exist): compute and save the body
+  // sum over this transfer, but do not touch any checksum field yet.
+  bool body_sum_only = false;
+
+  bool interrupt_on_done = false;  // paper: only the last SDMA of a write
+  std::uint64_t id = 0;            // assigned by the engine
+  std::function<void(const SdmaRequest&)> on_complete;
+};
+
+struct SdmaConfig {
+  double bandwidth_bps = 18.75e6;       // effective TURBOchannel payload rate
+  sim::Duration setup = sim::usec(20);  // per-request engine overhead
+  std::size_t queue_depth = 64;
+};
+
+class SdmaEngine {
+ public:
+  SdmaEngine(sim::Simulator& sim, NetworkMemory& nm, const SdmaConfig& cfg)
+      : sim_(sim), nm_(nm), cfg_(cfg) {}
+
+  // Returns false if the command queue is full (request not accepted).
+  bool post(SdmaRequest r);
+
+  [[nodiscard]] std::size_t queue_space() const noexcept {
+    return cfg_.queue_depth - q_.size() - (busy_ ? 1 : 0);
+  }
+  [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_to_cab = 0;
+    std::uint64_t bytes_from_cab = 0;
+    sim::Duration busy_time = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ChecksumEngine& checksum() noexcept { return csum_; }
+
+ private:
+  void kick();
+  void execute(SdmaRequest& r);
+
+  sim::Simulator& sim_;
+  NetworkMemory& nm_;
+  SdmaConfig cfg_;
+  ChecksumEngine csum_;
+  bool busy_ = false;
+  std::uint64_t next_id_ = 1;
+  std::deque<SdmaRequest> q_;
+  Stats stats_;
+};
+
+}  // namespace nectar::cab

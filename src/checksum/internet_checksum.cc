@@ -1,0 +1,102 @@
+#include "checksum/internet_checksum.h"
+
+#include <bit>
+#include <cstring>
+
+namespace nectar::checksum {
+
+std::uint32_t ones_sum_ref(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  std::uint64_t sum = seed;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::to_integer<std::uint32_t>(data[i]) << 8) |
+           std::to_integer<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += std::to_integer<std::uint32_t>(data[i]) << 8;  // pad odd byte low
+  }
+  while (sum >> 32) sum = (sum & 0xffffffff) + (sum >> 32);
+  // Partially fold to <= 0x1fffe; callers fold to 16 bits when done.
+  return static_cast<std::uint32_t>((sum & 0xffff) + (sum >> 16));
+}
+
+namespace {
+
+// Sum 16-bit big-endian words using 64-bit little-endian loads: a
+// ones-complement sum is byte-order independent up to a final byte swap of
+// the folded result (RFC 1071 §2), so we accumulate native 64-bit words and
+// swap once at the end if the host is little-endian.
+std::uint32_t sum_aligned64(const std::byte* p, std::size_t n, std::uint32_t seed_be) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  while (i + 32 <= n) {
+    std::uint64_t a, b, c, d;
+    std::memcpy(&a, p + i, 8);
+    std::memcpy(&b, p + i + 8, 8);
+    std::memcpy(&c, p + i + 16, 8);
+    std::memcpy(&d, p + i + 24, 8);
+    // Accumulate with carry wrap-around.
+    std::uint64_t s = sum;
+    s += a;
+    if (s < a) ++s;
+    s += b;
+    if (s < b) ++s;
+    s += c;
+    if (s < c) ++s;
+    s += d;
+    if (s < d) ++s;
+    sum = s;
+    i += 32;
+  }
+  while (i + 8 <= n) {
+    std::uint64_t a;
+    std::memcpy(&a, p + i, 8);
+    sum += a;
+    if (sum < a) ++sum;
+    i += 8;
+  }
+  // Fold 64 -> 32 -> 16 in native order.
+  std::uint32_t s32 = static_cast<std::uint32_t>(sum & 0xffffffff) +
+                      static_cast<std::uint32_t>(sum >> 32);
+  if (s32 < static_cast<std::uint32_t>(sum >> 32)) ++s32;
+  std::uint32_t s16 = (s32 & 0xffff) + (s32 >> 16);
+  s16 = (s16 & 0xffff) + (s16 >> 16);
+  if constexpr (std::endian::native == std::endian::little) {
+    s16 = ((s16 & 0xff) << 8) | (s16 >> 8);  // convert to big-endian word sum
+  }
+  // Tail (< 8 bytes) in reference style, as big-endian pairs.
+  std::uint64_t tail = s16 + seed_be;
+  for (; i + 1 < n; i += 2) {
+    tail += (std::to_integer<std::uint32_t>(p[i]) << 8) |
+            std::to_integer<std::uint32_t>(p[i + 1]);
+  }
+  if (i < n) tail += std::to_integer<std::uint32_t>(p[i]) << 8;
+  while (tail >> 32) tail = (tail & 0xffffffff) + (tail >> 32);
+  return static_cast<std::uint32_t>((tail & 0xffff) + (tail >> 16));
+}
+
+}  // namespace
+
+std::uint32_t ones_sum(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  if (n == 0) return seed;
+  // The 64-bit fast path requires the byte-pair phase to be even-aligned
+  // relative to the start of the range. If the pointer itself is odd, fall
+  // back to the reference loop for a (rare in this stack) unaligned buffer.
+  if (reinterpret_cast<std::uintptr_t>(p) % 2 != 0) return ones_sum_ref(data, seed);
+  return sum_aligned64(p, n, seed);
+}
+
+std::uint32_t pseudo_sum(const PseudoHeader& ph) noexcept {
+  std::uint32_t sum = 0;
+  sum += ph.src >> 16;
+  sum += ph.src & 0xffff;
+  sum += ph.dst >> 16;
+  sum += ph.dst & 0xffff;
+  sum += ph.proto;  // zero byte + proto as one BE word
+  sum += ph.length;
+  return sum;
+}
+
+}  // namespace nectar::checksum

@@ -1,0 +1,37 @@
+// Big-endian (network byte order) load/store helpers.
+//
+// All protocol headers in the library are byte arrays manipulated through
+// these helpers, so the code is independent of host endianness and there are
+// no struct-punning aliasing hazards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nectar::wire {
+
+constexpr std::uint16_t load_be16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(p[0]) << 8) |
+                                    std::to_integer<std::uint16_t>(p[1]));
+}
+
+constexpr std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+constexpr void store_be16(std::byte* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::byte>(v >> 8);
+  p[1] = static_cast<std::byte>(v & 0xff);
+}
+
+constexpr void store_be32(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>(v >> 24);
+  p[1] = static_cast<std::byte>((v >> 16) & 0xff);
+  p[2] = static_cast<std::byte>((v >> 8) & 0xff);
+  p[3] = static_cast<std::byte>(v & 0xff);
+}
+
+}  // namespace nectar::wire

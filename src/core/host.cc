@@ -1,0 +1,62 @@
+#include "core/host.h"
+
+namespace nectar::core {
+
+Host::Host(sim::Simulator& sim, HostParams params, std::string name)
+    : name_(std::move(name)),
+      params_(std::move(params)),
+      sim_(sim),
+      cpu_(sim, params_.cpu_scale),
+      pool_(sim),
+      kernel_as_(name_ + ".kernel"),
+      vm_(sim, cpu_, params_.vm),
+      pin_cache_(vm_, params_.pin_cache_pages),
+      intr_acct_(cpu_.make_account("intr")) {
+  net::HostEnv env{sim_, cpu_, pool_, vm_, pin_cache_, params_.costs, intr_acct_};
+  stack_ = std::make_unique<net::NetStack>(env);
+}
+
+drivers::CabDriver& Host::attach_cab(hippi::Fabric& fabric, hippi::Addr haddr,
+                                     net::IpAddr ip, std::size_t mtu) {
+  auto dev = std::make_unique<cab::CabDevice>(sim_, fabric, haddr, params_.cab);
+  auto drv = std::make_unique<drivers::CabDriver>(
+      "cab" + std::to_string(cabs_.size()), ip, *dev, mtu);
+  cabs_.push_back(std::move(dev));
+  auto& ref = *drv;
+  stack_->add_ifnet(drv.get());
+  devices_.push_back(std::move(drv));
+  return ref;
+}
+
+drivers::EtherDriver& Host::attach_ether(drivers::EtherSegment& seg, net::IpAddr ip,
+                                         std::size_t mtu) {
+  auto drv = std::make_unique<drivers::EtherDriver>(
+      "en" + std::to_string(devices_.size()), ip, seg, mtu);
+  auto& ref = *drv;
+  stack_->add_ifnet(drv.get());
+  devices_.push_back(std::move(drv));
+  return ref;
+}
+
+drivers::LoopbackDriver& Host::attach_loopback() {
+  auto drv = std::make_unique<drivers::LoopbackDriver>();
+  auto& ref = *drv;
+  stack_->add_ifnet(drv.get());
+  stack_->routes().add(drv->addr(), 32, drv.get());
+  devices_.push_back(std::move(drv));
+  return ref;
+}
+
+Host::Process& Host::create_process(const std::string& pname) {
+  processes_.emplace_back(new Process{pname,
+                                      mem::AddressSpace(name_ + "." + pname),
+                                      cpu_.make_account(pname + ".user"),
+                                      cpu_.make_account(pname + ".sys")});
+  return *processes_.back();
+}
+
+sim::Duration Host::comm_busy(const Process& p) const {
+  return cpu_.busy(p.user_acct) + cpu_.busy(p.sys_acct) + cpu_.busy(intr_acct_);
+}
+
+}  // namespace nectar::core

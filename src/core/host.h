@@ -1,0 +1,77 @@
+// Host: one simulated machine — CPU, kernel memory, VM, mbuf pool, protocol
+// stack, attached devices, and user processes.
+#pragma once
+
+#include <list>
+#include <memory>
+
+#include "core/host_params.h"
+#include "drivers/cab_driver.h"
+#include "drivers/ether_driver.h"
+#include "drivers/loopback.h"
+#include "mem/user_buffer.h"
+#include "socket/socket.h"
+
+namespace nectar::core {
+
+class Host {
+ public:
+  Host(sim::Simulator& sim, HostParams params, std::string name);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const HostParams& params() const noexcept { return params_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] mbuf::MbufPool& pool() noexcept { return pool_; }
+  [[nodiscard]] mem::Vm& vm() noexcept { return vm_; }
+  [[nodiscard]] mem::PinCache& pin_cache() noexcept { return pin_cache_; }
+  [[nodiscard]] net::NetStack& stack() noexcept { return *stack_; }
+  [[nodiscard]] mem::AddressSpace& kernel_as() noexcept { return kernel_as_; }
+  [[nodiscard]] sim::AccountId intr_acct() const noexcept { return intr_acct_; }
+
+  // --- devices (owned by the host) -----------------------------------------
+
+  drivers::CabDriver& attach_cab(hippi::Fabric& fabric, hippi::Addr haddr,
+                                 net::IpAddr ip, std::size_t mtu = 32 * 1024);
+  drivers::EtherDriver& attach_ether(drivers::EtherSegment& seg, net::IpAddr ip,
+                                     std::size_t mtu = 1500);
+  drivers::LoopbackDriver& attach_loopback();
+
+  // --- processes ------------------------------------------------------------
+
+  struct Process {
+    std::string name;
+    mem::AddressSpace as;
+    sim::AccountId user_acct;
+    sim::AccountId sys_acct;
+    socket::ProcCtx ctx() { return socket::ProcCtx{as, user_acct, sys_acct}; }
+  };
+  Process& create_process(const std::string& pname);
+
+  // --- measurement -----------------------------------------------------------
+
+  // Total CPU time charged to communication on behalf of `p` plus all
+  // interrupt-context work — the paper's numerator (ttcp user+sys + util sys).
+  [[nodiscard]] sim::Duration comm_busy(const Process& p) const;
+  [[nodiscard]] sim::Duration total_busy() const { return cpu_.total_busy(); }
+
+ private:
+  std::string name_;
+  HostParams params_;
+  sim::Simulator& sim_;
+  sim::Cpu cpu_;
+  mbuf::MbufPool pool_;
+  mem::AddressSpace kernel_as_;
+  mem::Vm vm_;
+  mem::PinCache pin_cache_;
+  sim::AccountId intr_acct_;
+  std::unique_ptr<net::NetStack> stack_;
+  std::vector<std::unique_ptr<net::Ifnet>> devices_;
+  std::vector<std::unique_ptr<cab::CabDevice>> cabs_;
+  // unique_ptr because Process embeds an immovable AddressSpace.
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace nectar::core

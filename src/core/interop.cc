@@ -1,0 +1,54 @@
+#include "core/interop.h"
+
+#include <stdexcept>
+
+namespace nectar::core {
+
+using mbuf::Mbuf;
+
+sim::Task<Mbuf*> convert_wcab_record(net::NetStack& stack, net::KernCtx ctx,
+                                     Mbuf* pkt) {
+  auto& env = stack.env();
+  Mbuf** link = &pkt;
+  Mbuf* m = pkt;
+  while (m != nullptr) {
+    if (m->type() != mbuf::MbufType::kWcab) {
+      link = &m->next;
+      m = m->next;
+      continue;
+    }
+    const mbuf::Wcab w = m->wcab();
+    net::Ifnet* drv = nullptr;
+    for (net::Ifnet* ifp : stack.ifnets()) {
+      if (ifp->outboard_owner() == w.owner) drv = ifp;
+    }
+    if (drv == nullptr)
+      throw std::logic_error("convert_wcab_record: no owning device on this stack");
+
+    const auto len = static_cast<std::size_t>(m->len());
+    Mbuf* repl = env.pool.get_ext(len, false);
+    repl->set_len(static_cast<int>(len));
+
+    // Asynchronous DMA + resynchronization (§5).
+    mbuf::DmaSync sync(env.sim);
+    co_await drv->copy_out_raw(ctx, w, 0, repl->span(), &sync);
+    co_await sync.drain();
+    co_await env.cpu.run(sim::usec(stack.costs().intr_us), env.intr_acct,
+                         sim::Priority::Interrupt);
+
+    Mbuf* after = m->next;
+    if (m->has_pkthdr()) {
+      repl->set_flags(mbuf::kMPktHdr);
+      repl->pkthdr = m->pkthdr;
+    }
+    m->next = nullptr;
+    env.pool.free_one(m);  // releases the outboard buffer reference
+    *link = repl;
+    repl->next = after;
+    link = &repl->next;
+    m = after;
+  }
+  co_return pkt;
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,27 @@
+// §5 interoperability conversions.
+//
+// In-kernel applications receiving through the CAB see M_WCAB mbufs they do
+// not understand; "the solution is obvious: convert them to regular mbufs
+// before they enter the application. The fact that the copy has to be done
+// using DMA, i.e. asynchronously, adds some complexity since the application
+// has to resynchronize with the driver when the DMA terminates."
+// convert_wcab_record is that conversion: it DMAs each WCAB mbuf's outboard
+// data into fresh kernel buffers via the owning driver's copy-out routine,
+// awaits completion, and splices the result into the record.
+//
+// (The transmit-side counterpart — M_UIO conversion at a non-single-copy
+// driver's entry point — lives in drivers/ether_driver.h as
+// convert_uio_record, since the drivers themselves invoke it.)
+#pragma once
+
+#include "net/netstack.h"
+
+namespace nectar::core {
+
+// Replace every M_WCAB mbuf in `pkt` with regular (external-storage) mbufs
+// holding the data, copied outboard->host by DMA. Returns the new head.
+// Throws if a WCAB mbuf's owning device cannot be found on `stack`.
+sim::Task<mbuf::Mbuf*> convert_wcab_record(net::NetStack& stack, net::KernCtx ctx,
+                                           mbuf::Mbuf* pkt);
+
+}  // namespace nectar::core

@@ -1,0 +1,102 @@
+#include "core/netstat.h"
+
+#include <sstream>
+
+#include "net/ip.h"
+#include "net/udp.h"
+
+namespace nectar::core {
+
+namespace {
+std::string ip_str(net::IpAddr a) {
+  std::ostringstream os;
+  os << ((a >> 24) & 0xff) << '.' << ((a >> 16) & 0xff) << '.' << ((a >> 8) & 0xff)
+     << '.' << (a & 0xff);
+  return os.str();
+}
+}  // namespace
+
+std::string netstat_interfaces(Host& host) {
+  std::ostringstream os;
+  os << "Interfaces:\n";
+  for (net::Ifnet* ifp : host.stack().ifnets()) {
+    const auto& s = ifp->if_stats;
+    os << "  " << ifp->name() << " (" << ip_str(ifp->addr()) << ", mtu "
+       << ifp->mtu() << (ifp->single_copy() ? ", single-copy" : "") << ")\n"
+       << "    out: " << s.opackets << " pkts / " << s.obytes << " bytes, "
+       << s.oerrors << " errors, " << s.uio_converted << " UIO conversions\n"
+       << "    in:  " << s.ipackets << " pkts / " << s.ibytes << " bytes\n";
+    if (auto* cab = dynamic_cast<drivers::CabDriver*>(ifp)) {
+      auto& dev = cab->device();
+      const auto& sd = dev.sdma().stats();
+      const auto& mr = dev.mdma_recv().stats();
+      os << "    cab: sdma " << sd.requests << " reqs ("
+         << sd.bytes_to_cab << " B out, " << sd.bytes_from_cab << " B in, busy "
+         << sim::to_seconds(sd.busy_time) << " s), tx "
+         << cab->drv_stats.tx_fresh << " fresh + " << cab->drv_stats.tx_rewrite
+         << " header-rewrite, rx " << mr.packets << " pkts ("
+         << cab->drv_stats.rx_small << " auto-DMA, " << cab->drv_stats.rx_wcab
+         << " outboard), " << mr.drops_no_memory << " drops, nm "
+         << dev.nm().live_packets() << " live / " << dev.nm().free_bytes()
+         << " B free\n";
+    }
+  }
+  return os.str();
+}
+
+std::string netstat_protocols(Host& host) {
+  std::ostringstream os;
+  const auto& ip = host.stack().ip().stats();
+  os << "IP: " << ip.ipackets << " in, " << ip.opackets << " out, "
+     << ip.ofragments << " fragments sent, " << ip.reassembled << " reassembled, "
+     << ip.forwarded << " forwarded, " << ip.bad_checksum << " bad csum, "
+     << ip.no_route << " unroutable, " << ip.frag_timeouts << " reasm timeouts\n";
+  const auto& udp = host.stack().udp().stats();
+  os << "UDP: " << udp.in_datagrams << " in, " << udp.out_datagrams << " out, "
+     << udp.bad_checksum << " bad csum, " << udp.no_port << " no port ("
+     << udp.hw_csum_tx << " hw / " << udp.sw_csum_tx << " sw / " << udp.nocsum_tx
+     << " none csum tx)\n";
+  const auto& st = host.stack().stats();
+  os << "demux: " << st.tcp_in << " tcp, " << st.udp_in << " udp, " << st.raw_in
+     << " raw, " << st.no_port << " no-port, " << st.no_proto << " no-proto\n";
+  return os.str();
+}
+
+std::string netstat_memory(Host& host) {
+  std::ostringstream os;
+  const auto& m = host.pool().stats();
+  os << "mbufs: " << m.allocs << " allocs / " << m.frees << " frees ("
+     << host.pool().in_use() << " live), " << m.cluster_allocs << " clusters, "
+     << m.uio_allocs << " M_UIO, " << m.wcab_allocs << " M_WCAB\n";
+  const auto& v = host.vm().stats();
+  os << "vm: " << v.pin_ops << " pins (" << v.pages_pinned << " pages), "
+     << v.unpin_ops << " unpins, " << v.map_ops << " maps; "
+     << host.vm().pinned_pages() << " pages pinned now\n";
+  const auto& pc = host.pin_cache().stats();
+  os << "pin cache: " << pc.page_hits << " hits / " << pc.page_misses
+     << " misses / " << pc.evictions << " evictions ("
+     << host.pin_cache().resident_pages() << " resident)\n";
+  return os.str();
+}
+
+std::string netstat_cpu(Host& host) {
+  std::ostringstream os;
+  os << "CPU accounts (busy time):\n";
+  for (std::size_t i = 0; i < host.cpu().num_accounts(); ++i) {
+    os << "  " << host.cpu().account_name(i) << ": "
+       << sim::to_seconds(host.cpu().busy(i)) << " s\n";
+  }
+  os << "  total busy: " << sim::to_seconds(host.cpu().total_busy()) << " s of "
+     << sim::to_seconds(host.sim().now()) << " s\n";
+  return os.str();
+}
+
+std::string netstat(Host& host) {
+  std::ostringstream os;
+  os << "=== " << host.name() << " (" << host.params().model << ") ===\n"
+     << netstat_interfaces(host) << netstat_protocols(host)
+     << netstat_memory(host) << netstat_cpu(host);
+  return os.str();
+}
+
+}  // namespace nectar::core

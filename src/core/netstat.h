@@ -1,0 +1,21 @@
+// netstat-style reporting: formatted dumps of a host's stack, device, and
+// memory statistics, for examples and interactive debugging.
+#pragma once
+
+#include <string>
+
+#include "core/host.h"
+
+namespace nectar::core {
+
+// Full report: interfaces, IP, UDP, mbuf pool, VM, CPU accounts, and (for
+// CAB interfaces) the adaptor engines.
+[[nodiscard]] std::string netstat(Host& host);
+
+// Single sections.
+[[nodiscard]] std::string netstat_interfaces(Host& host);
+[[nodiscard]] std::string netstat_protocols(Host& host);
+[[nodiscard]] std::string netstat_memory(Host& host);
+[[nodiscard]] std::string netstat_cpu(Host& host);
+
+}  // namespace nectar::core

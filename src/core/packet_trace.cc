@@ -1,0 +1,88 @@
+#include "core/packet_trace.h"
+
+#include <sstream>
+
+#include "net/headers.h"
+
+namespace nectar::core {
+
+void PacketTrace::submit(hippi::Packet&& p) {
+  Entry e;
+  e.when = sim_.now();
+  e.len = p.size();
+  try {
+    const hippi::FrameHeader fh = p.header();
+    e.src = fh.src;
+    e.dst = fh.dst;
+    e.type = fh.type;
+    if (fh.type == hippi::kTypeIp &&
+        p.bytes.size() >= hippi::kHeaderSize + net::kIpHdrLen) {
+      std::span<const std::byte> ip{p.bytes.data() + hippi::kHeaderSize,
+                                    p.bytes.size() - hippi::kHeaderSize};
+      const net::IpHeader ih = net::read_ip_header(ip);
+      e.proto = ih.proto;
+      e.ip_id = ih.id;
+      e.fragment = ih.more_fragments || ih.frag_offset != 0;
+      auto tp = ip.subspan(net::kIpHdrLen);
+      if (!e.fragment || ih.frag_offset == 0) {
+        if (ih.proto == net::kProtoTcp && tp.size() >= net::kTcpHdrLen) {
+          const net::TcpHeader th = net::read_tcp_header(tp);
+          e.sport = th.src_port;
+          e.dport = th.dst_port;
+          e.seq = th.seq;
+          e.ack = th.ack;
+          e.flags = th.flags;
+          e.payload = ih.total_len - net::kIpHdrLen -
+                      static_cast<std::size_t>(th.data_off_words) * 4;
+        } else if (ih.proto == net::kProtoUdp && tp.size() >= net::kUdpHdrLen) {
+          const net::UdpHeader uh = net::read_udp_header(tp);
+          e.sport = uh.src_port;
+          e.dport = uh.dst_port;
+          e.payload = uh.length - net::kUdpHdrLen;
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed frames are still logged with whatever parsed.
+  }
+  ++seen_;
+  log_.push_back(e);
+  if (log_.size() > max_entries_) log_.pop_front();
+  inner_.submit(std::move(p));
+}
+
+std::string PacketTrace::Entry::to_string() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << sim::to_usec(when) / 1000.0 << "ms " << std::hex << src << " > " << dst
+     << std::dec;
+  if (proto == net::kProtoTcp) {
+    os << " tcp " << sport << ">" << dport << ' ';
+    if (flags & net::kTcpSyn) os << 'S';
+    if (flags & net::kTcpFin) os << 'F';
+    if (flags & net::kTcpRst) os << 'R';
+    if (flags & net::kTcpAck) os << '.';
+    os << " seq=" << seq << " ack=" << ack << " len=" << payload;
+  } else if (proto == net::kProtoUdp) {
+    os << " udp " << sport << ">" << dport << " len=" << payload;
+  } else if (proto != 0) {
+    os << " proto=" << static_cast<int>(proto);
+  } else {
+    os << " type=0x" << std::hex << type << std::dec;
+  }
+  if (fragment) os << " frag(id=" << ip_id << ")";
+  os << " [" << len << "B]";
+  return os.str();
+}
+
+std::string PacketTrace::dump(std::size_t n) const {
+  std::ostringstream os;
+  const std::size_t start = (n == 0 || n >= log_.size()) ? 0 : log_.size() - n;
+  for (std::size_t i = start; i < log_.size(); ++i) {
+    os << log_[i].to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,63 @@
+// tcpdump-style packet tracing.
+//
+// A PacketTrace interposes on a hippi::Fabric and records a one-line summary
+// of every frame submitted (time, addresses, protocol, TCP flags/seq/ack or
+// UDP ports, length). Attach via TestbedOptions::trace_packets or wrap any
+// fabric manually. Purely observational: frames pass through untouched.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "hippi/framing.h"
+#include "sim/event_queue.h"
+
+namespace nectar::core {
+
+class PacketTrace final : public hippi::Fabric {
+ public:
+  PacketTrace(sim::Simulator& sim, hippi::Fabric& inner,
+              std::size_t max_entries = 4096)
+      : sim_(sim), inner_(inner), max_entries_(max_entries) {}
+
+  void attach(hippi::Addr addr, hippi::Endpoint* ep) override {
+    inner_.attach(addr, ep);
+  }
+
+  void submit(hippi::Packet&& p) override;
+
+  struct Entry {
+    sim::Time when = 0;
+    hippi::Addr src = 0;
+    hippi::Addr dst = 0;
+    std::uint16_t type = 0;     // HIPPI payload type
+    std::uint8_t proto = 0;     // IP protocol (0 if not IP)
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    std::uint32_t seq = 0;      // TCP only
+    std::uint32_t ack = 0;      // TCP only
+    std::uint8_t flags = 0;     // TCP only
+    std::uint16_t ip_id = 0;
+    bool fragment = false;
+    std::size_t len = 0;        // frame length
+    std::size_t payload = 0;    // transport payload bytes
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  [[nodiscard]] const std::deque<Entry>& entries() const noexcept { return log_; }
+  [[nodiscard]] std::size_t total_seen() const noexcept { return seen_; }
+  void clear() { log_.clear(); }
+
+  // Render the last `n` entries (0 = all retained).
+  [[nodiscard]] std::string dump(std::size_t n = 0) const;
+
+ private:
+  sim::Simulator& sim_;
+  hippi::Fabric& inner_;
+  std::size_t max_entries_;
+  std::deque<Entry> log_;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace nectar::core

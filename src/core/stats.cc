@@ -1,0 +1,45 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace nectar::core {
+
+CpuSnapshot CpuSnapshot::take(Host& h) {
+  CpuSnapshot s;
+  s.when = h.sim().now();
+  const std::size_t n = h.cpu().num_accounts();
+  s.busy.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.busy[i] = h.cpu().busy(i);
+  return s;
+}
+
+UtilizationReport utilization_between(Host& h, const Host::Process& proc,
+                                      const CpuSnapshot& t0, const CpuSnapshot& t1) {
+  UtilizationReport r;
+  r.elapsed = t1.when - t0.when;
+  auto delta = [&](sim::AccountId a) -> sim::Duration {
+    const sim::Duration b0 = a < t0.busy.size() ? t0.busy[a] : 0;
+    const sim::Duration b1 = a < t1.busy.size() ? t1.busy[a] : 0;
+    return b1 - b0;
+  };
+  r.busy = delta(proc.user_acct) + delta(proc.sys_acct) + delta(h.intr_acct());
+  r.utilization = r.elapsed > 0
+                      ? static_cast<double>(r.busy) / static_cast<double>(r.elapsed)
+                      : 0.0;
+  return r;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    os << cells[i];
+    const int pad = w - static_cast<int>(cells[i].size());
+    for (int k = 0; k < pad; ++k) os << ' ';
+    if (i + 1 != cells.size()) os << "  ";
+  }
+  return os.str();
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,58 @@
+#include "core/testbed.h"
+
+namespace nectar::core {
+
+hippi::Fabric& Testbed::fabric() {
+  if (trace) return *trace;
+  if (lossy) return *lossy;
+  if (sw) return *sw;
+  return *wire;
+}
+
+Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
+  if (opts.use_switch) {
+    sw = std::make_unique<hippi::Switch>(sim, opts.mac_mode);
+  } else {
+    wire = std::make_unique<hippi::DirectWire>(sim);
+  }
+  if (opts.loss_rate > 0.0) {
+    hippi::Fabric& inner = sw ? static_cast<hippi::Fabric&>(*sw)
+                              : static_cast<hippi::Fabric&>(*wire);
+    lossy = std::make_unique<hippi::LossyFabric>(inner, opts.loss_rate,
+                                                 opts.loss_seed);
+  }
+  if (opts.trace_packets) {
+    hippi::Fabric& inner = lossy ? static_cast<hippi::Fabric&>(*lossy)
+                           : sw  ? static_cast<hippi::Fabric&>(*sw)
+                                 : static_cast<hippi::Fabric&>(*wire);
+    trace = std::make_unique<PacketTrace>(sim, inner);
+  }
+
+  a = std::make_unique<Host>(sim, opts.params_a, "hostA");
+  b = std::make_unique<Host>(sim, opts.params_b, "hostB");
+
+  cab_a = &a->attach_cab(fabric(), kHaA, kIpA);
+  cab_b = &b->attach_cab(fabric(), kHaB, kIpB);
+  cab_a->add_neighbor(kIpB, kHaB);
+  cab_b->add_neighbor(kIpA, kHaA);
+  a->stack().routes().add(net::make_ip(10, 0, 0, 0), 24, cab_a);
+  b->stack().routes().add(net::make_ip(10, 0, 0, 0), 24, cab_b);
+
+  if (opts.with_ethernet) {
+    ether = std::make_unique<drivers::EtherSegment>(sim, opts.ether_bandwidth_bps);
+    eth_a = &a->attach_ether(*ether, kEthA);
+    eth_b = &b->attach_ether(*ether, kEthB);
+    a->stack().routes().add(net::make_ip(192, 168, 1, 0), 24, eth_a);
+    b->stack().routes().add(net::make_ip(192, 168, 1, 0), 24, eth_b);
+  }
+}
+
+bool Testbed::run_until_done(const bool& done, sim::Time deadline) {
+  while (!done && sim.now() < deadline) {
+    if (!sim.step()) break;
+    if (sim.now() > deadline) break;
+  }
+  return done;
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,67 @@
+// Testbed: the standard two-host experiment topology used by the tests,
+// benchmarks, and examples.
+//
+//   host A (10.0.0.1) --CAB-- [HIPPI wire or switch, optional loss] --CAB-- host B (10.0.0.2)
+//        \--Ethernet (192.168.1.1) ---- shared segment ---- (192.168.1.2)--/
+//
+// The Ethernet side (optional) exists to exercise the §5 interop paths: the
+// same sockets and the same stack reach both interfaces, chosen by routing.
+#pragma once
+
+#include <memory>
+
+#include "core/host.h"
+#include "core/packet_trace.h"
+#include "core/stats.h"
+#include "hippi/link.h"
+#include "hippi/switch.h"
+
+namespace nectar::core {
+
+struct TestbedOptions {
+  HostParams params_a = HostParams::alpha3000_400();
+  bool trace_packets = false;  // interpose a PacketTrace on the HIPPI fabric
+  HostParams params_b = HostParams::alpha3000_400();
+  bool use_switch = false;
+  hippi::MacMode mac_mode = hippi::MacMode::kLogicalChannels;
+  double loss_rate = 0.0;       // packet loss on the HIPPI fabric
+  std::uint64_t loss_seed = 42;
+  bool with_ethernet = false;
+  double ether_bandwidth_bps = 10e6 / 8.0;  // classic 10 Mbit/s Ethernet
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions opts = {});
+
+  static constexpr net::IpAddr kIpA = net::make_ip(10, 0, 0, 1);
+  static constexpr net::IpAddr kIpB = net::make_ip(10, 0, 0, 2);
+  static constexpr net::IpAddr kEthA = net::make_ip(192, 168, 1, 1);
+  static constexpr net::IpAddr kEthB = net::make_ip(192, 168, 1, 2);
+  static constexpr hippi::Addr kHaA = 0x101;
+  static constexpr hippi::Addr kHaB = 0x102;
+
+  sim::Simulator sim;
+  TestbedOptions opts;
+
+  std::unique_ptr<hippi::DirectWire> wire;     // when !use_switch
+  std::unique_ptr<hippi::Switch> sw;           // when use_switch
+  std::unique_ptr<hippi::LossyFabric> lossy;   // when loss_rate > 0
+  std::unique_ptr<PacketTrace> trace;          // when trace_packets
+  std::unique_ptr<drivers::EtherSegment> ether;
+
+  std::unique_ptr<Host> a;
+  std::unique_ptr<Host> b;
+  drivers::CabDriver* cab_a = nullptr;
+  drivers::CabDriver* cab_b = nullptr;
+  drivers::EtherDriver* eth_a = nullptr;
+  drivers::EtherDriver* eth_b = nullptr;
+
+  [[nodiscard]] hippi::Fabric& fabric();
+
+  // Drive the simulator until `done` is true or `deadline` passes. Returns
+  // whether `done` fired.
+  bool run_until_done(const bool& done, sim::Time deadline);
+};
+
+}  // namespace nectar::core

@@ -1,0 +1,359 @@
+#include "drivers/cab_driver.h"
+
+#include "net/ip.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nectar::drivers {
+
+using mbuf::Mbuf;
+using net::KernCtx;
+
+hippi::Addr CabDriver::resolve(net::IpAddr next_hop) const {
+  auto it = neighbors_.find(next_hop);
+  if (it == neighbors_.end())
+    throw std::out_of_range("CabDriver: no HIPPI neighbour for next hop");
+  return it->second;
+}
+
+sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) {
+  auto& env = stack()->env();
+  co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
+                       ctx.prio);
+
+  // Classify the data portion.
+  bool has_wcab = false;
+  for (Mbuf* m = pkt; m != nullptr; m = m->next) {
+    if (m->type() == mbuf::MbufType::kWcab) has_wcab = true;
+  }
+  if (has_wcab) {
+    co_await output_rewrite(ctx, pkt, next_hop);
+    co_return;
+  }
+
+  // Fresh packet: HIPPI header + full SDMA into a new outboard buffer.
+  hippi::FrameHeader fh;
+  fh.dst = resolve(next_hop);
+  fh.src = dev_.addr();
+  fh.type = hippi::kTypeIp;
+  fh.payload_len = static_cast<std::uint32_t>(pkt->pkthdr.len);
+  Mbuf* m0 = mbuf::m_prepend(pkt, static_cast<int>(hippi::kHeaderSize));
+  hippi::write_header({m0->data(), hippi::kHeaderSize}, fh);
+
+  const auto total = static_cast<std::size_t>(m0->pkthdr.len);
+  auto handle = dev_.nm().alloc(total);
+  if (!handle) {
+    ++drv_stats.tx_no_memory;
+    ++if_stats.oerrors;
+    env.pool.free_chain(m0);
+    co_return;
+  }
+
+  cab::SdmaRequest req;
+  req.dir = cab::SdmaRequest::Dir::kToCab;
+  req.handle = *handle;
+  req.cab_off = 0;
+  std::size_t data_start = 0;  // offset of the first M_UIO byte in the packet
+  bool before_data = true;
+  for (Mbuf* m = m0; m != nullptr; m = m->next) {
+    switch (m->type()) {
+      case mbuf::MbufType::kData:
+        if (before_data) data_start += static_cast<std::size_t>(m->len());
+        req.segs.push_back(cab::SdmaSeg{0, m->span()});
+        break;
+      case mbuf::MbufType::kUio: {
+        before_data = false;
+        const mem::Uio& u = m->uio();
+        if (!u.word_aligned())
+          throw std::logic_error(
+              "CabDriver: misaligned M_UIO reached the driver (socket-layer bug)");
+        for (const auto& v : u.iov) {
+          req.segs.push_back(
+              cab::SdmaSeg{v.base, u.space->write_view(v.base, v.len)});
+        }
+        break;
+      }
+      case mbuf::MbufType::kWcab:
+        throw std::logic_error("CabDriver: WCAB in fresh-packet path");
+    }
+  }
+
+  if (m0->pkthdr.csum_tx.offload) {
+    req.csum_enable = true;
+    // Transport offsets are relative to the IP header; add the link header.
+    req.skip_words = static_cast<std::uint16_t>(m0->pkthdr.csum_tx.skip_words +
+                                                hippi::kHeaderSize / 4);
+    req.csum_offset = static_cast<std::uint16_t>(m0->pkthdr.csum_tx.csum_offset +
+                                                 hippi::kHeaderSize);
+  }
+
+  ++drv_stats.tx_fresh;
+  ++if_stats.opackets;
+  if_stats.obytes += total;
+
+  const cab::Handle h = *handle;
+  cab::CabDevice* dev = &dev_;
+  // The mbuf chain must stay alive until the SDMA engine reads it.
+  Mbuf* chain = m0;
+  const std::size_t dstart = data_start;
+  req.on_complete = [this, dev, h, chain, total, dstart](const cab::SdmaRequest&) {
+    if (chain->pkthdr.on_outboarded) {
+      mbuf::Wcab w;
+      w.owner = dev;
+      w.handle = h;
+      // dstart already counts every header byte (incl. the link header, since
+      // it was prepended before the scan).
+      w.data_off = static_cast<std::uint32_t>(dstart);
+      w.valid = static_cast<std::uint32_t>(total - dstart);
+      chain->pkthdr.on_outboarded(w);
+    }
+    chain->pool().free_chain(chain);
+    // Media transfer chains directly off SDMA completion (§2.2). The MDMA
+    // completion drops the driver's buffer reference; no host interrupt is
+    // needed (TCP's ACK confirms delivery).
+    cab::MdmaXmit::Request mr;
+    mr.handle = h;
+    mr.len = total;
+    mr.on_complete = [dev, h] { dev->nm().release(h); };
+    dev->mdma_xmit().post(mr);
+  };
+
+  if (!dev_.sdma().post(std::move(req))) {
+    ++if_stats.oerrors;
+    dev_.nm().release(h);
+    env.pool.free_chain(m0);
+  }
+  co_return;
+}
+
+sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
+                                          net::IpAddr next_hop) {
+  (void)ctx;
+  auto& env = stack()->env();
+  // Expect: header mbufs (regular) followed by exactly one WCAB mbuf whose
+  // data_off equals the total header length (link + IP + transport). This
+  // invariant is guaranteed by TCP's segment-boundary rule for retransmits.
+  std::size_t hdr_len = 0;
+  Mbuf* wm = nullptr;
+  for (Mbuf* m = pkt; m != nullptr; m = m->next) {
+    if (m->type() == mbuf::MbufType::kData) {
+      if (wm != nullptr)
+        throw std::logic_error("CabDriver: data after WCAB in retransmit");
+      hdr_len += static_cast<std::size_t>(m->len());
+    } else if (m->type() == mbuf::MbufType::kWcab) {
+      if (wm != nullptr)
+        throw std::logic_error("CabDriver: multiple WCAB mbufs in one packet");
+      wm = m;
+    } else {
+      throw std::logic_error("CabDriver: UIO mixed with WCAB in one packet");
+    }
+  }
+  assert(wm != nullptr);
+  const mbuf::Wcab w = wm->wcab();
+  if (w.data_off != hdr_len + hippi::kHeaderSize) {
+    std::fprintf(stderr, "CabDriver mismatch: data_off=%u hdr_len=%zu wm_len=%d valid=%u pkthdr_len=%d\n",
+                 w.data_off, hdr_len, wm->len(), w.valid, pkt->pkthdr.len);
+    throw std::logic_error("CabDriver: retransmit does not match outboard packet");
+  }
+
+  hippi::FrameHeader fh;
+  fh.dst = resolve(next_hop);
+  fh.src = dev_.addr();
+  fh.type = hippi::kTypeIp;
+  fh.payload_len = static_cast<std::uint32_t>(pkt->pkthdr.len);
+  Mbuf* m0 = mbuf::m_prepend(pkt, static_cast<int>(hippi::kHeaderSize));
+  hippi::write_header({m0->data(), hippi::kHeaderSize}, fh);
+
+  const std::size_t total = w.data_off + wm->len();
+
+  cab::SdmaRequest req;
+  req.dir = cab::SdmaRequest::Dir::kToCab;
+  req.handle = w.handle;
+  req.cab_off = 0;
+  req.header_rewrite = true;
+  for (Mbuf* m = m0; m != nullptr; m = m->next) {
+    if (m->type() == mbuf::MbufType::kData)
+      req.segs.push_back(cab::SdmaSeg{0, m->span()});
+  }
+  if (!m0->pkthdr.csum_tx.offload)
+    throw std::logic_error("CabDriver: WCAB retransmit requires outboard checksum");
+  req.csum_enable = true;
+  req.skip_words = static_cast<std::uint16_t>(m0->pkthdr.csum_tx.skip_words +
+                                              hippi::kHeaderSize / 4);
+  req.csum_offset = static_cast<std::uint16_t>(m0->pkthdr.csum_tx.csum_offset +
+                                               hippi::kHeaderSize);
+
+  ++drv_stats.tx_rewrite;
+  ++if_stats.opackets;
+  if_stats.obytes += total;
+
+  const cab::Handle h = w.handle;
+  cab::CabDevice* dev = &dev_;
+  dev_.outboard_retain(h);  // keep alive through SDMA + MDMA
+  Mbuf* chain = m0;
+  req.on_complete = [dev, h, chain, total](const cab::SdmaRequest&) {
+    chain->pool().free_chain(chain);  // drops the packet's own WCAB reference
+    cab::MdmaXmit::Request mr;
+    mr.handle = h;
+    mr.len = total;
+    mr.on_complete = [dev, h] { dev->nm().release(h); };
+    dev->mdma_xmit().post(mr);
+  };
+
+  if (!dev_.sdma().post(std::move(req))) {
+    ++if_stats.oerrors;
+    dev_.outboard_release(h);
+    env.pool.free_chain(m0);
+  }
+  co_return;
+}
+
+sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
+                                   std::size_t header_space,
+                                   std::function<void(mbuf::Wcab)> done) {
+  auto& env = stack()->env();
+  co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
+                       ctx.prio);
+  if (!data.word_aligned())
+    throw std::logic_error("CabDriver::copy_in: misaligned user data");
+
+  const std::size_t len = data.total_len();
+  std::optional<cab::Handle> handle;
+  for (int tries = 0; tries < 10000; ++tries) {
+    handle = dev_.nm().alloc(header_space + len);
+    if (handle) break;
+    // Outboard memory recycles as ACKs free retransmit buffers.
+    ++drv_stats.tx_no_memory;
+    co_await sim::delay(env.sim, sim::usec(500));
+  }
+  if (!handle) throw std::runtime_error("CabDriver::copy_in: outboard memory stuck");
+
+  cab::SdmaRequest req;
+  req.dir = cab::SdmaRequest::Dir::kToCab;
+  req.handle = *handle;
+  req.cab_off = header_space;
+  for (const auto& v : data.iov)
+    req.segs.push_back(cab::SdmaSeg{v.base, data.space->write_view(v.base, v.len)});
+  req.csum_enable = true;
+  req.body_sum_only = true;
+  req.skip_words = 0;
+
+  cab::CabDevice* dev = &dev_;
+  const cab::Handle h = *handle;
+  const auto hs = static_cast<std::uint32_t>(header_space);
+  const auto dl = static_cast<std::uint32_t>(len);
+  auto cb = std::make_shared<std::function<void(mbuf::Wcab)>>(std::move(done));
+  req.on_complete = [dev, h, hs, dl, cb](const cab::SdmaRequest&) {
+    mbuf::Wcab w;
+    w.owner = dev;
+    w.handle = h;
+    w.data_off = hs;
+    w.valid = dl;
+    (*cb)(w);
+  };
+  if (!dev_.sdma().post(std::move(req)))
+    throw std::runtime_error("CabDriver::copy_in: SDMA queue exhausted");
+}
+
+void CabDriver::handle_recv(cab::RecvDesc&& desc) {
+  // Hardware completion context: hand off to an interrupt-priority coroutine.
+  sim::spawn(recv_intr(std::move(desc)));
+}
+
+sim::Task<void> CabDriver::recv_intr(cab::RecvDesc desc) {
+  auto& env = stack()->env();
+  KernCtx ctx{env.intr_acct, sim::Priority::Interrupt};
+  co_await env.cpu.run(sim::usec(stack()->costs().intr_us), ctx.acct, ctx.prio);
+
+  ++if_stats.ipackets;
+  if_stats.ibytes += desc.total_len;
+
+  // Wrap the auto-DMAed head (already host-resident; wrapping is free).
+  Mbuf* head = env.pool.get_ext(desc.head.size(), /*pkthdr=*/true);
+  head->append(std::span<const std::byte>{desc.head.data(), desc.head.size()});
+  head->pkthdr.len = static_cast<int>(desc.total_len);
+  head->pkthdr.rx_hw_sum = desc.hw_sum;
+  head->pkthdr.rx_hw_sum_valid = true;
+
+  if (desc.handle) {
+    ++drv_stats.rx_wcab;
+    mbuf::Wcab w;
+    w.owner = &dev_;
+    w.handle = *desc.handle;  // adopts the allocation reference
+    w.data_off = static_cast<std::uint32_t>(desc.head.size());
+    w.valid = static_cast<std::uint32_t>(desc.total_len - desc.head.size());
+    w.checksum_valid = false;
+    mbuf::UioWcabHdr hdr;
+    Mbuf* wm = env.pool.get_wcab(w, desc.total_len - desc.head.size(), hdr, false);
+    head->next = wm;
+  } else {
+    ++drv_stats.rx_small;
+  }
+
+  // Validate and strip HIPPI framing.
+  const hippi::FrameHeader fh = hippi::read_header(head->span());
+  if (fh.type != hippi::kTypeIp) {
+    env.pool.free_chain(head);
+    co_return;
+  }
+  mbuf::m_adj(head, static_cast<int>(hippi::kHeaderSize));
+  co_await stack()->ip().input(ctx, head, this);
+}
+
+sim::Task<void> CabDriver::copy_out(KernCtx ctx, const mbuf::Wcab& w,
+                                    std::size_t wcab_off, mem::Uio dst,
+                                    mbuf::DmaSync* sync) {
+  auto& env = stack()->env();
+  co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
+                       ctx.prio);
+  ++drv_stats.copyouts;
+
+  cab::SdmaRequest req;
+  req.dir = cab::SdmaRequest::Dir::kFromCab;
+  req.handle = w.handle;
+  req.cab_off = w.data_off + wcab_off;
+  for (const auto& v : dst.iov) {
+    req.segs.push_back(cab::SdmaSeg{v.base, dst.space->write_view(v.base, v.len)});
+  }
+  // Keep the outboard buffer alive until the DMA executes — the caller is
+  // free to drop its mbuf reference immediately.
+  dev_.outboard_retain(w.handle);
+  cab::CabDevice* dev = &dev_;
+  const cab::Handle h = w.handle;
+  if (sync != nullptr) sync->add();
+  req.on_complete = [sync, dev, h](const cab::SdmaRequest&) {
+    dev->outboard_release(h);
+    if (sync != nullptr) sync->done();
+  };
+  if (!dev_.sdma().post(std::move(req)))
+    throw std::runtime_error("CabDriver: SDMA queue exhausted on copy_out");
+}
+
+sim::Task<void> CabDriver::copy_out_raw(KernCtx ctx, const mbuf::Wcab& w,
+                                        std::size_t wcab_off, std::span<std::byte> dst,
+                                        mbuf::DmaSync* sync) {
+  auto& env = stack()->env();
+  co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
+                       ctx.prio);
+  ++drv_stats.copyouts;
+
+  cab::SdmaRequest req;
+  req.dir = cab::SdmaRequest::Dir::kFromCab;
+  req.handle = w.handle;
+  req.cab_off = w.data_off + wcab_off;
+  req.segs.push_back(cab::SdmaSeg{0, dst});
+  dev_.outboard_retain(w.handle);
+  cab::CabDevice* dev = &dev_;
+  const cab::Handle h = w.handle;
+  if (sync != nullptr) sync->add();
+  req.on_complete = [sync, dev, h](const cab::SdmaRequest&) {
+    dev->outboard_release(h);
+    if (sync != nullptr) sync->done();
+  };
+  if (!dev_.sdma().post(std::move(req)))
+    throw std::runtime_error("CabDriver: SDMA queue exhausted on copy_out_raw");
+}
+
+}  // namespace nectar::drivers

@@ -1,0 +1,89 @@
+// The CAB device driver (§2.2 walk-through, §3, §4).
+//
+// Transmit: fully-formed packets arrive from IP. The driver prepends the
+// HIPPI header, allocates an outboard packet buffer, and posts one SDMA
+// request gathering the kernel headers and the data — regular mbufs (kernel
+// memory), M_UIO mbufs (user memory, word-aligned by the socket layer) — in
+// one pass, with the transmit checksum computed by the engine during the
+// transfer. The MDMA transmit is chained to SDMA completion ("an MDMA
+// request ... can be issued at the same time", §2.2). M_WCAB data
+// retransmits with a header-only SDMA (header_rewrite) that reuses the saved
+// body checksum (§4.3).
+//
+// Receive: the device auto-DMAs the first L words plus the hardware checksum
+// and interrupts; the driver wraps the host-resident head in a regular mbuf,
+// the outboard remainder (if any) in an M_WCAB mbuf, and feeds ip_input.
+//
+// Copy-out (§3): soreceive and the interop layer call copy_out/copy_out_raw
+// to move outboard data to user/kernel memory via SDMA.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "cab/cab_device.h"
+#include "net/ifnet.h"
+#include "net/netstack.h"
+
+namespace nectar::drivers {
+
+class CabDriver final : public net::Ifnet {
+ public:
+  CabDriver(std::string name, net::IpAddr addr, cab::CabDevice& dev,
+            std::size_t mtu = 32 * 1024)
+      : Ifnet(std::move(name), addr, mtu,
+              net::kCapSingleCopy | net::kCapHwChecksum),
+        dev_(dev) {
+    dev_.mdma_recv().set_deliver([this](cab::RecvDesc&& d) { handle_recv(std::move(d)); });
+  }
+
+  // Static neighbour table (ARP stand-in): IP next hop -> HIPPI address.
+  void add_neighbor(net::IpAddr ip, hippi::Addr ha) { neighbors_[ip] = ha; }
+
+  sim::Task<void> output(net::KernCtx ctx, mbuf::Mbuf* pkt,
+                         net::IpAddr next_hop) override;
+
+  sim::Task<void> copy_out(net::KernCtx ctx, const mbuf::Wcab& w,
+                           std::size_t wcab_off, mem::Uio dst,
+                           mbuf::DmaSync* sync) override;
+
+  sim::Task<void> copy_out_raw(net::KernCtx ctx, const mbuf::Wcab& w,
+                               std::size_t wcab_off, std::span<std::byte> dst,
+                               mbuf::DmaSync* sync) override;
+
+  sim::Task<void> copy_in(net::KernCtx ctx, mem::Uio data, std::size_t header_space,
+                          std::function<void(mbuf::Wcab)> done) override;
+
+  // HIPPI(60) + IP(20) + TCP(20): the header block every data packet needs.
+  [[nodiscard]] std::size_t tx_header_space() const override {
+    return hippi::kHeaderSize + 40;
+  }
+
+  [[nodiscard]] cab::CabDevice& device() noexcept { return dev_; }
+
+  [[nodiscard]] const mbuf::OutboardOwner* outboard_owner() const override {
+    return &dev_;
+  }
+
+  struct DrvStats {
+    std::uint64_t tx_fresh = 0;        // full SDMA transmissions
+    std::uint64_t tx_rewrite = 0;      // WCAB header-rewrite retransmissions
+    std::uint64_t tx_no_memory = 0;    // outboard allocation failures
+    std::uint64_t rx_wcab = 0;         // packets delivered with outboard residue
+    std::uint64_t rx_small = 0;        // fully auto-DMAed packets
+    std::uint64_t copyouts = 0;
+  };
+  DrvStats drv_stats;
+
+ private:
+  void handle_recv(cab::RecvDesc&& desc);
+  sim::Task<void> recv_intr(cab::RecvDesc desc);
+  [[nodiscard]] hippi::Addr resolve(net::IpAddr next_hop) const;
+  sim::Task<void> output_rewrite(net::KernCtx ctx, mbuf::Mbuf* pkt,
+                                 net::IpAddr next_hop);
+
+  cab::CabDevice& dev_;
+  std::unordered_map<net::IpAddr, hippi::Addr> neighbors_;
+};
+
+}  // namespace nectar::drivers

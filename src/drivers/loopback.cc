@@ -1,0 +1,44 @@
+#include "drivers/loopback.h"
+
+#include "net/ip.h"
+
+#include "drivers/ether_driver.h"
+
+namespace nectar::drivers {
+
+sim::Task<void> LoopbackDriver::output(net::KernCtx ctx, mbuf::Mbuf* pkt,
+                                       net::IpAddr next_hop) {
+  (void)next_hop;
+  auto& env = stack()->env();
+
+  bool has_uio = false;
+  for (mbuf::Mbuf* m = pkt; m != nullptr; m = m->next) {
+    if (m->type() == mbuf::MbufType::kUio) has_uio = true;
+    if (m->type() == mbuf::MbufType::kWcab) {
+      ++if_stats.oerrors;
+      env.pool.free_chain(pkt);
+      co_return;
+    }
+  }
+  if (has_uio) {
+    ++if_stats.uio_converted;
+    pkt = co_await convert_uio_record(*stack(), ctx, pkt);
+  }
+
+  ++if_stats.opackets;
+  if_stats.obytes += static_cast<std::uint64_t>(mbuf::m_length(pkt));
+  ++if_stats.ipackets;
+  if_stats.ibytes += static_cast<std::uint64_t>(mbuf::m_length(pkt));
+
+  // Re-enter input through the event queue (fresh kernel context, as a
+  // software interrupt would).
+  auto* self = this;
+  mbuf::Mbuf* p = pkt;
+  env.sim.after(0, [self, p] {
+    net::KernCtx ictx{self->stack()->env().intr_acct, sim::Priority::Kernel};
+    sim::spawn(self->stack()->ip().input(ictx, p, self));
+  });
+  co_return;
+}
+
+}  // namespace nectar::drivers

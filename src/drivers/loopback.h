@@ -1,0 +1,22 @@
+// Loopback interface: output re-enters ip_input on the same stack after a
+// queue hop. Regular mbufs only (UIO records convert at entry, like any
+// non-single-copy device).
+#pragma once
+
+#include "net/ifnet.h"
+#include "net/netstack.h"
+
+namespace nectar::drivers {
+
+class LoopbackDriver final : public net::Ifnet {
+ public:
+  explicit LoopbackDriver(std::string name = "lo0",
+                          net::IpAddr addr = net::make_ip(127, 0, 0, 1),
+                          std::size_t mtu = 32 * 1024)
+      : Ifnet(std::move(name), addr, mtu, /*caps=*/0) {}
+
+  sim::Task<void> output(net::KernCtx ctx, mbuf::Mbuf* pkt,
+                         net::IpAddr next_hop) override;
+};
+
+}  // namespace nectar::drivers

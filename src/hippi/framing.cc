@@ -1,0 +1,33 @@
+#include "hippi/framing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "checksum/wire.h"
+
+namespace nectar::hippi {
+
+void write_header(std::span<std::byte> out, const FrameHeader& h) {
+  if (out.size() < kHeaderSize)
+    throw std::invalid_argument("hippi::write_header: buffer too small");
+  std::memset(out.data(), 0, kHeaderSize);
+  wire::store_be32(out.data() + 0, h.dst);
+  wire::store_be32(out.data() + 4, h.src);
+  wire::store_be16(out.data() + 8, h.type);
+  wire::store_be16(out.data() + 10, h.channel);
+  wire::store_be32(out.data() + 12, h.payload_len);
+}
+
+FrameHeader read_header(std::span<const std::byte> in) {
+  if (in.size() < kHeaderSize)
+    throw std::invalid_argument("hippi::read_header: frame too small");
+  FrameHeader h;
+  h.dst = wire::load_be32(in.data() + 0);
+  h.src = wire::load_be32(in.data() + 4);
+  h.type = wire::load_be16(in.data() + 8);
+  h.channel = wire::load_be16(in.data() + 10);
+  h.payload_len = wire::load_be32(in.data() + 12);
+  return h;
+}
+
+}  // namespace nectar::hippi

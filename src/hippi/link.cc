@@ -1,0 +1,22 @@
+#include "hippi/link.h"
+
+#include <memory>
+
+namespace nectar::hippi {
+
+void DirectWire::submit(Packet&& p) {
+  const FrameHeader h = p.header();
+  auto it = eps_.find(h.dst);
+  if (it == eps_.end()) {
+    ++dropped_;
+    return;
+  }
+  Endpoint* ep = it->second;
+  ++delivered_;
+  auto shared = std::make_shared<Packet>(std::move(p));
+  sim_.after(propagation_, [ep, shared]() mutable {
+    ep->hippi_receive(std::move(*shared));
+  });
+}
+
+}  // namespace nectar::hippi

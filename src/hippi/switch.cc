@@ -1,0 +1,126 @@
+#include "hippi/switch.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace nectar::hippi {
+
+void Switch::attach(Addr addr, Endpoint* ep) {
+  if (addr_to_port_.contains(addr))
+    throw std::invalid_argument("hippi::Switch: address already attached");
+  addr_to_port_[addr] = ports_.size();
+  Port p;
+  p.addr = addr;
+  p.ep = ep;
+  ports_.push_back(std::move(p));
+}
+
+std::size_t Switch::port_of(Addr addr) const {
+  auto it = addr_to_port_.find(addr);
+  if (it == addr_to_port_.end())
+    throw std::out_of_range("hippi::Switch: unknown address");
+  return it->second;
+}
+
+const Switch::PortStats& Switch::port_stats(Addr addr) const {
+  return ports_[port_of(addr)].stats;
+}
+
+std::size_t Switch::input_backlog(Addr addr) const {
+  const Port& p = ports_[port_of(addr)];
+  if (mode_ == MacMode::kFifo) return p.fifo.size();
+  std::size_t n = 0;
+  for (const auto& [dst, q] : p.voq) n += q.size();
+  return n;
+}
+
+void Switch::submit(Packet&& p) {
+  const FrameHeader h = p.header();
+  auto src_it = addr_to_port_.find(h.src);
+  auto dst_it = addr_to_port_.find(h.dst);
+  if (src_it == addr_to_port_.end() || dst_it == addr_to_port_.end()) {
+    ++dropped_;
+    return;
+  }
+  const std::size_t in = src_it->second;
+  Port& port = ports_[in];
+  if (mode_ == MacMode::kFifo) {
+    port.fifo.push_back(std::move(p));
+    port.stats.max_queue_depth = std::max(port.stats.max_queue_depth, port.fifo.size());
+  } else {
+    const std::size_t out = dst_it->second;
+    auto [it, inserted] = port.voq.try_emplace(out);
+    if (inserted) port.voq_order.push_back(out);
+    it->second.push_back(std::move(p));
+    port.stats.max_queue_depth =
+        std::max(port.stats.max_queue_depth, input_backlog(h.src));
+  }
+  try_match(in);
+}
+
+void Switch::try_match(std::size_t input) {
+  Port& in = ports_[input];
+  if (in.input_busy) return;
+
+  if (mode_ == MacMode::kFifo) {
+    if (in.fifo.empty()) return;
+    const std::size_t out = port_of(in.fifo.front().header().dst);
+    if (ports_[out].output_busy) return;  // HOL blocking: nothing else may go
+    Packet p = std::move(in.fifo.front());
+    in.fifo.pop_front();
+    start_transfer(input, out, std::move(p));
+    return;
+  }
+
+  // Logical channels: round-robin over per-destination queues, sending the
+  // first whose destination is idle.
+  const std::size_t n = in.voq_order.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (in.rr_next + k) % n;
+    const std::size_t out = in.voq_order[idx];
+    auto& q = in.voq[out];
+    if (q.empty() || ports_[out].output_busy) continue;
+    Packet p = std::move(q.front());
+    q.pop_front();
+    in.rr_next = (idx + 1) % n;
+    start_transfer(input, out, std::move(p));
+    return;
+  }
+}
+
+void Switch::try_match_all() {
+  for (std::size_t i = 0; i < ports_.size(); ++i) try_match(i);
+}
+
+void Switch::start_transfer(std::size_t input, std::size_t output, Packet&& p) {
+  Port& in = ports_[input];
+  Port& out = ports_[output];
+  in.input_busy = true;
+  out.output_busy = true;
+
+  const auto size = static_cast<std::int64_t>(p.size());
+  const sim::Duration ser = sim::transfer_time(size, rate_);
+  out.stats.output_busy += ser;
+
+  auto shared = std::make_shared<Packet>(std::move(p));
+  sim_.after(ser + propagation_, [this, input, output, shared]() mutable {
+    Port& i = ports_[input];
+    Port& o = ports_[output];
+    i.input_busy = false;
+    o.output_busy = false;
+    o.stats.delivered_packets += 1;
+    o.stats.delivered_bytes += shared->size();
+    if (o.ep != nullptr) o.ep->hippi_receive(std::move(*shared));
+    try_match_all();
+  });
+}
+
+double Switch::utilization(sim::Time elapsed) const {
+  if (elapsed <= 0 || ports_.empty()) return 0.0;
+  double busy = 0.0;
+  for (const auto& p : ports_) busy += sim::to_seconds(p.stats.output_busy);
+  return busy / (sim::to_seconds(elapsed) * static_cast<double>(ports_.size()));
+}
+
+}  // namespace nectar::hippi

@@ -1,0 +1,81 @@
+#include "kernapp/block_server.h"
+
+#include "checksum/wire.h"
+#include "core/interop.h"
+#include "kernapp/kernel_socket.h"
+#include "mem/user_buffer.h"
+
+namespace nectar::kernapp {
+
+using mbuf::Mbuf;
+
+std::byte BlockServer::block_byte(std::uint32_t bn, std::size_t off) const {
+  return mem::UserBuffer::pattern_byte(seed_ ^ (bn * 2654435761u), off);
+}
+
+sim::Task<void> BlockServer::serve(int requests) {
+  auto& stack = host_.stack();
+  auto& env = stack.env();
+  net::KernCtx ctx{host_.intr_acct(), sim::Priority::Kernel};
+
+  socket::Socket sock(stack, socket::Socket::Proto::kUdp);
+  sock.bind(port_);
+
+  for (int r = 0; r < requests; ++r) {
+    auto dgram = co_await sock.recvfrom_mbufs(ctx);
+    Mbuf* req = dgram.data;
+    // Requests may arrive as WCAB if large packets were used; normalize.
+    req = co_await core::convert_wcab_record(stack, ctx, req);
+    if (mbuf::m_length(req) < static_cast<int>(kHdrSize)) {
+      ++stats.bad_requests;
+      env.pool.free_chain(req);
+      continue;
+    }
+    req = mbuf::m_pullup(req, kHdrSize);
+    const std::uint32_t bn = wire::load_be32(req->data());
+    std::uint32_t len = wire::load_be32(req->data() + 4);
+    env.pool.free_chain(req);
+    if (len > kBlockSize) {
+      ++stats.bad_requests;
+      continue;
+    }
+
+    // Build the reply: header + block data from the "cache".
+    Mbuf* reply = env.pool.get_hdr();
+    reply->align_end(kHdrSize);
+    std::byte hb[kHdrSize];
+    wire::store_be32(hb, bn);
+    wire::store_be32(hb + 4, len);
+    reply->set_len(0);
+    reply->append(std::span<const std::byte>{hb, kHdrSize});
+
+    Mbuf* data = nullptr;
+    Mbuf** link = &data;
+    std::size_t produced = 0;
+    while (produced < len) {
+      Mbuf* c = env.pool.get_cluster(false);
+      const std::size_t take = std::min<std::size_t>(len - produced,
+                                                     c->trailing_space());
+      std::byte tmp[512];
+      std::size_t off = 0;
+      while (off < take) {
+        const std::size_t n = std::min<std::size_t>(take - off, sizeof tmp);
+        for (std::size_t i = 0; i < n; ++i)
+          tmp[i] = block_byte(bn, produced + off + i);
+        c->append(std::span<const std::byte>{tmp, n});
+        off += n;
+      }
+      *link = c;
+      link = &c->next;
+      produced += take;
+    }
+    reply->next = data;
+    reply->clear_flags(mbuf::kMPktHdr);
+
+    ++stats.requests;
+    stats.bytes_served += len;
+    co_await sock.sendto_mbufs(ctx, reply, dgram.src, dgram.sport);
+  }
+}
+
+}  // namespace nectar::kernapp

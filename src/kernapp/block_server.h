@@ -1,0 +1,44 @@
+// In-kernel block server (§5): a file-server-like "IO intensive" kernel
+// application. Clients send small UDP read requests; the server replies with
+// block data straight from its in-kernel block cache as cluster-mbuf chains —
+// share semantics, so through the CAB these replies get the single-copy +
+// outboard-checksum treatment with zero changes to the server.
+//
+// Request wire format (big-endian): u32 block_number, u32 length.
+// Reply: u32 block_number, u32 length, then the data.
+#pragma once
+
+#include "core/host.h"
+#include "socket/socket.h"
+
+namespace nectar::kernapp {
+
+class BlockServer {
+ public:
+  static constexpr std::size_t kBlockSize = 64 * 1024;
+  static constexpr std::size_t kHdrSize = 8;
+
+  BlockServer(core::Host& host, std::uint16_t port, std::uint32_t pattern_seed = 31)
+      : host_(host), port_(port), seed_(pattern_seed) {}
+
+  // Serve `requests` requests (coroutine; sim::spawn it).
+  sim::Task<void> serve(int requests);
+
+  // The deterministic content of block `bn` at offset `off` (for client
+  // verification).
+  [[nodiscard]] std::byte block_byte(std::uint32_t bn, std::size_t off) const;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_served = 0;
+    std::uint64_t bad_requests = 0;
+  };
+  Stats stats;
+
+ private:
+  core::Host& host_;
+  std::uint16_t port_;
+  std::uint32_t seed_;
+};
+
+}  // namespace nectar::kernapp

@@ -1,0 +1,36 @@
+#include "kernapp/echo_server.h"
+
+namespace nectar::kernapp {
+
+using mbuf::Mbuf;
+
+sim::Task<void> EchoServer::serve(int connections) {
+  auto& stack = host_.stack();
+  net::KernCtx ctx{host_.intr_acct(), sim::Priority::Kernel};
+
+  for (int c = 0; c < connections; ++c) {
+    socket::Socket sock(stack, socket::Socket::Proto::kTcp, opts_);
+    sock.listen(port_);
+    if (!co_await sock.tcp().wait_established()) co_return;
+    ++stats.connections;
+
+    for (;;) {
+      Mbuf* chain = co_await sock.recv_mbufs(ctx, 64 * 1024);
+      if (chain == nullptr) break;  // EOF
+      bool had_wcab = false;
+      for (Mbuf* m = chain; m != nullptr; m = m->next) {
+        if (m->type() == mbuf::MbufType::kWcab) had_wcab = true;
+      }
+      if (had_wcab) {
+        ++stats.wcab_records_converted;
+        chain = co_await core::convert_wcab_record(stack, ctx, chain);
+      }
+      stats.bytes_echoed += static_cast<std::uint64_t>(mbuf::m_length(chain));
+      co_await sock.send_mbufs(ctx, chain);
+    }
+    co_await sock.tcp().close(ctx);
+    co_await sock.tcp().wait_closed();
+  }
+}
+
+}  // namespace nectar::kernapp

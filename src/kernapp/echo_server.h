@@ -1,0 +1,33 @@
+// In-kernel TCP echo server (§5): receives mbuf chains, converts any M_WCAB
+// data to regular mbufs (the asynchronous-DMA conversion of the interop
+// layer), and sends the same bytes back with share semantics.
+#pragma once
+
+#include "core/host.h"
+#include "core/interop.h"
+#include "socket/socket.h"
+
+namespace nectar::kernapp {
+
+class EchoServer {
+ public:
+  EchoServer(core::Host& host, std::uint16_t port, socket::SocketOptions opts = {})
+      : host_(host), port_(port), opts_(opts) {}
+
+  // Serve `connections` sequential connections (coroutine; sim::spawn it).
+  sim::Task<void> serve(int connections);
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t bytes_echoed = 0;
+    std::uint64_t wcab_records_converted = 0;
+  };
+  Stats stats;
+
+ private:
+  core::Host& host_;
+  std::uint16_t port_;
+  socket::SocketOptions opts_;
+};
+
+}  // namespace nectar::kernapp

@@ -1,0 +1,25 @@
+// Helpers for in-kernel applications (§5).
+//
+// In-kernel applications use share semantics: mbuf chains are the shared
+// buffers. Through the CAB this automatically yields single-copy
+// communication ("the data is copied once using DMA, and the checksum is
+// calculated during that copy"); through existing devices the chains are
+// plain kernel data and nothing changes.
+#pragma once
+
+#include "mbuf/mbuf_ops.h"
+
+namespace nectar::kernapp {
+
+// Build a cluster-backed chain of `len` bytes holding the deterministic
+// pattern used by tests (position `stream_pos` onward, UserBuffer pattern).
+mbuf::Mbuf* make_pattern_chain(mbuf::MbufPool& pool, std::size_t len,
+                               std::uint32_t seed, std::size_t stream_pos = 0);
+
+// Verify a readable chain against the pattern. Returns the number of
+// mismatching bytes (chain must not contain descriptor mbufs — convert
+// M_WCAB records with core::convert_wcab_record first).
+std::size_t verify_pattern_chain(const mbuf::Mbuf* m, std::uint32_t seed,
+                                 std::size_t stream_pos = 0);
+
+}  // namespace nectar::kernapp

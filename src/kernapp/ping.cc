@@ -1,0 +1,81 @@
+#include "kernapp/ping.h"
+
+#include "kernapp/kernel_socket.h"
+#include "net/ip.h"
+
+namespace nectar::kernapp {
+
+using mbuf::Mbuf;
+
+PingResponder::PingResponder(core::Host& host) : host_(host) {
+  host_.stack().set_raw_handler(
+      kProtoEcho, [this](Mbuf* pkt, const net::IpHeader& ih) {
+        sim::spawn(respond(pkt, ih.src, ih.dst));
+      });
+}
+
+sim::Task<void> PingResponder::respond(Mbuf* pkt, net::IpAddr src, net::IpAddr dst) {
+  auto& stack = host_.stack();
+  net::KernCtx ctx{host_.intr_acct(), sim::Priority::Kernel};
+  // Large echoes arrive partly outboard; the reply must be host-readable
+  // kernel data (outboard buffers cannot be re-transmitted as fresh data).
+  pkt = co_await core::convert_wcab_record(stack, ctx, pkt);
+  if (!pkt->has_pkthdr()) pkt->set_flags(mbuf::kMPktHdr);
+  pkt->pkthdr.len = mbuf::m_length(pkt);
+  pkt->pkthdr.csum_tx = {};
+  pkt->pkthdr.rx_hw_sum_valid = false;
+  ++stats.echoed;
+  co_await stack.ip().output(ctx, pkt, dst, src, kProtoEcho);
+}
+
+sim::Task<sim::Duration> ping_once(core::Host& host, net::IpAddr dst,
+                                   std::size_t len, std::uint32_t seed,
+                                   sim::Duration timeout) {
+  auto& stack = host.stack();
+  auto& env = stack.env();
+  net::KernCtx ctx{host.intr_acct(), sim::Priority::Kernel};
+
+  struct Reply {
+    bool got = false;
+    std::size_t errors = 0;
+    sim::Time when = 0;
+    sim::Condition cond;
+    explicit Reply(sim::Simulator& s) : cond(s) {}
+  };
+  auto reply = std::make_shared<Reply>(env.sim);
+
+  stack.set_raw_handler(kProtoEcho, [reply, &host, seed](Mbuf* pkt,
+                                                         const net::IpHeader&) {
+    auto r = reply;
+    auto conv = [](core::Host& h, Mbuf* p, std::shared_ptr<Reply> rr,
+                   std::uint32_t sd) -> sim::Task<void> {
+      net::KernCtx c{h.intr_acct(), sim::Priority::Kernel};
+      p = co_await core::convert_wcab_record(h.stack(), c, p);
+      rr->errors = verify_pattern_chain(p, sd);
+      h.pool().free_chain(p);
+      rr->got = true;
+      rr->when = h.sim().now();
+      rr->cond.notify_all();
+    };
+    sim::spawn(conv(host, pkt, r, seed));
+  });
+
+  const sim::Time start = env.sim.now();
+  Mbuf* pkt = make_pattern_chain(env.pool, len, seed);
+  pkt->set_flags(mbuf::kMPktHdr);
+  pkt->pkthdr.len = static_cast<int>(len);
+  co_await stack.ip().output(ctx, pkt, stack.source_addr_for(dst), dst, kProtoEcho);
+
+  const sim::Time deadline = start + timeout;
+  while (!reply->got && env.sim.now() < deadline) {
+    // Wake on reply or poll at coarse granularity for the timeout.
+    auto timer = env.sim.timer_after(sim::msec(50), [reply] { reply->cond.notify_all(); });
+    co_await reply->cond.wait();
+    timer.cancel();
+  }
+  stack.set_raw_handler(kProtoEcho, nullptr);
+  if (!reply->got || reply->errors != 0) co_return -1;
+  co_return reply->when - start;
+}
+
+}  // namespace nectar::kernapp

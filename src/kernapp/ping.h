@@ -1,0 +1,33 @@
+// ICMP-like echo responder (§5's "applications with low bandwidth
+// requirements such as ICMP"): a raw-IP in-kernel handler that bounces
+// any packet of the echo protocol back to its sender.
+#pragma once
+
+#include "core/host.h"
+#include "core/interop.h"
+
+namespace nectar::kernapp {
+
+inline constexpr std::uint8_t kProtoEcho = 253;  // RFC 3692 experimental
+
+class PingResponder {
+ public:
+  explicit PingResponder(core::Host& host);
+
+  struct Stats {
+    std::uint64_t echoed = 0;
+  };
+  Stats stats;
+
+ private:
+  sim::Task<void> respond(mbuf::Mbuf* pkt, net::IpAddr src, net::IpAddr dst);
+  core::Host& host_;
+};
+
+// Client helper: send `len` pattern bytes to `dst`, await the echo, verify.
+// Returns round-trip time, or -1 on timeout/corruption.
+sim::Task<sim::Duration> ping_once(core::Host& host, net::IpAddr dst,
+                                   std::size_t len, std::uint32_t seed,
+                                   sim::Duration timeout = 5 * sim::kSecond);
+
+}  // namespace nectar::kernapp

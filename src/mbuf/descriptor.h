@@ -1,0 +1,89 @@
+// Descriptor structures carried by the paper's new mbuf types (§4.2, §4.3).
+//
+//  * CsumInfo        — "information about the checksum calculation is
+//                       associated with the data descriptor for the packet":
+//                       where the checksum field lives and how many leading
+//                       words the outboard engine must skip (S).
+//  * DmaSync         — the UIO-counter synchronization of §4.4.2: the socket
+//                       layer increments it per packet split off a write (or
+//                       per copy-out issued on read), the driver decrements it
+//                       at end-of-DMA, and the application wakes only when it
+//                       drains. DMAs are uncancelable: an interrupted call
+//                       still drains before the process may restart.
+//  * UioWcabHdr      — the paper's `uiowCABhdr`, common to M_UIO and M_WCAB.
+//  * Wcab            — the paper's `wCAB`: identifies a packet resident in
+//                       CAB network memory, plus its checksum and how much of
+//                       the outboard data is valid.
+//  * OutboardOwner   — how mbuf code releases/shares outboard buffers without
+//                       depending on the CAB library (which layers above it).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/address_space.h"
+#include "sim/task.h"
+
+namespace nectar::mbuf {
+
+// Transmit-side outboard checksum description (§4.3). The host computes a
+// seed covering the transport header + pseudo-header, stores it at
+// csum_offset, and the SDMA engine checksums everything after `skip_words`,
+// combining with the seed it finds in the header.
+struct CsumInfo {
+  bool offload = false;
+  std::uint16_t csum_offset = 0;  // byte offset of the 16-bit checksum field
+  std::uint16_t skip_words = 0;   // S: leading 4-byte words the engine skips
+};
+
+// §4.4.2 synchronization between driver DMA completion and the socket layer.
+class DmaSync {
+ public:
+  explicit DmaSync(sim::Simulator& sim) : cond_(sim) {}
+
+  void add(int n = 1) noexcept { outstanding_ += n; }
+
+  void done(int n = 1) {
+    outstanding_ -= n;
+    if (outstanding_ <= 0) cond_.notify_all();
+  }
+
+  [[nodiscard]] int outstanding() const noexcept { return outstanding_; }
+
+  // Await all outstanding DMA completions.
+  sim::Task<void> drain() {
+    while (outstanding_ > 0) co_await cond_.wait();
+  }
+
+ private:
+  int outstanding_ = 0;
+  sim::Condition cond_;
+};
+
+// Release / share interface for outboard packet buffers, implemented by the
+// CAB device. Refcounted so TCP can hold M_WCAB data for retransmission while
+// a copy is in flight.
+class OutboardOwner {
+ public:
+  virtual ~OutboardOwner() = default;
+  virtual void outboard_retain(std::uint32_t handle) = 0;
+  virtual void outboard_release(std::uint32_t handle) = 0;
+};
+
+// The paper's wCAB structure.
+struct Wcab {
+  OutboardOwner* owner = nullptr;
+  std::uint32_t handle = 0;     // packet identifier in network memory
+  std::uint32_t data_off = 0;   // payload offset inside the outboard packet
+  std::uint32_t valid = 0;      // bytes of outboard data valid so far
+  std::uint16_t checksum = 0;   // packet checksum as computed by hardware
+  bool checksum_valid = false;
+};
+
+// The paper's uiowCABhdr: checksum info plus the notification hook for the
+// task that issued the read or write.
+struct UioWcabHdr {
+  CsumInfo csum;
+  DmaSync* sync = nullptr;
+};
+
+}  // namespace nectar::mbuf

@@ -1,0 +1,71 @@
+#include "mem/pin_cache.h"
+
+namespace nectar::mem {
+
+sim::Task<void> PinCache::acquire(AddressSpace& as, VAddr addr, std::size_t len,
+                                  sim::AccountId acct, sim::Priority prio) {
+  const std::size_t n = pages_spanned(addr, len);
+  if (n == 0) co_return;
+
+  if (!enabled()) {
+    co_await vm_.pin(as, addr, len, acct, prio);
+    co_await vm_.map(as, addr, len, acct, prio);
+    co_return;
+  }
+
+  std::size_t misses = 0;
+  VAddr page = page_base(addr);
+  for (std::size_t i = 0; i < n; ++i, page += kPageSize) {
+    const PageKey key{&as, page};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.page_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh
+    } else {
+      ++stats_.page_misses;
+      ++misses;
+      lru_.push_front(key);
+      index_.emplace(key, lru_.begin());
+      vm_.pin_page_nocost(as, page);
+    }
+  }
+
+  if (misses > 0) {
+    // One batched pin + map for the missing pages (Table 2 cost with
+    // n = misses); residency bookkeeping was done per page above.
+    co_await vm_.charge_pin(misses, acct, prio);
+    co_await vm_.charge_map(misses, acct, prio);
+  }
+
+  // Evict LRU pages beyond the budget (batched unpin).
+  if (lru_.size() > max_pages_) {
+    const std::size_t excess = lru_.size() - max_pages_;
+    std::size_t evicted = 0;
+    while (evicted < excess && !lru_.empty()) {
+      const PageKey victim = lru_.back();
+      lru_.pop_back();
+      index_.erase(victim);
+      vm_.unpin_page_nocost(*victim.as, victim.page);
+      ++evicted;
+    }
+    stats_.evictions += evicted;
+    co_await vm_.charge_unpin(evicted, acct, prio);
+  }
+}
+
+sim::Task<void> PinCache::release(AddressSpace& as, VAddr addr, std::size_t len,
+                                  sim::AccountId acct, sim::Priority prio) {
+  if (enabled()) co_return;  // lazy: nothing to do
+  co_await vm_.unpin(as, addr, len, acct, prio);
+}
+
+sim::Task<void> PinCache::flush(sim::AccountId acct, sim::Priority prio) {
+  if (lru_.empty()) co_return;
+  const std::size_t n = lru_.size();
+  for (const auto& key : lru_) vm_.unpin_page_nocost(*key.as, key.page);
+  lru_.clear();
+  index_.clear();
+  co_await vm_.charge_unpin(n, acct, prio);
+}
+
+}  // namespace nectar::mem

@@ -1,0 +1,36 @@
+#include "mem/user_buffer.h"
+
+namespace nectar::mem {
+
+std::byte UserBuffer::pattern_byte(std::uint32_t seed, std::size_t pos) noexcept {
+  // Cheap position-mixing hash; must be fast since tests fill megabytes.
+  std::uint64_t x = (static_cast<std::uint64_t>(seed) << 32) ^ pos;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::byte>(x & 0xff);
+}
+
+void UserBuffer::fill_pattern(std::uint32_t seed) {
+  auto v = view();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = pattern_byte(seed, i);
+}
+
+std::size_t UserBuffer::verify_pattern(std::uint32_t seed, std::size_t offset,
+                                       std::size_t len, std::size_t stream_pos) const {
+  auto v = as_->read_view(addr_ + offset, len);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != pattern_byte(seed, stream_pos + i)) return i;
+  }
+  return SIZE_MAX;
+}
+
+Uio UserBuffer::as_uio(std::size_t off, std::size_t len) {
+  if (len == SIZE_MAX) len = size_ - off;
+  Uio u;
+  u.space = as_;
+  u.iov.push_back(UioVec{addr_ + off, len});
+  return u;
+}
+
+}  // namespace nectar::mem

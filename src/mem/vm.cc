@@ -1,0 +1,108 @@
+#include "mem/vm.h"
+
+#include <stdexcept>
+
+namespace nectar::mem {
+
+namespace {
+sim::Duration linear_cost(double base_us, double per_page_us, std::size_t n) noexcept {
+  if (n == 0) return 0;
+  return sim::usec(base_us + per_page_us * static_cast<double>(n));
+}
+}  // namespace
+
+sim::Duration Vm::pin_cost(std::size_t n) const noexcept {
+  return linear_cost(costs_.pin_base_us, costs_.pin_per_page_us, n);
+}
+sim::Duration Vm::unpin_cost(std::size_t n) const noexcept {
+  return linear_cost(costs_.unpin_base_us, costs_.unpin_per_page_us, n);
+}
+sim::Duration Vm::map_cost(std::size_t n) const noexcept {
+  return linear_cost(costs_.map_base_us, costs_.map_per_page_us, n);
+}
+
+sim::Task<void> Vm::pin(AddressSpace& as, VAddr addr, std::size_t len,
+                        sim::AccountId acct, sim::Priority prio) {
+  const std::size_t n = pages_spanned(addr, len);
+  if (n == 0) co_return;
+  if (!as.valid(addr, len))
+    throw std::out_of_range("Vm::pin: range not mapped in " + as.name());
+  VAddr page = page_base(addr);
+  for (std::size_t i = 0; i < n; ++i, page += kPageSize) {
+    int& c = pin_counts_[PageKey{&as, page}];
+    if (c++ == 0) ++pinned_total_;
+  }
+  ++stats_.pin_ops;
+  stats_.pages_pinned += n;
+  co_await cpu_.run(pin_cost(n), acct, prio);
+}
+
+sim::Task<void> Vm::unpin(AddressSpace& as, VAddr addr, std::size_t len,
+                          sim::AccountId acct, sim::Priority prio) {
+  const std::size_t n = pages_spanned(addr, len);
+  if (n == 0) co_return;
+  VAddr page = page_base(addr);
+  for (std::size_t i = 0; i < n; ++i, page += kPageSize) {
+    auto it = pin_counts_.find(PageKey{&as, page});
+    if (it == pin_counts_.end() || it->second <= 0)
+      throw std::logic_error("Vm::unpin: page not pinned");
+    if (--it->second == 0) {
+      pin_counts_.erase(it);
+      --pinned_total_;
+    }
+  }
+  ++stats_.unpin_ops;
+  stats_.pages_unpinned += n;
+  co_await cpu_.run(unpin_cost(n), acct, prio);
+}
+
+sim::Task<void> Vm::map(AddressSpace& as, VAddr addr, std::size_t len,
+                        sim::AccountId acct, sim::Priority prio) {
+  const std::size_t n = pages_spanned(addr, len);
+  if (n == 0) co_return;
+  if (!as.valid(addr, len))
+    throw std::out_of_range("Vm::map: range not mapped in " + as.name());
+  ++stats_.map_ops;
+  stats_.pages_mapped += n;
+  co_await cpu_.run(map_cost(n), acct, prio);
+}
+
+sim::Task<void> Vm::charge_pin(std::size_t n, sim::AccountId acct, sim::Priority prio) {
+  ++stats_.pin_ops;
+  stats_.pages_pinned += n;
+  co_await cpu_.run(pin_cost(n), acct, prio);
+}
+
+sim::Task<void> Vm::charge_unpin(std::size_t n, sim::AccountId acct, sim::Priority prio) {
+  ++stats_.unpin_ops;
+  stats_.pages_unpinned += n;
+  co_await cpu_.run(unpin_cost(n), acct, prio);
+}
+
+sim::Task<void> Vm::charge_map(std::size_t n, sim::AccountId acct, sim::Priority prio) {
+  ++stats_.map_ops;
+  stats_.pages_mapped += n;
+  co_await cpu_.run(map_cost(n), acct, prio);
+}
+
+void Vm::pin_page_nocost(AddressSpace& as, VAddr page) {
+  int& c = pin_counts_[PageKey{&as, page_base(page)}];
+  if (c++ == 0) ++pinned_total_;
+}
+
+void Vm::unpin_page_nocost(AddressSpace& as, VAddr page) {
+  auto it = pin_counts_.find(PageKey{&as, page_base(page)});
+  if (it == pin_counts_.end() || it->second <= 0)
+    throw std::logic_error("Vm::unpin_page_nocost: page not pinned");
+  if (--it->second == 0) {
+    pin_counts_.erase(it);
+    --pinned_total_;
+  }
+}
+
+bool Vm::is_pinned(const AddressSpace& as, VAddr page) const noexcept {
+  auto it = pin_counts_.find(PageKey{&as, page_base(page)});
+  return it != pin_counts_.end() && it->second > 0;
+}
+
+}  // namespace nectar::mem

@@ -1,0 +1,101 @@
+// Virtual-memory operations with the paper's Table 2 cost model.
+//
+// DMA directly to/from an application address space requires pinning the
+// pages and (in the OSF/1 design, §4.4.1) mapping them into kernel space from
+// the socket layer, which runs in application context. The costs — measured
+// by the authors with a microsecond timer on the CAB — are linear in the
+// number of pages n:
+//
+//     pin    35  + 29  * n   microseconds
+//     unpin  48  + 3.9 * n
+//     map     6  + 4.5 * n
+//
+// Vm performs the bookkeeping (pin counts per page) and charges the modeled
+// CPU time to the supplied account at the supplied priority.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address_space.h"
+#include "sim/cpu.h"
+#include "sim/task.h"
+
+namespace nectar::mem {
+
+struct VmCosts {
+  double pin_base_us = 35.0;
+  double pin_per_page_us = 29.0;
+  double unpin_base_us = 48.0;
+  double unpin_per_page_us = 3.9;
+  double map_base_us = 6.0;
+  double map_per_page_us = 4.5;
+};
+
+class Vm {
+ public:
+  Vm(sim::Simulator& sim, sim::Cpu& cpu, VmCosts costs)
+      : sim_(sim), cpu_(cpu), costs_(costs) {}
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // Pure cost calculators (pre-CPU-scaling), used both to charge time and by
+  // the §7.3 analytic model.
+  [[nodiscard]] sim::Duration pin_cost(std::size_t npages) const noexcept;
+  [[nodiscard]] sim::Duration unpin_cost(std::size_t npages) const noexcept;
+  [[nodiscard]] sim::Duration map_cost(std::size_t npages) const noexcept;
+
+  // Pin/unpin/map the pages of [addr, addr+len) in `as`. Each op charges its
+  // Table 2 cost; pin/unpin maintain per-page pin counts (unpinning a page
+  // that is not pinned throws — it would be a kernel bug).
+  sim::Task<void> pin(AddressSpace& as, VAddr addr, std::size_t len,
+                      sim::AccountId acct, sim::Priority prio);
+  sim::Task<void> unpin(AddressSpace& as, VAddr addr, std::size_t len,
+                        sim::AccountId acct, sim::Priority prio);
+  sim::Task<void> map(AddressSpace& as, VAddr addr, std::size_t len,
+                      sim::AccountId acct, sim::Priority prio);
+
+  // Batch variants used by the pin cache: n pages' worth of cost in one call.
+  sim::Task<void> charge_pin(std::size_t npages, sim::AccountId acct, sim::Priority prio);
+  sim::Task<void> charge_unpin(std::size_t npages, sim::AccountId acct, sim::Priority prio);
+  sim::Task<void> charge_map(std::size_t npages, sim::AccountId acct, sim::Priority prio);
+
+  // Bookkeeping-only pin/unpin of a single page, no cost charged. Used by
+  // PinCache, which charges Table 2 costs in batches via charge_*.
+  void pin_page_nocost(AddressSpace& as, VAddr page);
+  void unpin_page_nocost(AddressSpace& as, VAddr page);
+
+  [[nodiscard]] bool is_pinned(const AddressSpace& as, VAddr page) const noexcept;
+  [[nodiscard]] std::size_t pinned_pages() const noexcept { return pinned_total_; }
+
+  struct OpStats {
+    std::uint64_t pin_ops = 0;
+    std::uint64_t unpin_ops = 0;
+    std::uint64_t map_ops = 0;
+    std::uint64_t pages_pinned = 0;
+    std::uint64_t pages_unpinned = 0;
+    std::uint64_t pages_mapped = 0;
+  };
+  [[nodiscard]] const OpStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PageKey {
+    const AddressSpace* as;
+    VAddr page;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const noexcept {
+      return std::hash<const void*>{}(k.as) ^ std::hash<VAddr>{}(k.page * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  sim::Simulator& sim_;
+  sim::Cpu& cpu_;
+  VmCosts costs_;
+  std::unordered_map<PageKey, int, PageKeyHash> pin_counts_;
+  std::size_t pinned_total_ = 0;
+  OpStats stats_;
+};
+
+}  // namespace nectar::mem

@@ -1,0 +1,150 @@
+#include "net/headers.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "checksum/wire.h"
+
+namespace nectar::net {
+
+void write_ip_header(std::span<std::byte> out, const IpHeader& h) {
+  if (out.size() < kIpHdrLen) throw std::invalid_argument("write_ip_header: short buffer");
+  std::memset(out.data(), 0, kIpHdrLen);
+  out[0] = std::byte{0x45};  // v4, ihl=5
+  wire::store_be16(out.data() + 2, h.total_len);
+  wire::store_be16(out.data() + 4, h.id);
+  std::uint16_t fl = h.frag_offset & 0x1fff;
+  if (h.dont_fragment) fl |= 0x4000;
+  if (h.more_fragments) fl |= 0x2000;
+  wire::store_be16(out.data() + 6, fl);
+  out[8] = std::byte{h.ttl};
+  out[9] = std::byte{h.proto};
+  wire::store_be32(out.data() + 12, h.src);
+  wire::store_be32(out.data() + 16, h.dst);
+  const std::uint16_t csum = checksum::finish(checksum::ones_sum(out.first(kIpHdrLen)));
+  wire::store_be16(out.data() + 10, csum);
+}
+
+IpHeader read_ip_header(std::span<const std::byte> in) {
+  if (in.size() < kIpHdrLen) throw std::runtime_error("read_ip_header: truncated");
+  if (std::to_integer<unsigned>(in[0]) != 0x45)
+    throw std::runtime_error("read_ip_header: not IPv4/IHL-5");
+  IpHeader h;
+  h.total_len = wire::load_be16(in.data() + 2);
+  h.id = wire::load_be16(in.data() + 4);
+  const std::uint16_t fl = wire::load_be16(in.data() + 6);
+  h.dont_fragment = (fl & 0x4000) != 0;
+  h.more_fragments = (fl & 0x2000) != 0;
+  h.frag_offset = fl & 0x1fff;
+  h.ttl = std::to_integer<std::uint8_t>(in[8]);
+  h.proto = std::to_integer<std::uint8_t>(in[9]);
+  h.src = wire::load_be32(in.data() + 12);
+  h.dst = wire::load_be32(in.data() + 16);
+  return h;
+}
+
+bool verify_ip_checksum(std::span<const std::byte> hdr) noexcept {
+  if (hdr.size() < kIpHdrLen) return false;
+  return checksum::fold(checksum::ones_sum(hdr.first(kIpHdrLen))) == 0xffff;
+}
+
+std::size_t tcp_options_len(const TcpHeader& h) noexcept {
+  std::size_t n = 0;
+  if (h.mss != 0) n += 4;
+  if (h.has_ws) n += 3;
+  return (n + 3) & ~std::size_t{3};  // pad to a word
+}
+
+void write_tcp_header(std::span<std::byte> out, const TcpHeader& h) {
+  const std::size_t opt = tcp_options_len(h);
+  const std::size_t len = kTcpHdrLen + opt;
+  if (out.size() < len) throw std::invalid_argument("write_tcp_header: short buffer");
+  std::memset(out.data(), 0, len);
+  wire::store_be16(out.data() + 0, h.src_port);
+  wire::store_be16(out.data() + 2, h.dst_port);
+  wire::store_be32(out.data() + 4, h.seq);
+  wire::store_be32(out.data() + 8, h.ack);
+  out[12] = static_cast<std::byte>((len / 4) << 4);
+  out[13] = std::byte{h.flags};
+  wire::store_be16(out.data() + 14, h.win);
+  wire::store_be16(out.data() + 16, h.checksum);
+  std::size_t p = kTcpHdrLen;
+  if (h.mss != 0) {
+    out[p] = std::byte{2};  // kind=MSS
+    out[p + 1] = std::byte{4};
+    wire::store_be16(out.data() + p + 2, h.mss);
+    p += 4;
+  }
+  if (h.has_ws) {
+    out[p] = std::byte{3};  // kind=window scale
+    out[p + 1] = std::byte{3};
+    out[p + 2] = std::byte{h.ws};
+    p += 3;
+  }
+  while (p < len) out[p++] = std::byte{0};  // EOL padding
+}
+
+TcpHeader read_tcp_header(std::span<const std::byte> in) {
+  if (in.size() < kTcpHdrLen) throw std::runtime_error("read_tcp_header: truncated");
+  TcpHeader h;
+  h.src_port = wire::load_be16(in.data() + 0);
+  h.dst_port = wire::load_be16(in.data() + 2);
+  h.seq = wire::load_be32(in.data() + 4);
+  h.ack = wire::load_be32(in.data() + 8);
+  h.data_off_words = std::to_integer<std::uint8_t>(in[12]) >> 4;
+  h.flags = std::to_integer<std::uint8_t>(in[13]);
+  h.win = wire::load_be16(in.data() + 14);
+  h.checksum = wire::load_be16(in.data() + 16);
+  const std::size_t hlen = static_cast<std::size_t>(h.data_off_words) * 4;
+  if (hlen < kTcpHdrLen || in.size() < hlen)
+    throw std::runtime_error("read_tcp_header: bad data offset");
+  std::size_t p = kTcpHdrLen;
+  while (p < hlen) {
+    const unsigned kind = std::to_integer<unsigned>(in[p]);
+    if (kind == 0) break;  // EOL
+    if (kind == 1) {       // NOP
+      ++p;
+      continue;
+    }
+    if (p + 1 >= hlen) break;
+    const unsigned olen = std::to_integer<unsigned>(in[p + 1]);
+    if (olen < 2 || p + olen > hlen) break;
+    if (kind == 2 && olen == 4) h.mss = wire::load_be16(in.data() + p + 2);
+    if (kind == 3 && olen == 3) {
+      h.has_ws = true;
+      h.ws = std::to_integer<std::uint8_t>(in[p + 2]);
+    }
+    p += olen;
+  }
+  return h;
+}
+
+void write_udp_header(std::span<std::byte> out, const UdpHeader& h) {
+  if (out.size() < kUdpHdrLen) throw std::invalid_argument("write_udp_header: short buffer");
+  wire::store_be16(out.data() + 0, h.src_port);
+  wire::store_be16(out.data() + 2, h.dst_port);
+  wire::store_be16(out.data() + 4, h.length);
+  wire::store_be16(out.data() + 6, h.checksum);
+}
+
+UdpHeader read_udp_header(std::span<const std::byte> in) {
+  if (in.size() < kUdpHdrLen) throw std::runtime_error("read_udp_header: truncated");
+  UdpHeader h;
+  h.src_port = wire::load_be16(in.data() + 0);
+  h.dst_port = wire::load_be16(in.data() + 2);
+  h.length = wire::load_be16(in.data() + 4);
+  h.checksum = wire::load_be16(in.data() + 6);
+  return h;
+}
+
+std::uint32_t transport_pseudo_sum(IpAddr src, IpAddr dst, std::uint8_t proto,
+                                   std::uint16_t seg_len) noexcept {
+  checksum::PseudoHeader ph;
+  ph.src = src;
+  ph.dst = dst;
+  ph.proto = proto;
+  ph.length = seg_len;
+  return checksum::pseudo_sum(ph);
+}
+
+}  // namespace nectar::net

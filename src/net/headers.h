@@ -1,0 +1,104 @@
+// IPv4 / TCP / UDP wire headers.
+//
+// Headers are built and parsed directly from byte arrays in network byte
+// order via wire.h helpers — no struct punning. Sizes:
+//   IP  20 bytes (no options used by this stack)
+//   TCP 20 bytes + options (MSS and window-scale on SYN only)
+//   UDP 8 bytes
+// With the 60-byte HIPPI framing header this puts the start of the transport
+// header at byte 80 = word 20 of the frame, the CAB's receive checksum
+// offset (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "checksum/internet_checksum.h"
+
+namespace nectar::net {
+
+using IpAddr = std::uint32_t;  // host-order value of the network-order word
+
+inline constexpr std::size_t kIpHdrLen = 20;
+inline constexpr std::size_t kTcpHdrLen = 20;   // without options
+inline constexpr std::size_t kUdpHdrLen = 8;
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+// ---------------------------------------------------------------------- IP
+
+struct IpHeader {
+  std::uint16_t total_len = 0;  // IP header + payload
+  std::uint16_t id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t frag_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t proto = 0;
+  IpAddr src = 0;
+  IpAddr dst = 0;
+};
+
+// Serialize into out[0..20), computing the header checksum.
+void write_ip_header(std::span<std::byte> out, const IpHeader& h);
+
+// Parse; throws std::runtime_error on bad version/length. Does NOT verify
+// the header checksum (use verify_ip_checksum, so tests can corrupt).
+IpHeader read_ip_header(std::span<const std::byte> in);
+
+[[nodiscard]] bool verify_ip_checksum(std::span<const std::byte> hdr) noexcept;
+
+// --------------------------------------------------------------------- TCP
+
+enum TcpFlags : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t win = 0;       // unscaled wire value
+  std::uint16_t checksum = 0;  // as read; writing leaves the field to caller
+  // Options (SYN only; absent when zero/false).
+  std::uint16_t mss = 0;
+  bool has_ws = false;
+  std::uint8_t ws = 0;
+  std::uint8_t data_off_words = 5;  // filled by read; derived on write
+};
+
+// Bytes of options this header will carry (0, or padded options on SYN).
+[[nodiscard]] std::size_t tcp_options_len(const TcpHeader& h) noexcept;
+
+// Serialize into out[0 .. 20+options). The checksum field is written as
+// h.checksum (callers store either a software checksum or an outboard seed).
+void write_tcp_header(std::span<std::byte> out, const TcpHeader& h);
+
+TcpHeader read_tcp_header(std::span<const std::byte> in);
+
+// --------------------------------------------------------------------- UDP
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + data
+  std::uint16_t checksum = 0;
+};
+
+void write_udp_header(std::span<std::byte> out, const UdpHeader& h);
+UdpHeader read_udp_header(std::span<const std::byte> in);
+
+// Pseudo-header sum for a segment (§4.3 "the host is responsible for the
+// fields in the header (the TCP header and pseudo-header)").
+[[nodiscard]] std::uint32_t transport_pseudo_sum(IpAddr src, IpAddr dst,
+                                                 std::uint8_t proto,
+                                                 std::uint16_t seg_len) noexcept;
+
+}  // namespace nectar::net

@@ -1,0 +1,127 @@
+#include "net/ip.h"
+
+#include "net/netstack.h"
+
+namespace nectar::net {
+
+using mbuf::Mbuf;
+
+bool Ip::local_addr(IpAddr a) const {
+  for (const Ifnet* ifp : stack_.ifnets()) {
+    if (ifp->addr() == a) return true;
+  }
+  return false;
+}
+
+sim::Task<void> Ip::output(KernCtx ctx, Mbuf* pkt, IpAddr src, IpAddr dst,
+                           std::uint8_t proto, bool dont_fragment) {
+  auto& env = stack_.env();
+  co_await env.cpu.run(sim::usec(stack_.costs().ip_output_us), ctx.acct, ctx.prio);
+
+  auto route = stack_.routes().lookup(dst);
+  if (!route) {
+    ++stats_.no_route;
+    env.pool.free_chain(pkt);
+    co_return;
+  }
+  if (kIpHdrLen + static_cast<std::size_t>(pkt->pkthdr.len) > 0xffff) {
+    // IPv4 limit: 16-bit total length / 13-bit fragment offset.
+    ++stats_.oversize;
+    env.pool.free_chain(pkt);
+    co_return;
+  }
+
+  IpHeader ih;
+  ih.id = next_id_++;
+  ih.proto = proto;
+  ih.src = src;
+  ih.dst = dst;
+  ih.dont_fragment = dont_fragment;
+
+  const std::size_t payload = static_cast<std::size_t>(pkt->pkthdr.len);
+  if (kIpHdrLen + payload <= route->ifp->mtu()) {
+    ih.total_len = static_cast<std::uint16_t>(kIpHdrLen + payload);
+    Mbuf* m = mbuf::m_prepend(pkt, static_cast<int>(kIpHdrLen));
+    write_ip_header({m->data(), kIpHdrLen}, ih);
+    ++stats_.opackets;
+    co_await route->ifp->output(ctx, m, route->next_hop);
+    co_return;
+  }
+
+  if (dont_fragment) {
+    ++stats_.no_route;  // would need ICMP frag-needed; count and drop
+    env.pool.free_chain(pkt);
+    co_return;
+  }
+  co_await IpFragOps::fragment(ctx, *this, stack_, pkt, ih, route->ifp,
+                               route->next_hop);
+}
+
+sim::Task<void> Ip::input(KernCtx ctx, Mbuf* pkt, Ifnet* rcvif) {
+  auto& env = stack_.env();
+  co_await env.cpu.run(sim::usec(stack_.costs().ip_input_us), ctx.acct, ctx.prio);
+
+  ++stats_.ipackets;
+  Mbuf* m = mbuf::m_pullup(pkt, static_cast<int>(kIpHdrLen));
+  IpHeader ih;
+  try {
+    ih = read_ip_header({m->data(), static_cast<std::size_t>(m->len())});
+  } catch (const std::exception&) {
+    ++stats_.bad_header;
+    env.pool.free_chain(m);
+    co_return;
+  }
+  if (!verify_ip_checksum({m->data(), kIpHdrLen})) {
+    ++stats_.bad_checksum;
+    env.pool.free_chain(m);
+    co_return;
+  }
+  if (ih.total_len > mbuf::m_length(m)) {
+    ++stats_.bad_header;
+    env.pool.free_chain(m);
+    co_return;
+  }
+  m->pkthdr.rcvif = rcvif;
+
+  if (!local_addr(ih.dst)) {
+    // Forwarding between interfaces — one of the paper's reasons a single
+    // stack is required (§4.1). TTL and checksum are updated incrementally.
+    if (ih.ttl <= 1) {
+      ++stats_.bad_header;
+      env.pool.free_chain(m);
+      co_return;
+    }
+    auto route = stack_.routes().lookup(ih.dst);
+    if (!route || route->ifp == rcvif) {
+      ++stats_.no_route;
+      env.pool.free_chain(m);
+      co_return;
+    }
+    --ih.ttl;
+    // Trim any link padding beyond total_len, rewrite header in place.
+    if (mbuf::m_length(m) > ih.total_len)
+      mbuf::m_adj(m, -(mbuf::m_length(m) - static_cast<int>(ih.total_len)));
+    write_ip_header({m->data(), kIpHdrLen}, ih);
+    ++stats_.forwarded;
+    co_await route->ifp->output(ctx, m, route->next_hop);
+    co_return;
+  }
+
+  // Trim link-layer padding (anything past total_len).
+  if (mbuf::m_length(m) > ih.total_len)
+    mbuf::m_adj(m, -(mbuf::m_length(m) - static_cast<int>(ih.total_len)));
+
+  if (ih.more_fragments || ih.frag_offset != 0) {
+    co_await IpFragOps::reassemble(ctx, *this, stack_, m, ih);
+    co_return;
+  }
+
+  co_await deliver(ctx, m, ih);
+}
+
+sim::Task<void> Ip::deliver(KernCtx ctx, Mbuf* pkt, const IpHeader& ih) {
+  mbuf::m_adj(pkt, static_cast<int>(kIpHdrLen));  // strip IP header
+  co_await stack_.transport_input(ctx, ih.proto, pkt, ih);
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,76 @@
+// IPv4 layer: output with routing and fragmentation, input with validation
+// and reassembly.
+//
+// Per the paper's architecture (Figure 2), IP does routing and header work
+// only — it never touches packet data, so descriptor mbufs (M_UIO / M_WCAB)
+// flow through unchanged. Fragmentation slices the data chain with m_copym,
+// which shares descriptors rather than reading them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/headers.h"
+#include "net/ifnet.h"
+
+namespace nectar::net {
+
+class NetStack;
+
+class Ip {
+ public:
+  explicit Ip(NetStack& stack) : stack_(stack) {}
+
+  // Wrap `pkt` (transport header + data record, pkthdr.len set) in an IP
+  // header and hand it to the routed interface, fragmenting if needed.
+  // Takes ownership. Unroutable packets are dropped (counted).
+  sim::Task<void> output(KernCtx ctx, mbuf::Mbuf* pkt, IpAddr src, IpAddr dst,
+                         std::uint8_t proto, bool dont_fragment = false);
+
+  // Input from a driver: record beginning at the IP header. Takes ownership.
+  sim::Task<void> input(KernCtx ctx, mbuf::Mbuf* pkt, Ifnet* rcvif);
+
+  struct Stats {
+    std::uint64_t opackets = 0;
+    std::uint64_t ofragments = 0;
+    std::uint64_t ipackets = 0;
+    std::uint64_t reassembled = 0;
+    std::uint64_t bad_header = 0;
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t frag_timeouts = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t oversize = 0;  // datagrams beyond the IPv4 65535-byte limit
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Reassembly bookkeeping (ip_frag.cc).
+  struct FragQueue {
+    std::map<std::uint16_t, mbuf::Mbuf*> frags;  // frag_offset(8B units) -> record
+    std::size_t total_len = 0;                   // set when last fragment seen
+    sim::TimerHandle timeout;
+  };
+
+ private:
+  friend struct IpFragOps;  // fragmentation/reassembly (ip_frag.cc)
+  // True if the destination is one of our interface addresses.
+  [[nodiscard]] bool local_addr(IpAddr a) const;
+
+  sim::Task<void> deliver(KernCtx ctx, mbuf::Mbuf* pkt, const IpHeader& ih);
+
+  NetStack& stack_;
+  std::uint16_t next_id_ = 1;
+  std::map<std::tuple<IpAddr, IpAddr, std::uint8_t, std::uint16_t>, FragQueue> reasm_;
+  Stats stats_;
+};
+
+// Internal: fragmentation/reassembly entry points, defined in ip_frag.cc.
+struct IpFragOps {
+  static sim::Task<void> fragment(KernCtx ctx, Ip& ip, NetStack& stack,
+                                  mbuf::Mbuf* pkt, IpHeader proto_hdr, Ifnet* ifp,
+                                  IpAddr next_hop);
+  static sim::Task<void> reassemble(KernCtx ctx, Ip& ip, NetStack& stack,
+                                    mbuf::Mbuf* pkt, const IpHeader& ih);
+};
+
+}  // namespace nectar::net

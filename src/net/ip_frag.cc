@@ -1,0 +1,110 @@
+// IP fragmentation and reassembly.
+//
+// Fragmentation slices the transport record with m_copym, so descriptor
+// mbufs are shared, never read — a fragmented single-copy UDP datagram stays
+// single-copy. Reassembly concatenates fragment records in order; it never
+// touches payload bytes, so outboard (M_WCAB) fragments reassemble too.
+#include "net/ip.h"
+#include "net/netstack.h"
+
+namespace nectar::net {
+
+using mbuf::Mbuf;
+
+namespace {
+constexpr sim::Duration kReasmTimeout = 30 * sim::kSecond;
+}
+
+sim::Task<void> IpFragOps::fragment(KernCtx ctx, Ip& ip, NetStack& stack, Mbuf* pkt,
+                                    IpHeader proto_hdr, Ifnet* ifp, IpAddr next_hop) {
+  auto& env = stack.env();
+  const std::size_t max_payload = (ifp->mtu() - kIpHdrLen) & ~std::size_t{7};
+  const auto total = static_cast<std::size_t>(pkt->pkthdr.len);
+
+  for (std::size_t off = 0; off < total; off += max_payload) {
+    const std::size_t flen = std::min(max_payload, total - off);
+    Mbuf* data = mbuf::m_copym(pkt, static_cast<int>(off), static_cast<int>(flen));
+    if (!data->has_pkthdr()) data->set_flags(mbuf::kMPktHdr);
+    data->pkthdr = pkt->pkthdr;
+    data->pkthdr.len = static_cast<int>(flen);
+
+    IpHeader ih = proto_hdr;
+    ih.total_len = static_cast<std::uint16_t>(kIpHdrLen + flen);
+    ih.more_fragments = off + flen < total;
+    ih.frag_offset = static_cast<std::uint16_t>(off / 8);
+
+    Mbuf* m = mbuf::m_prepend(data, static_cast<int>(kIpHdrLen));
+    write_ip_header({m->data(), kIpHdrLen}, ih);
+
+    ++ip.stats_.opackets;
+    ++ip.stats_.ofragments;
+    // Each additional fragment costs another pass through ip_output.
+    if (off != 0)
+      co_await env.cpu.run(sim::usec(stack.costs().ip_output_us), ctx.acct, ctx.prio);
+    co_await ifp->output(ctx, m, next_hop);
+  }
+  env.pool.free_chain(pkt);
+}
+
+sim::Task<void> IpFragOps::reassemble(KernCtx ctx, Ip& ip, NetStack& stack, Mbuf* m,
+                                      const IpHeader& ih) {
+  auto& env = stack.env();
+  const auto key = std::make_tuple(ih.src, ih.dst, ih.proto, ih.id);
+  const std::size_t payload_len = ih.total_len - kIpHdrLen;
+  mbuf::m_adj(m, static_cast<int>(kIpHdrLen));  // keep payload only
+
+  auto [it, fresh] = ip.reasm_.try_emplace(key);
+  Ip::FragQueue& q = it->second;
+  if (fresh) {
+    q.timeout = env.sim.timer_after(kReasmTimeout, [&ip, &env, key] {
+      auto qit = ip.reasm_.find(key);
+      if (qit == ip.reasm_.end()) return;
+      for (auto& [off, rec] : qit->second.frags) env.pool.free_chain(rec);
+      ++ip.stats_.frag_timeouts;
+      ip.reasm_.erase(qit);
+    });
+  }
+
+  if (q.frags.contains(ih.frag_offset)) {  // duplicate fragment
+    env.pool.free_chain(m);
+    co_return;
+  }
+  q.frags.emplace(ih.frag_offset, m);
+  if (!ih.more_fragments)
+    q.total_len = static_cast<std::size_t>(ih.frag_offset) * 8 + payload_len;
+
+  // Completeness: contiguous cover from 0 to total_len.
+  if (q.total_len == 0) co_return;
+  std::size_t expect = 0;
+  for (const auto& [off8, rec] : q.frags) {
+    if (static_cast<std::size_t>(off8) * 8 != expect) co_return;
+    expect += static_cast<std::size_t>(mbuf::m_length(rec));
+  }
+  if (expect != q.total_len) co_return;
+
+  // Assemble in order; the offset-0 fragment's record carries the pkthdr.
+  q.timeout.cancel();
+  Mbuf* first = nullptr;
+  for (auto& [off8, rec] : q.frags) {
+    if (first == nullptr) {
+      first = rec;
+    } else {
+      rec->clear_flags(mbuf::kMPktHdr);
+      mbuf::m_cat(first, rec);
+    }
+  }
+  const std::size_t total_len = q.total_len;  // q dies with the erase below
+  first->pkthdr.len = static_cast<int>(total_len);
+  // A per-fragment hardware checksum does not cover the whole datagram.
+  first->pkthdr.rx_hw_sum_valid = false;
+  ip.reasm_.erase(it);
+  ++ip.stats_.reassembled;
+
+  IpHeader whole = ih;
+  whole.more_fragments = false;
+  whole.frag_offset = 0;
+  whole.total_len = static_cast<std::uint16_t>(kIpHdrLen + total_len);
+  co_await stack.transport_input(ctx, whole.proto, first, whole);
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,153 @@
+#include "net/netstack.h"
+
+#include <stdexcept>
+
+#include "net/ip.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace nectar::net {
+
+NetStack::NetStack(HostEnv env) : env_(env) {
+  ip_ = std::make_unique<Ip>(*this);
+  udp_ = std::make_unique<Udp>(*this);
+}
+
+NetStack::~NetStack() = default;
+
+void NetStack::add_ifnet(Ifnet* ifp) {
+  ifp->set_stack(this);
+  ifnets_.push_back(ifp);
+}
+
+Ifnet* NetStack::find_ifnet(const std::string& name) const {
+  for (Ifnet* ifp : ifnets_) {
+    if (ifp->name() == name) return ifp;
+  }
+  return nullptr;
+}
+
+IpAddr NetStack::source_addr_for(IpAddr dst) const {
+  auto r = routes_.lookup(dst);
+  return r ? r->ifp->addr() : 0;
+}
+
+void NetStack::tcp_bind(const ConnKey& key, TcpConnection* tp) {
+  if (tcp_conns_.contains(key))
+    throw std::invalid_argument("netstack: tcp tuple in use");
+  tcp_conns_[key] = tp;
+}
+
+void NetStack::tcp_unbind(const ConnKey& key) { tcp_conns_.erase(key); }
+
+void NetStack::tcp_listen(IpAddr laddr, std::uint16_t lport, TcpConnection* tp) {
+  const auto key = std::make_pair(laddr, lport);
+  if (tcp_listeners_.contains(key))
+    throw std::invalid_argument("netstack: tcp listen port in use");
+  tcp_listeners_[key] = tp;
+}
+
+void NetStack::tcp_unlisten(IpAddr laddr, std::uint16_t lport) {
+  tcp_listeners_.erase(std::make_pair(laddr, lport));
+}
+
+TcpConnection* NetStack::tcp_lookup(const ConnKey& key) const {
+  auto it = tcp_conns_.find(key);
+  return it != tcp_conns_.end() ? it->second : nullptr;
+}
+
+TcpConnection* NetStack::tcp_lookup_listen(IpAddr laddr, std::uint16_t lport) const {
+  auto it = tcp_listeners_.find(std::make_pair(laddr, lport));
+  if (it != tcp_listeners_.end()) return it->second;
+  // Wildcard listen (laddr 0).
+  it = tcp_listeners_.find(std::make_pair(IpAddr{0}, lport));
+  return it != tcp_listeners_.end() ? it->second : nullptr;
+}
+
+std::uint16_t NetStack::alloc_ephemeral_port() {
+  for (int tries = 0; tries < 50000; ++tries) {
+    const std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ < 10000) next_ephemeral_ = 10000;
+    bool used = false;
+    for (const auto& [key, tp] : tcp_conns_) {
+      if (key.lport == p) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) return p;
+  }
+  throw std::runtime_error("netstack: ephemeral ports exhausted");
+}
+
+void NetStack::adopt_zombie(std::unique_ptr<TcpConnection> tp) {
+  zombies_.push_back(std::move(tp));
+}
+
+void NetStack::set_raw_handler(std::uint8_t proto, RawHandler h) {
+  if (!h) {
+    raw_handlers_.erase(proto);
+  } else {
+    raw_handlers_[proto] = std::move(h);
+  }
+}
+
+sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
+                                          mbuf::Mbuf* pkt, const IpHeader& ih) {
+  switch (proto) {
+    case kProtoTcp: {
+      if (pkt->pkthdr.len < static_cast<int>(kTcpHdrLen)) {
+        env_.pool.free_chain(pkt);
+        co_return;
+      }
+      pkt = mbuf::m_pullup(pkt, static_cast<int>(kTcpHdrLen));
+      const TcpHeader th = read_tcp_header(pkt->span());
+      const ConnKey key{ih.dst, th.dst_port, ih.src, th.src_port};
+      TcpConnection* tp = tcp_lookup(key);
+      if (tp == nullptr) tp = tcp_lookup_listen(ih.dst, th.dst_port);
+      if (tp == nullptr) {
+        ++stats_.no_port;
+        env_.pool.free_chain(pkt);
+        co_return;
+      }
+      ++stats_.tcp_in;
+      co_await tp->input(ctx, pkt, ih);
+      co_return;
+    }
+    case kProtoUdp:
+      ++stats_.udp_in;
+      co_await udp_->input(ctx, pkt, ih);
+      co_return;
+    default: {
+      auto it = raw_handlers_.find(proto);
+      if (it != raw_handlers_.end()) {
+        ++stats_.raw_in;
+        it->second(pkt, ih);
+        co_return;
+      }
+      ++stats_.no_proto;
+      env_.pool.free_chain(pkt);
+      co_return;
+    }
+  }
+}
+
+// Ifnet base implementation of the single-copy extension: only overridden by
+// single-copy drivers.
+sim::Task<void> Ifnet::copy_out(KernCtx, const mbuf::Wcab&, std::size_t, mem::Uio,
+                                mbuf::DmaSync*) {
+  throw std::logic_error("Ifnet(" + name() + "): copy_out on non-single-copy device");
+}
+
+sim::Task<void> Ifnet::copy_out_raw(KernCtx, const mbuf::Wcab&, std::size_t,
+                                    std::span<std::byte>, mbuf::DmaSync*) {
+  throw std::logic_error("Ifnet(" + name() +
+                         "): copy_out_raw on non-single-copy device");
+}
+
+sim::Task<void> Ifnet::copy_in(KernCtx, mem::Uio, std::size_t,
+                               std::function<void(mbuf::Wcab)>) {
+  throw std::logic_error("Ifnet(" + name() + "): copy_in on non-single-copy device");
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,114 @@
+// NetStack: one host's protocol stack instance — interfaces, routes, IP, and
+// transport demultiplexing. This is the *single* stack of §4.1: the same
+// object carries traditional mbuf traffic and single-copy descriptor traffic;
+// the path a packet takes is decided per packet by mbuf types, interface
+// capabilities, and policy, never by selecting a different stack.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/pin_cache.h"
+#include "mem/vm.h"
+#include "net/ifnet.h"
+#include "net/route.h"
+
+namespace nectar::net {
+
+class Ip;
+class TcpConnection;
+class Udp;
+struct IpHeader;
+
+// Services the stack borrows from its host.
+struct HostEnv {
+  sim::Simulator& sim;
+  sim::Cpu& cpu;
+  mbuf::MbufPool& pool;
+  mem::Vm& vm;
+  mem::PinCache& pin_cache;
+  StackCosts costs;
+  sim::AccountId intr_acct = 0;  // CPU account for interrupt-context work
+};
+
+// Four-tuple connection key (host byte-order addresses).
+struct ConnKey {
+  IpAddr laddr = 0;
+  std::uint16_t lport = 0;
+  IpAddr faddr = 0;
+  std::uint16_t fport = 0;
+  auto operator<=>(const ConnKey&) const = default;
+};
+
+class NetStack {
+ public:
+  explicit NetStack(HostEnv env);
+  ~NetStack();
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  [[nodiscard]] HostEnv& env() noexcept { return env_; }
+  [[nodiscard]] const StackCosts& costs() const noexcept { return env_.costs; }
+  [[nodiscard]] RouteTable& routes() noexcept { return routes_; }
+  [[nodiscard]] Ip& ip() noexcept { return *ip_; }
+  [[nodiscard]] Udp& udp() noexcept { return *udp_; }
+
+  void add_ifnet(Ifnet* ifp);  // not owned
+  [[nodiscard]] const std::vector<Ifnet*>& ifnets() const noexcept { return ifnets_; }
+  [[nodiscard]] Ifnet* find_ifnet(const std::string& name) const;
+
+  // Convenience: the address of the interface a destination routes out of
+  // (source-address selection for connect/bind).
+  [[nodiscard]] IpAddr source_addr_for(IpAddr dst) const;
+
+  // --- transport demux ------------------------------------------------------
+
+  void tcp_bind(const ConnKey& key, TcpConnection* tp);
+  void tcp_unbind(const ConnKey& key);
+  void tcp_listen(IpAddr laddr, std::uint16_t lport, TcpConnection* tp);
+  void tcp_unlisten(IpAddr laddr, std::uint16_t lport);
+  [[nodiscard]] TcpConnection* tcp_lookup(const ConnKey& key) const;
+  [[nodiscard]] TcpConnection* tcp_lookup_listen(IpAddr laddr, std::uint16_t lport) const;
+  [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+
+  // Called by Ip after reassembly: dispatch to TCP/UDP/raw. `pkt` starts at
+  // the transport header. Takes ownership.
+  sim::Task<void> transport_input(KernCtx ctx, std::uint8_t proto, mbuf::Mbuf* pkt,
+                                  const IpHeader& ih);
+
+  // Keep an orphaned TCP connection alive until the stack itself dies:
+  // protocol coroutines still in flight may hold pointers to it (§5's
+  // asynchronous DMA makes this unavoidable; kernels refcount PCBs).
+  void adopt_zombie(std::unique_ptr<TcpConnection> tp);
+
+  // Raw-protocol taps (ICMP-like in-kernel applications, §5). Handler takes
+  // ownership of the record.
+  using RawHandler = std::function<void(mbuf::Mbuf*, const IpHeader&)>;
+  void set_raw_handler(std::uint8_t proto, RawHandler h);
+
+  struct Stats {
+    std::uint64_t tcp_in = 0;
+    std::uint64_t udp_in = 0;
+    std::uint64_t raw_in = 0;
+    std::uint64_t no_proto = 0;
+    std::uint64_t no_port = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  HostEnv env_;
+  RouteTable routes_;
+  std::vector<Ifnet*> ifnets_;
+  std::unique_ptr<Ip> ip_;
+  std::unique_ptr<Udp> udp_;
+  std::map<ConnKey, TcpConnection*> tcp_conns_;
+  std::map<std::pair<IpAddr, std::uint16_t>, TcpConnection*> tcp_listeners_;
+  std::map<std::uint8_t, RawHandler> raw_handlers_;
+  std::vector<std::unique_ptr<TcpConnection>> zombies_;
+  std::uint16_t next_ephemeral_ = 10000;
+  Stats stats_;
+};
+
+}  // namespace nectar::net

@@ -1,0 +1,28 @@
+#include "net/route.h"
+
+#include <algorithm>
+
+namespace nectar::net {
+
+void RouteTable::add(IpAddr prefix, int masklen, Ifnet* ifp, IpAddr gateway) {
+  routes_.push_back(Route{prefix & mask_of(masklen), masklen, ifp, gateway});
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Route& a, const Route& b) { return a.masklen > b.masklen; });
+}
+
+void RouteTable::remove(IpAddr prefix, int masklen) {
+  std::erase_if(routes_, [&](const Route& r) {
+    return r.masklen == masklen && r.prefix == (prefix & mask_of(masklen));
+  });
+}
+
+std::optional<RouteResult> RouteTable::lookup(IpAddr dst) const {
+  for (const Route& r : routes_) {
+    if ((dst & mask_of(r.masklen)) == r.prefix) {
+      return RouteResult{r.ifp, r.gateway != 0 ? r.gateway : dst};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,50 @@
+// Minimal IPv4 routing table: longest-prefix match over (prefix, masklen)
+// entries. The paper's single-stack argument (§4.1) hinges on interface
+// selection happening *here*, in the network layer — the socket layer cannot
+// reliably know whether a send will leave via the CAB or the Ethernet, which
+// is why one stack must carry both the single-copy and traditional paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ifnet.h"
+
+namespace nectar::net {
+
+struct Route {
+  IpAddr prefix = 0;
+  int masklen = 0;        // 0..32
+  Ifnet* ifp = nullptr;
+  IpAddr gateway = 0;     // 0 = directly attached
+};
+
+struct RouteResult {
+  Ifnet* ifp = nullptr;
+  IpAddr next_hop = 0;  // dst itself when directly attached
+};
+
+class RouteTable {
+ public:
+  void add(IpAddr prefix, int masklen, Ifnet* ifp, IpAddr gateway = 0);
+  void remove(IpAddr prefix, int masklen);
+
+  // Longest-prefix match; nullopt when unroutable.
+  [[nodiscard]] std::optional<RouteResult> lookup(IpAddr dst) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
+
+ private:
+  std::vector<Route> routes_;  // kept sorted by masklen descending
+};
+
+[[nodiscard]] constexpr IpAddr make_ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+[[nodiscard]] constexpr IpAddr mask_of(int masklen) {
+  return masklen == 0 ? 0 : ~IpAddr{0} << (32 - masklen);
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,261 @@
+// TCP output engine: packetization, checksum setup (software or outboard
+// seed), and the single-copy bookkeeping closure.
+#include <cassert>
+
+#include "net/ip.h"
+#include "net/tcp.h"
+
+namespace nectar::net {
+
+using mbuf::Mbuf;
+
+std::uint16_t TcpConnection::advertised_window() {
+  const std::size_t space = cb_->rcv().space();
+  const std::uint64_t max_adv = 0xffffULL << rcv_scale_;
+  const auto win = static_cast<std::uint32_t>(std::min<std::uint64_t>(space, max_adv));
+  const std::uint16_t wire = static_cast<std::uint16_t>(win >> rcv_scale_);
+  const std::uint32_t edge = rcv_nxt_ + (static_cast<std::uint32_t>(wire) << rcv_scale_);
+  if (seq_gt(edge, rcv_adv_)) rcv_adv_ = edge;
+  return wire;
+}
+
+sim::Task<void> TcpConnection::output(KernCtx ctx) {
+  if (in_output_) {
+    output_again_ = true;
+    co_return;
+  }
+  in_output_ = true;
+  do {
+    output_again_ = false;
+    for (;;) {
+      if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+          state_ != TcpState::kFinWait1 && state_ != TcpState::kClosing &&
+          state_ != TcpState::kLastAck) {
+        break;
+      }
+      cache_route();
+      if (route_if_ == nullptr) break;
+
+      Sockbuf& sb = cb_->snd();
+      const std::uint64_t nxt_pos = seq_to_pos(snd_nxt_);
+      const std::uint64_t end_pos = sb.end_pos();
+      const std::size_t avail = end_pos > nxt_pos
+                                    ? static_cast<std::size_t>(end_pos - nxt_pos)
+                                    : 0;
+      const std::uint32_t wnd = std::min(snd_wnd_, cwnd_);
+      const std::uint64_t in_flight = nxt_pos - una_pos_;
+      const std::size_t usable =
+          wnd > in_flight ? static_cast<std::size_t>(wnd - in_flight) : 0;
+      std::size_t len = std::min({avail, usable, static_cast<std::size_t>(mss_)});
+
+      // Single-copy packetization never mixes data formats in one packet and
+      // never coalesces separate writes' descriptors (§7.1): descriptor
+      // segments are cut at mbuf boundaries (one UIO descriptor == one
+      // write chunk; one WCAB mbuf == one outboard packet, which header-
+      // rewrite retransmission requires).
+      if (len > 0 && route_if_->single_copy()) {
+        len = sb.homogeneous_run(nxt_pos, len);
+        const auto t = sb.type_at(nxt_pos);
+        if (t == mbuf::MbufType::kUio) {
+          len = sb.mbuf_run(nxt_pos, len);
+        } else if (t == mbuf::MbufType::kWcab) {
+          // An outboard packet retransmits whole or not at all: the host
+          // cannot split data it cannot read (§4.3). If the window doesn't
+          // cover it, wait (probing if nothing in flight will re-open it).
+          const std::size_t whole =
+              sb.mbuf_run(nxt_pos, static_cast<std::size_t>(mss_));
+          if (len < whole) {
+            if (in_flight == 0) arm_persist();
+            break;
+          }
+          len = whole;
+        }
+      }
+
+      // Nagle (copied data only — see TcpParams::nagle): hold a sub-MSS
+      // segment while data is in flight.
+      if (par_.nagle && len > 0 && len < mss_ && len == avail &&
+          snd_nxt_ != snd_una_ && !fin_queued_ &&
+          sb.type_at(nxt_pos) == mbuf::MbufType::kData) {
+        break;
+      }
+
+      const bool fin_now = fin_queued_ && (avail == len);
+      if (len == 0 && !(fin_now && !fin_sent_) &&
+          !(fin_now && seq_lt(snd_nxt_, snd_max_))) {
+        // Nothing sendable. If data is pending but nothing is in flight, no
+        // future ACK will restart us: probe the peer's window.
+        if (avail > 0 && in_flight == 0) arm_persist();
+        break;
+      }
+
+      const bool rexmt = seq_lt(snd_nxt_, snd_max_);
+      std::uint8_t flags = kTcpAck;
+      if (fin_now) flags |= kTcpFin;
+      persist_timer_.cancel();  // progress: no probe needed
+      const std::uint32_t seg_seq = snd_nxt_;
+      co_await send_segment(ctx, seg_seq, len, flags, rexmt);
+
+      // send_segment suspends (CPU, IP, driver); an ACK processed meanwhile
+      // may have moved snd_nxt_/snd_una_. Advance from the *captured* seq and
+      // never move snd_nxt_ backwards — positions derived from a stale
+      // snd_nxt_ would land mid-mbuf, which the WCAB invariants forbid.
+      std::uint32_t new_nxt = seg_seq + static_cast<std::uint32_t>(len);
+      if (fin_now) new_nxt += 1;
+      if (seq_gt(new_nxt, snd_nxt_)) snd_nxt_ = new_nxt;
+      if (seq_gt(new_nxt, snd_max_)) {
+        stats_.bytes_out += len;
+        snd_max_ = new_nxt;
+      } else {
+        ++stats_.rexmt_segs;
+      }
+
+      if (!rtt_timing_ && len > 0 && !rexmt) {
+        rtt_timing_ = true;
+        rtt_seq_ = snd_nxt_;
+        rtt_start_ = stack_.env().sim.now();
+      }
+      if (fin_now && !fin_sent_) {
+        fin_sent_ = true;
+        if (state_ == TcpState::kEstablished) enter_state(TcpState::kFinWait1);
+        else if (state_ == TcpState::kCloseWait) enter_state(TcpState::kLastAck);
+      }
+      start_rexmt_timer();
+      ack_due_ = false;
+      unacked_segs_ = 0;
+      delack_timer_.cancel();
+    }
+  } while (output_again_);
+  in_output_ = false;
+}
+
+sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
+                                            std::size_t len, std::uint8_t flags,
+                                            bool rexmt) {
+  auto& env = stack_.env();
+  co_await env.cpu.run(sim::usec(stack_.costs().tcp_output_us), ctx.acct, ctx.prio);
+
+  // The CPU charge suspended us: the connection may have been closed or
+  // orphaned, or an ACK may have freed (part of) this segment's data. The
+  // peer already has (or no longer wants) it — skip. (RSTs are exactly the
+  // segment a just-closed connection still needs to emit.)
+  if (state_ == TcpState::kClosed && !(flags & kTcpRst)) co_return;
+  if (len > 0 && seq_lt(seq, snd_una_)) co_return;
+  ++stats_.segs_out;
+
+  Mbuf* data = nullptr;
+  if (len > 0) data = cb_->snd().copy_range(seq_to_pos(seq), len);
+
+  TcpHeader th;
+  th.src_port = key_.lport;
+  th.dst_port = key_.fport;
+  th.seq = seq;
+  th.flags = flags;
+  if (flags & kTcpAck) th.ack = rcv_nxt_;
+  th.win = advertised_window();
+  if (flags & kTcpSyn) {
+    th.mss = mss_;
+    if (par_.window_scaling) {
+      th.has_ws = true;
+      th.ws = rcv_scale_;
+    }
+  }
+  const std::size_t hlen = kTcpHdrLen + tcp_options_len(th);
+  const auto seg_len = static_cast<std::uint16_t>(hlen + len);
+
+  const bool data_is_descriptor = data != nullptr && data->is_descriptor();
+  const bool hw = route_if_ != nullptr && (route_if_->caps() & kCapHwChecksum) &&
+                  (par_.csum_offload || data_is_descriptor);
+  assert(!data_is_descriptor || hw);  // descriptors only travel hw paths
+
+  Mbuf* h = env.pool.get_hdr();
+  // Header at the end of the mbuf: leading space serves the IP and link
+  // header prepends without extra mbufs.
+  h->align_end(hlen);
+  std::byte hdr_bytes[64];
+  std::span<std::byte> hb{hdr_bytes, hlen};
+
+  if (hw) {
+    ++stats_.hw_csum_tx;
+    // Seed: pseudo-header + TCP header with a zero checksum field (§4.3 —
+    // "the host is responsible for the fields in the header (the TCP header
+    // and pseudo-header)"). The CAB combines this with the body sum it
+    // computes during the SDMA transfer.
+    th.checksum = 0;
+    write_tcp_header(hb, th);
+    const std::uint32_t seed_sum =
+        transport_pseudo_sum(key_.laddr, key_.faddr, kProtoTcp, seg_len) +
+        checksum::ones_sum(hb);
+    th.checksum = checksum::fold(seed_sum);
+    write_tcp_header(hb, th);
+    h->pkthdr.csum_tx.offload = true;
+    h->pkthdr.csum_tx.csum_offset = static_cast<std::uint16_t>(kIpHdrLen + 16);
+    h->pkthdr.csum_tx.skip_words = static_cast<std::uint16_t>((kIpHdrLen + hlen) / 4);
+  } else {
+    ++stats_.sw_csum_tx;
+    th.checksum = 0;
+    write_tcp_header(hb, th);
+    std::uint32_t sum =
+        transport_pseudo_sum(key_.laddr, key_.faddr, kProtoTcp, seg_len) +
+        checksum::ones_sum(hb);
+    if (data != nullptr) {
+      sum = checksum::combine(sum, mbuf::in_cksum_range(data, 0, static_cast<int>(len)),
+                              hlen);
+      // The software checksum is the unmodified stack's per-byte read pass.
+      co_await env.cpu.run(
+          sim::transfer_time(static_cast<std::int64_t>(len),
+                             stack_.costs().cksum_bw_bps),
+          ctx.acct, ctx.prio);
+    }
+    th.checksum = checksum::finish(sum);
+    write_tcp_header(hb, th);
+  }
+
+  h->append(hb);
+  h->next = data;
+  h->pkthdr.len = static_cast<int>(hlen + len);
+
+  // Single-copy bookkeeping: when this packet's data is M_UIO, arrange for
+  // the send buffer to learn the outboard location once the SDMA completes.
+  if (data_is_descriptor && data->type() == mbuf::MbufType::kUio) {
+    const std::uint64_t pos = seq_to_pos(seq);
+    const std::size_t dlen = len;
+    mbuf::DmaSync* sync = data->uw_hdr().sync;
+    h->pkthdr.on_outboarded = [this, pos, dlen, sync](const mbuf::Wcab& w) {
+      if (sync != nullptr) sync->done(static_cast<int>(dlen));
+      if (state_ == TcpState::kClosed) return;  // orphaned mid-flight
+      mbuf::Wcab mine = w;
+      if (mine.owner != nullptr) mine.owner->outboard_retain(mine.handle);
+      mbuf::UioWcabHdr hdr;
+      hdr.sync = sync;
+      cb_->snd().convert_to_wcab(pos, dlen, mine, hdr);
+    };
+  }
+  (void)rexmt;
+
+  co_await stack_.ip().output(ctx, h, key_.laddr, key_.faddr, kProtoTcp,
+                              /*dont_fragment=*/true);
+}
+
+sim::Task<void> TcpConnection::send_control(KernCtx ctx, std::uint32_t seq,
+                                            std::uint8_t flags) {
+  co_await send_segment(ctx, seq, 0, flags, /*rexmt=*/false);
+}
+
+void TcpConnection::arm_persist() {
+  if (persist_timer_.armed()) return;
+  persist_timer_ = stack_.env().sim.timer_after(
+      std::max<sim::Duration>(rto(), sim::msec(500)), [this] { persist_fire(); });
+}
+
+void TcpConnection::persist_fire() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+  // Window probe: a zero-length segment below the window forces the peer to
+  // respond with an ACK carrying its current window. Any successful
+  // transmission cancels the timer (send_segment).
+  KernCtx ctx{stack_.env().intr_acct, sim::Priority::Kernel};
+  sim::spawn(send_control(ctx, snd_una_ - 1, kTcpAck));
+  arm_persist();
+}
+
+}  // namespace nectar::net

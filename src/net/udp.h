@@ -1,0 +1,65 @@
+// UDP with optional outboard checksumming.
+//
+// Checksum policy out a hardware-checksum interface mirrors TCP's seed
+// mechanism. One UDP-specific rule (§4.3): the hardware always produces a
+// ones-complement sum, and a transmitted UDP checksum of 0 means "no
+// checksum" — but as the paper argues, a computed checksum can only fold to
+// 0 if every summed word is 0, impossible with non-zero pseudo-header
+// addresses, so no 0 -> 0xffff substitution is ever needed (tests verify the
+// argument).
+//
+// Datagrams larger than the path MTU fragment at IP. A fragmented datagram's
+// checksum cannot be computed per-fragment by the CAB, so descriptor-backed
+// (M_UIO) datagrams that would fragment are sent with the checksum disabled;
+// readable (regular-mbuf) ones fall back to the software checksum.
+#pragma once
+
+#include <map>
+
+#include "net/headers.h"
+#include "net/netstack.h"
+
+namespace nectar::net {
+
+// How the socket layer receives datagrams.
+class UdpSocketIface {
+ public:
+  virtual ~UdpSocketIface() = default;
+  // `data` is the payload record (UDP header stripped). Ownership passes.
+  virtual void udp_deliver(mbuf::Mbuf* data, IpAddr src, std::uint16_t sport) = 0;
+};
+
+class Udp {
+ public:
+  explicit Udp(NetStack& stack) : stack_(stack) {}
+
+  void bind(std::uint16_t port, UdpSocketIface* s);
+  void unbind(std::uint16_t port);
+
+  // Send one datagram; `data` is the payload record (ownership passes).
+  sim::Task<void> output(KernCtx ctx, mbuf::Mbuf* data, IpAddr src,
+                         std::uint16_t sport, IpAddr dst, std::uint16_t dport,
+                         bool checksum_enable = true);
+
+  // From NetStack demux; `pkt` starts at the UDP header. Takes ownership.
+  sim::Task<void> input(KernCtx ctx, mbuf::Mbuf* pkt, const IpHeader& ih);
+
+  struct Stats {
+    std::uint64_t out_datagrams = 0;
+    std::uint64_t in_datagrams = 0;
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t no_port = 0;
+    std::uint64_t unverifiable = 0;  // nonzero csum over unreadable data
+    std::uint64_t hw_csum_tx = 0;
+    std::uint64_t sw_csum_tx = 0;
+    std::uint64_t nocsum_tx = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  NetStack& stack_;
+  std::map<std::uint16_t, UdpSocketIface*> ports_;
+  Stats stats_;
+};
+
+}  // namespace nectar::net

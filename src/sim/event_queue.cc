@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace nectar::sim {
+
+void Simulator::at(Time t, std::function<void()> fn) {
+  assert(fn);
+  if (t < now_) throw std::logic_error("Simulator::at: time in the past");
+  queue_.push(Event{t, seq_++, std::move(fn), nullptr, nullptr});
+}
+
+TimerHandle Simulator::timer_at(Time t, std::function<void()> fn) {
+  assert(fn);
+  if (t < now_) throw std::logic_error("Simulator::timer_at: time in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  auto fired = std::make_shared<bool>(false);
+  queue_.push(Event{t, seq_++, std::move(fn), cancelled, fired});
+  return TimerHandle{std::move(cancelled), std::move(fired)};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out before pop so the
+    // callback may schedule further events (including reallocation).
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;  // tombstoned timer
+    now_ = ev.t;
+    if (ev.fired) *ev.fired = true;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().t > deadline) {
+      now_ = deadline;
+      return;
+    }
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace nectar::sim

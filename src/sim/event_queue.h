@@ -1,0 +1,93 @@
+// Discrete-event simulator core: a time-ordered queue of callbacks.
+//
+// Determinism: events at the same timestamp fire in insertion order (a
+// monotonically increasing sequence number breaks ties), so a given seed and
+// workload always produce the same execution.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nectar::sim {
+
+// Cancelable handle for a scheduled event (used by protocol timers).
+// Copyable; cancel() is idempotent and safe after the event fired.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool armed() const {
+    return cancelled_ && !*cancelled_ && !*fired_;
+  }
+
+ private:
+  friend class Simulator;
+  TimerHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
+      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<bool> fired_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // Schedule `fn` at absolute time t (>= now).
+  void at(Time t, std::function<void()> fn);
+
+  // Schedule `fn` after a relative delay (>= 0).
+  void after(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+  // Cancelable variants for protocol timers.
+  TimerHandle timer_at(Time t, std::function<void()> fn);
+  TimerHandle timer_after(Duration d, std::function<void()> fn) {
+    return timer_at(now_ + d, std::move(fn));
+  }
+
+  // Run one event. Returns false if the queue is empty.
+  bool step();
+
+  // Run until the queue drains.
+  void run();
+
+  // Run until simulated time reaches `deadline` (events at exactly `deadline`
+  // still fire) or the queue drains.
+  void run_until(Time deadline);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // null for non-cancelable events
+    std::shared_ptr<bool> fired;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nectar::sim

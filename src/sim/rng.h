@@ -1,0 +1,42 @@
+// Deterministic random numbers for workloads and traffic models.
+//
+// xoshiro256** seeded through splitmix64: small, fast, and identical across
+// platforms (unlike std:: distributions, whose outputs are
+// implementation-defined), so experiment output is reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nectar::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  // Uniform integer in [0, n). n == 0 returns 0.
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  // True with probability p.
+  bool chance(double p) noexcept;
+
+  // Fill a buffer with pseudo-random bytes (payload generation).
+  void fill(std::span<std::byte> out) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nectar::sim

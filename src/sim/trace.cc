@@ -1,0 +1,46 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace nectar::sim {
+
+std::uint32_t Trace::mask_ = 0;
+
+namespace {
+const char* cat_name(TraceCat c) noexcept {
+  switch (c) {
+    case TraceCat::Sim: return "sim";
+    case TraceCat::Mbuf: return "mbuf";
+    case TraceCat::Vm: return "vm";
+    case TraceCat::Cab: return "cab";
+    case TraceCat::Hippi: return "hippi";
+    case TraceCat::Ip: return "ip";
+    case TraceCat::Tcp: return "tcp";
+    case TraceCat::Udp: return "udp";
+    case TraceCat::Sock: return "sock";
+    case TraceCat::Driver: return "drv";
+    case TraceCat::App: return "app";
+    case TraceCat::kCount: break;
+  }
+  return "?";
+}
+}  // namespace
+
+void Trace::enable(TraceCat c) noexcept { mask_ |= 1u << static_cast<unsigned>(c); }
+void Trace::disable(TraceCat c) noexcept { mask_ &= ~(1u << static_cast<unsigned>(c)); }
+void Trace::enable_all() noexcept { mask_ = ~0u; }
+void Trace::disable_all() noexcept { mask_ = 0; }
+bool Trace::enabled(TraceCat c) noexcept {
+  return (mask_ & (1u << static_cast<unsigned>(c))) != 0;
+}
+
+void Trace::log(Time now, TraceCat c, const char* fmt, ...) {
+  std::fprintf(stderr, "[t=%10.3fus] %-5s ", to_usec(now), cat_name(c));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nectar::sim

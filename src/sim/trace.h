@@ -1,0 +1,52 @@
+// Lightweight category-gated tracing, off by default.
+//
+// Intended for debugging protocol behaviour in tests/examples:
+//   sim::Trace::enable(sim::TraceCat::Tcp);
+//   NECTAR_TRACE(sim, TraceCat::Tcp, "snd_nxt=%u", tp.snd_nxt);
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace nectar::sim {
+
+enum class TraceCat : unsigned {
+  Sim = 0,
+  Mbuf,
+  Vm,
+  Cab,
+  Hippi,
+  Ip,
+  Tcp,
+  Udp,
+  Sock,
+  Driver,
+  App,
+  kCount,
+};
+
+class Trace {
+ public:
+  static void enable(TraceCat c) noexcept;
+  static void disable(TraceCat c) noexcept;
+  static void enable_all() noexcept;
+  static void disable_all() noexcept;
+  [[nodiscard]] static bool enabled(TraceCat c) noexcept;
+
+  // printf-style, prefixed with "[t=<us>] <cat>".
+  static void log(Time now, TraceCat c, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  static std::uint32_t mask_;
+};
+
+}  // namespace nectar::sim
+
+#define NECTAR_TRACE(sim_ref, cat, ...)                                 \
+  do {                                                                  \
+    if (::nectar::sim::Trace::enabled(cat))                             \
+      ::nectar::sim::Trace::log((sim_ref).now(), cat, __VA_ARGS__);     \
+  } while (0)

@@ -1,0 +1,50 @@
+// Listener: multi-connection accept on top of the single-connection
+// TcpConnection primitive.
+//
+// A Listener keeps one embryonic socket in LISTEN state; accept() waits for
+// it to become established, replaces it with a fresh listener, and hands the
+// established socket to the caller. A SYN arriving in the (zero-time, but
+// nonzero-event) gap between establishment and re-listen is recovered by the
+// client's SYN retransmission, which approximates a backlog of 1.
+#pragma once
+
+#include "socket/socket.h"
+
+namespace nectar::socket {
+
+class Listener {
+ public:
+  Listener(net::NetStack& stack, std::uint16_t port, SocketOptions opts = {})
+      : stack_(stack), port_(port), opts_(opts) {
+    rearm();
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Await the next established connection. Returns nullptr if the listener
+  // socket closed without establishing. The replacement listener can only be
+  // armed after the embryonic socket leaves LISTEN (it owns the port until
+  // the SYN moves it to the full-tuple demux).
+  sim::Task<std::unique_ptr<Socket>> accept() {
+    std::unique_ptr<Socket> sock = std::move(pending_);
+    const bool ok = co_await sock->tcp().wait_established();
+    rearm();
+    if (!ok) co_return nullptr;
+    co_return sock;
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void rearm() {
+    pending_ = std::make_unique<Socket>(stack_, Socket::Proto::kTcp, opts_);
+    pending_->listen(port_);
+  }
+
+  net::NetStack& stack_;
+  std::uint16_t port_;
+  SocketOptions opts_;
+  std::unique_ptr<Socket> pending_;
+};
+
+}  // namespace nectar::socket

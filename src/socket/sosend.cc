@@ -1,0 +1,244 @@
+// sosend: the transmit half of the user socket API.
+#include <cassert>
+
+#include "socket/socket.h"
+
+namespace nectar::socket {
+
+using mbuf::Mbuf;
+using net::KernCtx;
+
+bool Socket::single_copy_eligible(const mem::Uio& data, net::IpAddr dst,
+                                  std::size_t len) {
+  if (opts_.policy == CopyPolicy::kNeverSingleCopy) return false;
+  auto route = stack_.routes().lookup(dst);
+  if (!route || !route->ifp->single_copy()) return false;
+  if (!data.word_aligned()) {
+    // §4.5: the CAB DMA engines require word-aligned host addresses; the
+    // traditional path handles unaligned accesses.
+    ++stats_.unaligned_fallbacks;
+    return false;
+  }
+  if (opts_.policy == CopyPolicy::kAlwaysSingleCopy) return true;
+  return len >= opts_.single_copy_threshold;
+}
+
+// Single-copy transmit staging (§2.2): pin+map one packet's worth in
+// application context, then copy it outboard immediately — "decisions about
+// partitioning of user data into packets must be made before the data is
+// transferred out of user space". The completion appends an M_WCAB mbuf to
+// the send buffer and kicks TCP; the actual (re)transmission is always a
+// header-rewrite SDMA plus MDMA against this staged packet.
+sim::Task<void> Socket::append_single_copy(ProcCtx& p, KernCtx ctx,
+                                           const mem::Uio& chunk) {
+  auto& env = stack_.env();
+  auto route = stack_.routes().lookup(tp_->key().faddr);
+  net::Ifnet* drv = route ? route->ifp : nullptr;
+  if (drv == nullptr || !drv->single_copy())
+    throw std::logic_error("sosend: single-copy append without a CAB route");
+  const std::size_t header_space = drv->tx_header_space();
+  const std::size_t mss = tp_->mss();
+
+  const std::size_t total = chunk.total_len();
+  for (std::size_t off = 0; off < total; off += mss) {
+    const std::size_t plen = std::min(mss, total - off);
+    mem::Uio pdata = chunk.slice(off, plen);
+    // Pin + map in app context, one packet at a time (§4.4.1, §7.3). The
+    // exact ranges are recorded so release is page-for-page symmetric.
+    for (const auto& v : pdata.iov)
+      co_await env.pin_cache.acquire(p.as, v.base, v.len, ctx.acct, ctx.prio);
+    pinned_tx_.push_back(pdata);
+
+    staged_tx_ += plen;
+    tx_sync_.add(static_cast<int>(plen));
+    Socket* self = this;
+    co_await drv->copy_in(ctx, std::move(pdata), header_space,
+                          [self, plen](mbuf::Wcab w) {
+                            auto& e = self->stack_.env();
+                            mbuf::UioWcabHdr hdr;
+                            hdr.sync = &self->tx_sync_;
+                            Mbuf* wm = e.pool.get_wcab(w, plen, hdr, false);
+                            self->snd_.append(wm);
+                            self->staged_tx_ -= plen;
+                            self->tx_sync_.done(static_cast<int>(plen));
+                            // End-of-DMA context: hand the new packet to TCP.
+                            net::KernCtx ictx{e.intr_acct, sim::Priority::Kernel};
+                            sim::spawn(self->tp_->send_ready(ictx));
+                          });
+  }
+}
+
+// Release exactly the ranges staging pinned (asymmetric quanta would corrupt
+// the per-page pin counts).
+sim::Task<void> Socket::release_pins(ProcCtx& p, KernCtx ctx, const mem::Uio& data) {
+  (void)data;
+  auto& env = stack_.env();
+  std::vector<mem::Uio> ranges;
+  ranges.swap(pinned_tx_);
+  for (const auto& u : ranges) {
+    for (const auto& v : u.iov)
+      co_await env.pin_cache.release(p.as, v.base, v.len, ctx.acct, ctx.prio);
+  }
+}
+
+sim::Task<void> Socket::append_copy(ProcCtx& p, KernCtx ctx, const mem::Uio& chunk,
+                                    Mbuf** out_chain) {
+  (void)p;
+  auto& env = stack_.env();
+  const std::size_t len = chunk.total_len();
+  // The traditional path: user -> kernel buffer copy, at copy bandwidth.
+  co_await env.cpu.run(
+      sim::transfer_time(static_cast<std::int64_t>(len), stack_.costs().copy_bw_bps),
+      ctx.acct, ctx.prio);
+
+  Mbuf* head = nullptr;
+  Mbuf** link = &head;
+  Mbuf* cur = nullptr;
+  for (const auto& v : chunk.iov) {
+    auto src = chunk.space->read_view(v.base, v.len);
+    std::size_t off = 0;
+    while (off < v.len) {
+      if (cur == nullptr || cur->trailing_space() == 0) {
+        cur = env.pool.get_cluster(false);
+        *link = cur;
+        link = &cur->next;
+      }
+      const std::size_t take = std::min(v.len - off, cur->trailing_space());
+      cur->append(src.subspan(off, take));
+      off += take;
+    }
+  }
+  *out_chain = head;
+  co_return;
+}
+
+sim::Task<std::size_t> Socket::send(ProcCtx& p, mem::Uio data) {
+  assert(proto_ == Proto::kTcp);
+  auto& env = stack_.env();
+  KernCtx ctx{p.sys_acct, p.prio};
+  co_await env.cpu.run(sim::usec(stack_.costs().syscall_us), ctx.acct, ctx.prio);
+  ++stats_.writes;
+
+  const std::size_t total = data.total_len();
+  bool sc = single_copy_eligible(data, tp_->key().faddr, total);
+
+  // §4.5 transmit fix-up: "if a write starts at an address that is a 16 bit
+  // boundary (but not a 32 bit boundary), we can send a first packet of 16
+  // bits, which will have to be copied, but the remainder of the data can be
+  // DMAed since it is now word aligned."
+  std::size_t fixup = 0;
+  if (!sc && opts_.tx_align_fixup &&
+      opts_.policy != CopyPolicy::kNeverSingleCopy && data.iov.size() == 1 &&
+      data.iov[0].base % 4 != 0 && total >= opts_.single_copy_threshold) {
+    auto route = stack_.routes().lookup(tp_->key().faddr);
+    if (route && route->ifp->single_copy()) {
+      fixup = 4 - static_cast<std::size_t>(data.iov[0].base % 4);
+      sc = true;  // the remainder goes single-copy
+      ++stats_.align_fixups;
+    }
+  }
+  if (sc) ++stats_.single_copy_writes;
+  else ++stats_.copy_writes;
+
+  std::size_t done = 0;
+  if (fixup > 0) {
+    // The short unaligned prefix travels the copy path as its own packet.
+    Mbuf* prefix = nullptr;
+    co_await append_copy(p, ctx, data.slice(0, fixup), &prefix);
+    while (snd_.space() <= staged_tx_) {
+      if (tp_->state() == net::TcpState::kClosed) co_return done;
+      co_await writable_.wait();
+    }
+    snd_.append(prefix);
+    co_await tp_->send_ready(ctx);
+    done = fixup;
+  }
+  while (done < total) {
+    // Effective space counts data already staged outboard but not yet
+    // appended (its completion will consume send-buffer space).
+    while (snd_.space() <= staged_tx_) {
+      if (tp_->state() == net::TcpState::kClosed) co_return done;
+      co_await writable_.wait();
+    }
+    const std::size_t chunk_len = std::min(total - done, snd_.space() - staged_tx_);
+    co_await env.cpu.run(sim::usec(stack_.costs().sosend_chunk_us), ctx.acct,
+                         ctx.prio);
+    mem::Uio chunk = data.slice(done, chunk_len);
+    if (sc) {
+      co_await append_single_copy(p, ctx, chunk);
+    } else {
+      Mbuf* chain = nullptr;
+      co_await append_copy(p, ctx, chunk, &chain);
+      snd_.append(chain);
+      co_await tp_->send_ready(ctx);
+    }
+    done += chunk_len;
+  }
+
+  if (sc) {
+    // Copy semantics (§4.4.2): return only after every byte is outboard.
+    // The final SDMA's end-of-DMA interrupt wakes us (charged as interrupt
+    // work plus the reschedule).
+    co_await tx_sync_.drain();
+    co_await env.cpu.run(sim::usec(stack_.costs().intr_us), env.intr_acct,
+                         sim::Priority::Interrupt);
+    co_await env.cpu.run(sim::usec(stack_.costs().wakeup_us), ctx.acct, ctx.prio);
+    co_await release_pins(p, ctx, data);
+  }
+  stats_.bytes_sent += total;
+  co_return total;
+}
+
+sim::Task<std::size_t> Socket::sendto(ProcCtx& p, mem::Uio data, net::IpAddr dst,
+                                      std::uint16_t dport) {
+  assert(proto_ == Proto::kUdp);
+  auto& env = stack_.env();
+  KernCtx ctx{p.sys_acct, p.prio};
+  co_await env.cpu.run(sim::usec(stack_.costs().syscall_us), ctx.acct, ctx.prio);
+  co_await env.cpu.run(sim::usec(stack_.costs().sosend_chunk_us), ctx.acct, ctx.prio);
+  ++stats_.writes;
+
+  const std::size_t total = data.total_len();
+  if (net::kUdpHdrLen + total > 0xffff - net::kIpHdrLen)
+    throw std::invalid_argument("sendto: datagram exceeds the IPv4 maximum");
+  const net::IpAddr src = stack_.source_addr_for(dst);
+  const bool sc = single_copy_eligible(data, dst, total);
+
+  Mbuf* chain = nullptr;
+  if (sc) {
+    ++stats_.single_copy_writes;
+    const std::size_t quantum = 32 * 1024;
+    for (const auto& v : data.iov) {
+      for (std::size_t off = 0; off < v.len; off += quantum) {
+        const std::size_t n = std::min(quantum, v.len - off);
+        co_await env.pin_cache.acquire(p.as, v.base + off, n, ctx.acct, ctx.prio);
+        mem::Uio pinned;
+        pinned.space = data.space;
+        pinned.iov.push_back(mem::UioVec{v.base + off, n});
+        pinned_tx_.push_back(std::move(pinned));
+      }
+    }
+    tx_sync_.add(static_cast<int>(total));
+    mbuf::UioWcabHdr hdr;
+    hdr.sync = &tx_sync_;
+    chain = env.pool.get_uio(data, total, hdr, false);
+  } else {
+    ++stats_.copy_writes;
+    co_await append_copy(p, ctx, data, &chain);
+  }
+
+  co_await stack_.udp().output(ctx, chain, src, uport_, dst, dport,
+                               opts_.udp_checksum);
+
+  if (sc) {
+    co_await tx_sync_.drain();
+    co_await env.cpu.run(sim::usec(stack_.costs().intr_us), env.intr_acct,
+                         sim::Priority::Interrupt);
+    co_await env.cpu.run(sim::usec(stack_.costs().wakeup_us), ctx.acct, ctx.prio);
+    co_await release_pins(p, ctx, data);
+  }
+  stats_.bytes_sent += total;
+  co_return total;
+}
+
+}  // namespace nectar::socket

@@ -1,0 +1,192 @@
+#include "taxonomy/taxonomy.h"
+
+#include <sstream>
+
+namespace nectar::taxonomy {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kCopy: return "Copy";
+    case Op::kCopyC: return "Copy_C";
+    case Op::kReadC: return "Read_C";
+    case Op::kPio: return "PIO";
+    case Op::kPioC: return "PIO_C";
+    case Op::kDma: return "DMA";
+    case Op::kDmaC: return "DMA_C";
+  }
+  return "?";
+}
+
+namespace {
+
+Op transfer_op(Movement m, bool with_csum) {
+  if (m == Movement::kPio) return with_csum ? Op::kPioC : Op::kPio;
+  return with_csum ? Op::kDmaC : Op::kDma;
+}
+
+void tally(const std::vector<Op>& ops, int& cpu, int& bus, bool& single) {
+  cpu = 0;
+  bus = 0;
+  int transfers = 0;
+  int copies = 0;
+  int reads = 0;
+  for (Op op : ops) {
+    switch (op) {
+      case Op::kCopy:
+      case Op::kCopyC:
+        cpu += 2;  // read + write
+        bus += 2;
+        ++copies;
+        break;
+      case Op::kReadC:
+        cpu += 1;
+        bus += 1;
+        ++reads;
+        break;
+      case Op::kPio:
+      case Op::kPioC:
+        cpu += 1;  // the CPU moves every byte
+        bus += 1;
+        ++transfers;
+        break;
+      case Op::kDma:
+      case Op::kDmaC:
+        bus += 1;  // bus only; no CPU touch
+        ++transfers;
+        break;
+    }
+  }
+  single = (copies == 0 && reads == 0 && transfers == 1);
+}
+
+}  // namespace
+
+Analysis analyze(const Config& c) {
+  Analysis a;
+
+  // ---- transmit ----
+  // Rule 1: copy semantics + reliability force a host copy unless the
+  // adaptor buffers whole send windows (outboard buffering).
+  const bool host_copy = c.api == Api::kCopy && c.buffering != Buffering::kOutboard;
+  // Rule 2: checksum insertion into a *header* during the device transfer
+  // needs adaptor buffering; trailers append.
+  const bool insert_ok =
+      c.place == CsumPlace::kTrailer || c.buffering != Buffering::kNone;
+  // Rule 3: PIO folds the checksum for free; DMA needs hardware.
+  const bool xfer_csum = c.movement == Movement::kPio || c.hw_checksum;
+
+  if (host_copy) {
+    if (xfer_csum && insert_ok) {
+      a.transmit = {Op::kCopy, transfer_op(c.movement, true)};
+    } else {
+      a.transmit = {Op::kCopyC, transfer_op(c.movement, false)};
+    }
+  } else {
+    if (xfer_csum && insert_ok) {
+      a.transmit = {transfer_op(c.movement, true)};
+    } else {
+      a.transmit = {Op::kReadC, transfer_op(c.movement, false)};
+    }
+  }
+
+  // ---- receive ----
+  // Copy semantics buffer incoming data until the application asks for it:
+  // in host memory (no/packet buffering) or outboard. Verification has no
+  // insertion constraint, so placement does not matter on this side.
+  const bool host_copy_rx =
+      c.api == Api::kCopy && c.buffering != Buffering::kOutboard;
+  if (host_copy_rx) {
+    if (xfer_csum) {
+      a.receive = {transfer_op(c.movement, true), Op::kCopy};
+    } else {
+      a.receive = {transfer_op(c.movement, false), Op::kCopyC};
+    }
+  } else {
+    if (xfer_csum) {
+      a.receive = {transfer_op(c.movement, true)};
+    } else {
+      a.receive = {transfer_op(c.movement, false), Op::kReadC};
+    }
+  }
+
+  tally(a.transmit, a.cpu_touches_tx, a.bus_transfers_tx, a.single_copy_tx);
+  tally(a.receive, a.cpu_touches_rx, a.bus_transfers_rx, a.single_copy_rx);
+  return a;
+}
+
+std::string ops_string(const std::vector<Op>& ops) {
+  std::string s;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i != 0) s += ' ';
+    s += op_name(ops[i]);
+  }
+  return s;
+}
+
+std::string render_table(bool transmit) {
+  std::ostringstream os;
+  struct Col {
+    Buffering buf;
+    Movement mv;
+    bool hw;
+    const char* label;
+  };
+  const Col cols[] = {
+      {Buffering::kNone, Movement::kPio, false, "PIO"},
+      {Buffering::kNone, Movement::kDma, false, "DMA"},
+      {Buffering::kNone, Movement::kDma, true, "DMA+C"},
+      {Buffering::kPacket, Movement::kPio, false, "PIO"},
+      {Buffering::kPacket, Movement::kDma, false, "DMA"},
+      {Buffering::kPacket, Movement::kDma, true, "DMA+C"},
+      {Buffering::kOutboard, Movement::kPio, false, "PIO"},
+      {Buffering::kOutboard, Movement::kDma, false, "DMA"},
+      {Buffering::kOutboard, Movement::kDma, true, "DMA+C"},
+  };
+  struct Row {
+    Api api;
+    CsumPlace place;
+    const char* label;
+  };
+  const Row rows[] = {
+      {Api::kCopy, CsumPlace::kHeader, "Copy  Header "},
+      {Api::kCopy, CsumPlace::kTrailer, "Copy  Trailer"},
+      {Api::kShare, CsumPlace::kHeader, "Share Header "},
+      {Api::kShare, CsumPlace::kTrailer, "Share Trailer"},
+  };
+
+  const int w = 14;
+  os << "                 | No buffering" << std::string(3 * w - 13, ' ')
+     << "| Packet buffering" << std::string(3 * w - 17, ' ')
+     << "| Outboard buffering\n";
+  os << "  API   Checksum |";
+  for (const auto& col : cols) {
+    std::string lab = col.label;
+    os << ' ' << lab << std::string(w - 2 - lab.size(), ' ') << ' ';
+  }
+  os << "\n";
+  os << std::string(17 + 9 * w, '-') << "\n";
+  for (const auto& row : rows) {
+    os << "  " << row.label << "  |";
+    for (const auto& col : cols) {
+      Config c;
+      c.api = row.api;
+      c.place = row.place;
+      c.movement = col.mv;
+      c.hw_checksum = col.hw;
+      c.buffering = col.buf;
+      const Analysis a = analyze(c);
+      std::string cell = ops_string(transmit ? a.transmit : a.receive);
+      if ((transmit ? a.single_copy_tx : a.single_copy_rx)) cell += " *";
+      os << ' ' << cell << std::string(cell.size() < std::size_t(w - 2)
+                                           ? w - 2 - cell.size()
+                                           : 1,
+                                       ' ')
+         << ' ';
+    }
+    os << "\n";
+  }
+  os << "\n  (* = single-copy architecture: one data transfer, checksum folded in)\n";
+  return os.str();
+}
+
+}  // namespace nectar::taxonomy

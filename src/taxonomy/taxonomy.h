@@ -1,0 +1,76 @@
+// Host-interface taxonomy (paper §6, Table 1; the analysis of [19]).
+//
+// A host interface is classified by three parameters:
+//   * API semantics: copy vs share;
+//   * transport checksum placement: header (TCP/UDP) vs trailer;
+//   * adaptor architecture: data movement (PIO vs DMA), checksum hardware,
+//     and buffering (none, single-packet, outboard).
+// The minimum set of per-byte operations on the transmit path follows from
+// three facts the paper builds on:
+//   1. Copy semantics + reliable transport require the data to survive until
+//      acknowledged, so without *outboard* buffering a host copy is
+//      unavoidable (single-packet buffering is not retransmission storage).
+//   2. A header checksum must be known before the first byte reaches the
+//      media, so computing it during the device transfer requires buffering
+//      on the adaptor; a trailer checksum can always be appended.
+//   3. PIO touches every byte with the CPU anyway, so it can always fold the
+//      checksum in; DMA needs checksum hardware.
+// Everything else is bookkeeping. (The OCR of Table 1 in our source text is
+// scrambled; this module regenerates the table from these rules and the
+// recoverable fragments match — see EXPERIMENTS.md.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nectar::taxonomy {
+
+enum class Api { kCopy, kShare };
+enum class CsumPlace { kHeader, kTrailer };
+enum class Movement { kPio, kDma };
+enum class Buffering { kNone, kPacket, kOutboard };
+
+enum class Op {
+  kCopy,    // host memory-memory copy
+  kCopyC,   // copy with checksum folded in
+  kReadC,   // separate checksum read pass
+  kPio,     // programmed IO transfer
+  kPioC,    // PIO with checksum folded in
+  kDma,     // DMA transfer
+  kDmaC,    // DMA with checksum in hardware
+};
+
+[[nodiscard]] const char* op_name(Op op) noexcept;
+
+struct Config {
+  Api api = Api::kCopy;
+  CsumPlace place = CsumPlace::kHeader;
+  Movement movement = Movement::kDma;
+  bool hw_checksum = false;
+  Buffering buffering = Buffering::kNone;
+};
+
+struct Analysis {
+  std::vector<Op> transmit;  // per-byte operations, in order
+  std::vector<Op> receive;
+
+  // Derived metrics (per byte moved):
+  int cpu_touches_tx = 0;   // CPU read/write passes over the data
+  int bus_transfers_tx = 0; // memory-bus crossings
+  int cpu_touches_rx = 0;
+  int bus_transfers_rx = 0;
+  bool single_copy_tx = false;  // one transfer, checksum folded in
+  bool single_copy_rx = false;
+};
+
+// Apply the rules above to one configuration.
+[[nodiscard]] Analysis analyze(const Config& c);
+
+// Render a Table 1-style grid (rows: API x placement; columns: buffering x
+// movement/checksum) for the given direction ("tx" or "rx").
+[[nodiscard]] std::string render_table(bool transmit);
+
+// Short cell text like "Copy_C DMA".
+[[nodiscard]] std::string ops_string(const std::vector<Op>& ops);
+
+}  // namespace nectar::taxonomy

@@ -1,0 +1,204 @@
+// Unit tests: RFC 1071 Internet checksum engine (the foundation both the
+// software stack and the simulated CAB hardware share).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "checksum/internet_checksum.h"
+#include "checksum/wire.h"
+#include "sim/rng.h"
+
+namespace nectar::checksum {
+namespace {
+
+std::vector<std::byte> make_bytes(std::initializer_list<unsigned> v) {
+  std::vector<std::byte> out;
+  for (unsigned x : v) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+TEST(Checksum, Rfc1071WorkedExample) {
+  // The classic example from RFC 1071 §3: {00 01, f2 03, f4 f5, f6 f7}.
+  auto data = make_bytes({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  const std::uint16_t sum = fold(ones_sum_ref(data));
+  EXPECT_EQ(sum, 0xddf2);
+  EXPECT_EQ(finish(ones_sum_ref(data)), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, EmptyIsSeed) {
+  EXPECT_EQ(ones_sum({}, 0u), 0u);
+  EXPECT_EQ(ones_sum({}, 0x1234u), 0x1234u);
+}
+
+TEST(Checksum, OddLengthPadsLowByte) {
+  auto data = make_bytes({0xab});
+  EXPECT_EQ(fold(ones_sum_ref(data)), 0xab00);
+}
+
+TEST(Checksum, OptimizedMatchesReferenceExhaustiveSmall) {
+  sim::Rng rng(7);
+  for (std::size_t len = 0; len <= 130; ++len) {
+    std::vector<std::byte> buf(len);
+    rng.fill(buf);
+    EXPECT_EQ(fold(ones_sum(buf)), fold(ones_sum_ref(buf))) << "len=" << len;
+  }
+}
+
+TEST(Checksum, OptimizedMatchesReferenceLargeRandom) {
+  sim::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::byte> buf(1 + rng.uniform_below(64 * 1024));
+    rng.fill(buf);
+    EXPECT_EQ(fold(ones_sum(buf)), fold(ones_sum_ref(buf)));
+  }
+}
+
+TEST(Checksum, OptimizedMatchesReferenceUnalignedStart) {
+  sim::Rng rng(11);
+  std::vector<std::byte> buf(4096 + 1);
+  rng.fill(buf);
+  std::span<const std::byte> odd{buf.data() + 1, 4096};
+  EXPECT_EQ(fold(ones_sum(odd)), fold(ones_sum_ref(odd)));
+}
+
+TEST(Checksum, SeedIsAdditive) {
+  sim::Rng rng(13);
+  std::vector<std::byte> buf(777);
+  rng.fill(buf);
+  const std::uint32_t s1 = ones_sum(buf, 0);
+  const std::uint32_t s2 = ones_sum(buf, 0x5678);
+  EXPECT_EQ(fold(s2), fold(s1 + 0x5678u));
+}
+
+// Property: splitting a buffer at any even point and combining partial sums
+// reproduces the whole-buffer sum.
+class ChecksumSplit : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChecksumSplit, CombineAtEvenSplit) {
+  sim::Rng rng(17);
+  std::vector<std::byte> buf(2048);
+  rng.fill(buf);
+  const std::size_t cut = GetParam();
+  auto a = std::span<const std::byte>(buf).first(cut);
+  auto b = std::span<const std::byte>(buf).subspan(cut);
+  const std::uint32_t whole = ones_sum(buf);
+  const std::uint32_t parts = combine(ones_sum(a), ones_sum(b), cut);
+  EXPECT_EQ(fold(whole), fold(parts)) << "cut=" << cut;
+}
+
+TEST_P(ChecksumSplit, CombineAtOddSplit) {
+  sim::Rng rng(19);
+  std::vector<std::byte> buf(2048);
+  rng.fill(buf);
+  const std::size_t cut = GetParam() + 1;  // odd
+  auto a = std::span<const std::byte>(buf).first(cut);
+  auto b = std::span<const std::byte>(buf).subspan(cut);
+  const std::uint32_t whole = ones_sum(buf);
+  const std::uint32_t parts = combine(ones_sum(a), ones_sum(b), cut);
+  EXPECT_EQ(fold(whole), fold(parts)) << "cut=" << cut;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ChecksumSplit,
+                         ::testing::Values(0u, 2u, 8u, 62u, 64u, 500u, 1024u,
+                                           2000u, 2046u));
+
+TEST(Checksum, VerificationProperty) {
+  // A segment containing its own finished checksum sums to 0xffff.
+  sim::Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::byte> seg(20 + rng.uniform_below(2048));
+    rng.fill(seg);
+    wire::store_be16(seg.data() + 16, 0);  // checksum field
+    const std::uint16_t c = finish(ones_sum(seg));
+    wire::store_be16(seg.data() + 16, c);
+    EXPECT_EQ(fold(ones_sum(seg)), 0xffff);
+  }
+}
+
+TEST(Checksum, SingleBitCorruptionDetected) {
+  sim::Rng rng(29);
+  std::vector<std::byte> seg(512);
+  rng.fill(seg);
+  wire::store_be16(seg.data() + 16, 0);
+  wire::store_be16(seg.data() + 16, finish(ones_sum(seg)));
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t pos = rng.uniform_below(seg.size());
+    const int bit = static_cast<int>(rng.uniform_below(8));
+    seg[pos] ^= static_cast<std::byte>(1 << bit);
+    EXPECT_NE(fold(ones_sum(seg)), 0xffff);
+    seg[pos] ^= static_cast<std::byte>(1 << bit);  // restore
+  }
+}
+
+TEST(Checksum, PseudoHeaderSum) {
+  PseudoHeader ph;
+  ph.src = 0x0a000001;  // 10.0.0.1
+  ph.dst = 0x0a000002;
+  ph.proto = 6;
+  ph.length = 100;
+  const std::uint32_t expect = 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 6 + 100;
+  EXPECT_EQ(pseudo_sum(ph), expect);
+}
+
+TEST(Checksum, UdpChecksumNeverZeroWithNonZeroAddresses) {
+  // The paper's §4.3 argument: a ones-complement sum folds to 0xffff (so the
+  // finished checksum is 0x0000) only if every summed word is 0xffff...
+  // which cannot happen when the pseudo-header addresses contribute nonzero,
+  // non-0xffff words. Probe randomly.
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::byte> seg(8 + rng.uniform_below(512));
+    rng.fill(seg);
+    const std::uint32_t pseudo =
+        pseudo_sum(PseudoHeader{0x0a000001, 0x0a000002, 17,
+                                static_cast<std::uint16_t>(seg.size())});
+    const std::uint16_t c = finish(pseudo + ones_sum(seg));
+    EXPECT_NE(c, 0x0000) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, IncrementalAdjustMatchesRecompute) {
+  sim::Rng rng(37);
+  std::vector<std::byte> seg(256);
+  rng.fill(seg);
+  wire::store_be16(seg.data() + 16, 0);
+  std::uint16_t csum = finish(ones_sum(seg));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t pos = 2 * rng.uniform_below(seg.size() / 2 - 9);
+    const std::size_t field = pos == 16 ? 20 : pos;  // skip the csum field
+    const std::uint16_t oldw = wire::load_be16(seg.data() + field);
+    const std::uint16_t neww = static_cast<std::uint16_t>(rng.next());
+    csum = adjust(csum, oldw, neww);
+    wire::store_be16(seg.data() + field, neww);
+    wire::store_be16(seg.data() + 16, 0);
+    EXPECT_EQ(csum, finish(ones_sum(seg)));
+    wire::store_be16(seg.data() + 16, csum);
+  }
+}
+
+TEST(Checksum, ByteswapSumConsistency) {
+  // byteswap_sum models RFC 1071's odd-offset rule: summing a buffer shifted
+  // by one byte equals the byte-swapped sum.
+  sim::Rng rng(41);
+  std::vector<std::byte> buf(1000);
+  rng.fill(buf);
+  std::vector<std::byte> shifted(1001, std::byte{0});
+  std::copy(buf.begin(), buf.end(), shifted.begin() + 1);
+  const std::uint16_t direct = fold(ones_sum(buf));
+  const std::uint16_t via_shift = fold(byteswap_sum(ones_sum(shifted)));
+  EXPECT_EQ(direct, via_shift);
+}
+
+TEST(Wire, RoundTrip16And32) {
+  std::byte b[4];
+  wire::store_be16(b, 0xbeef);
+  EXPECT_EQ(wire::load_be16(b), 0xbeef);
+  EXPECT_EQ(std::to_integer<unsigned>(b[0]), 0xbeu);  // big-endian order
+  wire::store_be32(b, 0xdeadbeef);
+  EXPECT_EQ(wire::load_be32(b), 0xdeadbeefu);
+  EXPECT_EQ(std::to_integer<unsigned>(b[0]), 0xdeu);
+}
+
+}  // namespace
+}  // namespace nectar::checksum

@@ -1,0 +1,269 @@
+// Unit tests: the discrete-event simulator, coroutine tasks, and the CPU
+// resource with priority scheduling and per-account time accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/rng.h"
+#include "tests/test_util.h"
+
+namespace nectar::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(usec(30), [&] { order.push_back(3); });
+  s.at(usec(10), [&] { order.push_back(1); });
+  s.at(usec(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), usec(30));
+}
+
+TEST(Simulator, SameTimestampFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(usec(5), [&, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator s;
+  s.at(usec(10), [] {});
+  s.run();
+  EXPECT_THROW(s.at(usec(5), [] {}), std::logic_error);
+}
+
+TEST(Simulator, TimerCancel) {
+  Simulator s;
+  int fired = 0;
+  auto t = s.timer_after(usec(10), [&] { ++fired; });
+  EXPECT_TRUE(t.armed());
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, TimerFiresAndReportsUnarmed) {
+  Simulator s;
+  int fired = 0;
+  auto t = s.timer_after(usec(10), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  t.cancel();  // idempotent after firing
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.at(usec(10), [&] { ++fired; });
+  s.at(usec(100), [&] { ++fired; });
+  s.run_until(usec(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), usec(50));
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 100) s.after(usec(1), recur);
+  };
+  s.after(usec(1), recur);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), usec(100));
+}
+
+TEST(Task, DelayAdvancesClock) {
+  Simulator s;
+  auto body = [&]() -> Task<void> {
+    co_await delay(s, usec(42));
+    EXPECT_EQ(s.now(), usec(42));
+    co_await delay(s, usec(8));
+    EXPECT_EQ(s.now(), usec(50));
+  };
+  testutil::run_task_void(s, body());
+}
+
+TEST(Task, ValueReturn) {
+  Simulator s;
+  auto make = [&](int v) -> Task<int> {
+    co_await delay(s, usec(1));
+    co_return v * 2;
+  };
+  EXPECT_EQ(testutil::run_task(s, make(21)), 42);
+}
+
+TEST(Task, NestedAwaits) {
+  Simulator s;
+  auto inner = [&](int v) -> Task<int> {
+    co_await delay(s, usec(5));
+    co_return v + 1;
+  };
+  auto outer = [&]() -> Task<int> {
+    int a = co_await inner(1);
+    int b = co_await inner(a);
+    co_return b;
+  };
+  EXPECT_EQ(testutil::run_task(s, outer()), 3);
+  EXPECT_EQ(s.now(), usec(10));
+}
+
+TEST(Task, ExceptionPropagatesThroughAwait) {
+  Simulator s;
+  auto thrower = [&]() -> Task<void> {
+    co_await delay(s, usec(1));
+    throw std::runtime_error("boom");
+  };
+  auto catcher = [&]() -> Task<int> {
+    try {
+      co_await thrower();
+    } catch (const std::runtime_error&) {
+      co_return 1;
+    }
+    co_return 0;
+  };
+  EXPECT_EQ(testutil::run_task(s, catcher()), 1);
+}
+
+TEST(Condition, NotifyAllWakesEveryWaiter) {
+  Simulator s;
+  Condition c(s);
+  int woke = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await c.wait();
+    ++woke;
+  };
+  for (int i = 0; i < 5; ++i) spawn(waiter());
+  s.run();
+  EXPECT_EQ(woke, 0);  // nothing notified yet
+  c.notify_all();
+  s.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Condition, NotifyOneWakesOne) {
+  Simulator s;
+  Condition c(s);
+  int woke = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await c.wait();
+    ++woke;
+  };
+  spawn(waiter());
+  spawn(waiter());
+  c.notify_one();
+  s.run();
+  EXPECT_EQ(woke, 1);
+  c.notify_one();
+  s.run();
+  EXPECT_EQ(woke, 2);
+}
+
+TEST(Cpu, SerializesWork) {
+  Simulator s;
+  Cpu cpu(s);
+  auto a = cpu.make_account("a");
+  sim::Time end_a = 0, end_b = 0;
+  auto job = [&](Duration d, sim::Time& out) -> Task<void> {
+    co_await cpu.run(d, a);
+    out = s.now();
+  };
+  spawn(job(usec(100), end_a));
+  spawn(job(usec(50), end_b));
+  s.run();
+  // Second job waits for the first.
+  EXPECT_EQ(end_a, usec(100));
+  EXPECT_EQ(end_b, usec(150));
+  EXPECT_EQ(cpu.busy(a), usec(150));
+}
+
+TEST(Cpu, PriorityJumpsQueue) {
+  Simulator s;
+  Cpu cpu(s);
+  auto acct = cpu.make_account("x");
+  std::vector<int> order;
+  auto job = [&](int id, Priority p) -> Task<void> {
+    co_await cpu.run(usec(10), acct, p);
+    order.push_back(id);
+  };
+  // Occupy the CPU, then queue: background, normal, interrupt.
+  spawn(job(0, Priority::Normal));
+  spawn(job(1, Priority::Background));
+  spawn(job(2, Priority::Normal));
+  spawn(job(3, Priority::Interrupt));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(Cpu, SpeedScaleDoublesDurations) {
+  Simulator s;
+  Cpu cpu(s, 2.0);
+  auto acct = cpu.make_account("x");
+  testutil::run_task_void(s, cpu.run(usec(100), acct));
+  EXPECT_EQ(s.now(), usec(200));
+  EXPECT_EQ(cpu.busy(acct), usec(200));
+}
+
+TEST(Cpu, ZeroWorkIsFree) {
+  Simulator s;
+  Cpu cpu(s);
+  auto acct = cpu.make_account("x");
+  testutil::run_task_void(s, cpu.run(0, acct));
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(cpu.total_busy(), 0);
+}
+
+TEST(Cpu, AccountsAreIndependent) {
+  Simulator s;
+  Cpu cpu(s);
+  auto a = cpu.make_account("a");
+  auto b = cpu.make_account("b");
+  auto seq = [&]() -> Task<void> {
+    co_await cpu.run(usec(30), a);
+    co_await cpu.run(usec(70), b);
+  };
+  testutil::run_task_void(s, seq());
+  EXPECT_EQ(cpu.busy(a), usec(30));
+  EXPECT_EQ(cpu.busy(b), usec(70));
+  EXPECT_EQ(cpu.total_busy(), usec(100));
+  EXPECT_EQ(cpu.account_name(a), "a");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_below(17), 17u);
+  EXPECT_EQ(r.uniform_below(0), 0u);
+  EXPECT_EQ(r.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformMeanRoughlyHalf) {
+  Rng r(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Time, TransferTimeBasics) {
+  EXPECT_EQ(transfer_time(0, 1e6), 0);
+  EXPECT_EQ(transfer_time(1000, 1e6), kMillisecond);
+  EXPECT_GT(transfer_time(1, 1e12), 0);  // nonzero transfers take time
+  EXPECT_NEAR(throughput_mbps(1'000'000, kSecond), 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nectar::sim

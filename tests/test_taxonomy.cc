@@ -1,0 +1,144 @@
+// Unit tests: the Table 1 host-interface taxonomy model.
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+
+namespace nectar::taxonomy {
+namespace {
+
+Config make(Api api, CsumPlace place, Buffering buf, Movement mv, bool hw) {
+  Config c;
+  c.api = api;
+  c.place = place;
+  c.buffering = buf;
+  c.movement = mv;
+  c.hw_checksum = hw;
+  return c;
+}
+
+TEST(Taxonomy, PaperCellIsSingleCopyBothWays) {
+  // Copy API + header checksum + outboard DMA+checksum: the CAB.
+  const Analysis a = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                  Buffering::kOutboard, Movement::kDma, true));
+  EXPECT_TRUE(a.single_copy_tx);
+  EXPECT_TRUE(a.single_copy_rx);
+  ASSERT_EQ(a.transmit.size(), 1u);
+  EXPECT_EQ(a.transmit[0], Op::kDmaC);
+  EXPECT_EQ(a.cpu_touches_tx, 0);
+  EXPECT_EQ(a.bus_transfers_tx, 1);
+}
+
+TEST(Taxonomy, UnmodifiedBsdCellCopiesAndChecksums) {
+  const Analysis a = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                  Buffering::kNone, Movement::kDma, false));
+  ASSERT_EQ(a.transmit.size(), 2u);
+  EXPECT_EQ(a.transmit[0], Op::kCopyC);
+  EXPECT_EQ(a.transmit[1], Op::kDma);
+  EXPECT_EQ(a.cpu_touches_tx, 2);
+  EXPECT_FALSE(a.single_copy_tx);
+}
+
+TEST(Taxonomy, ChecksumHardwareUselessWithoutBufferingForHeaders) {
+  // DMA+checksum but no buffering and a header checksum: the engine cannot
+  // insert, so the host copy still folds the checksum in.
+  const Analysis with_hw = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                        Buffering::kNone, Movement::kDma, true));
+  const Analysis without = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                        Buffering::kNone, Movement::kDma, false));
+  EXPECT_EQ(with_hw.transmit, without.transmit);
+}
+
+TEST(Taxonomy, TrailerChecksumUnlocksHardwareWithoutBuffering) {
+  const Analysis a = analyze(make(Api::kShare, CsumPlace::kTrailer,
+                                  Buffering::kNone, Movement::kDma, true));
+  ASSERT_EQ(a.transmit.size(), 1u);
+  EXPECT_EQ(a.transmit[0], Op::kDmaC);
+  EXPECT_TRUE(a.single_copy_tx);
+}
+
+TEST(Taxonomy, PioAlwaysFoldsChecksum) {
+  // PIO touches every byte, so checksum hardware is irrelevant for it.
+  const Analysis a = analyze(make(Api::kShare, CsumPlace::kTrailer,
+                                  Buffering::kNone, Movement::kPio, false));
+  ASSERT_EQ(a.transmit.size(), 1u);
+  EXPECT_EQ(a.transmit[0], Op::kPioC);
+  EXPECT_EQ(a.cpu_touches_tx, 1);  // but the CPU still moves the bytes
+}
+
+TEST(Taxonomy, PacketBufferingDoesNotRemoveTheCopyForCopyApi) {
+  // Single-packet buffering can host checksum insertion but is not
+  // retransmission storage: copy semantics still force the host copy.
+  const Analysis a = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                  Buffering::kPacket, Movement::kPio, false));
+  ASSERT_EQ(a.transmit.size(), 2u);
+  EXPECT_EQ(a.transmit[0], Op::kCopy);   // checksum moved into the transfer
+  EXPECT_EQ(a.transmit[1], Op::kPioC);
+}
+
+TEST(Taxonomy, OutboardBufferingRemovesTheCopy) {
+  const Analysis a = analyze(make(Api::kCopy, CsumPlace::kHeader,
+                                  Buffering::kOutboard, Movement::kDma, false));
+  ASSERT_EQ(a.transmit.size(), 2u);
+  EXPECT_EQ(a.transmit[0], Op::kReadC);  // dotted box: separate checksum read
+  EXPECT_EQ(a.transmit[1], Op::kDma);
+  EXPECT_EQ(a.cpu_touches_tx, 1);
+}
+
+TEST(Taxonomy, ShareApiNeverCopies) {
+  for (auto buf : {Buffering::kNone, Buffering::kPacket, Buffering::kOutboard}) {
+    for (auto mv : {Movement::kPio, Movement::kDma}) {
+      for (bool hw : {false, true}) {
+        const Analysis a = analyze(make(Api::kShare, CsumPlace::kHeader, buf, mv, hw));
+        for (Op op : a.transmit) {
+          EXPECT_NE(op, Op::kCopy);
+          EXPECT_NE(op, Op::kCopyC);
+        }
+      }
+    }
+  }
+}
+
+TEST(Taxonomy, ReceiveSideIgnoresChecksumPlacement) {
+  for (auto buf : {Buffering::kNone, Buffering::kPacket, Buffering::kOutboard}) {
+    const Analysis h = analyze(make(Api::kCopy, CsumPlace::kHeader, buf,
+                                    Movement::kDma, true));
+    const Analysis t = analyze(make(Api::kCopy, CsumPlace::kTrailer, buf,
+                                    Movement::kDma, true));
+    EXPECT_EQ(h.receive, t.receive);
+  }
+}
+
+TEST(Taxonomy, SingleCopyImpliesOneBusTransfer) {
+  // Property over the whole space: our "single copy" flag is exactly "one
+  // transfer op, nothing else".
+  for (auto api : {Api::kCopy, Api::kShare}) {
+    for (auto pl : {CsumPlace::kHeader, CsumPlace::kTrailer}) {
+      for (auto buf : {Buffering::kNone, Buffering::kPacket, Buffering::kOutboard}) {
+        for (auto mv : {Movement::kPio, Movement::kDma}) {
+          for (bool hw : {false, true}) {
+            const Analysis a = analyze(make(api, pl, buf, mv, hw));
+            if (a.single_copy_tx) {
+              EXPECT_EQ(a.transmit.size(), 1u);
+              EXPECT_EQ(a.bus_transfers_tx, 1);
+            }
+            // Everyone moves the data at least once.
+            EXPECT_GE(a.bus_transfers_tx, 1);
+            EXPECT_GE(a.bus_transfers_rx, 1);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Taxonomy, RenderedTablesContainTheKeyCells) {
+  const std::string tx = render_table(true);
+  EXPECT_NE(tx.find("Copy_C DMA"), std::string::npos);
+  EXPECT_NE(tx.find("DMA_C *"), std::string::npos);
+  EXPECT_NE(tx.find("Read_C DMA"), std::string::npos);
+  const std::string rx = render_table(false);
+  EXPECT_NE(rx.find("DMA_C *"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nectar::taxonomy

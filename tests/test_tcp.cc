@@ -1,0 +1,322 @@
+// Unit/behaviour tests: TCP connection management, window scaling, flow
+// control, retransmission (timeout + fast retransmit), reordering, FIN
+// handshake, and the descriptor-path invariants.
+#include <gtest/gtest.h>
+
+#include "apps/ttcp.h"
+#include "tests/test_util.h"
+
+namespace nectar::net {
+namespace {
+
+using core::Testbed;
+using core::TestbedOptions;
+using socket::CopyPolicy;
+using socket::Socket;
+using socket::SocketOptions;
+
+struct TcpFixture : ::testing::Test {
+  Testbed tb;
+  core::Host::Process& pa;
+  core::Host::Process& pb;
+  TcpFixture() : TcpFixture(TestbedOptions{}) {}
+  explicit TcpFixture(TestbedOptions opts)
+      : tb(opts),
+        pa(tb.a->create_process("client")),
+        pb(tb.b->create_process("server")) {}
+
+  // Establish a socket pair (client on A, server on B).
+  void establish(Socket& c, Socket& s, std::uint16_t port = 7000) {
+    bool ok_c = false, ok_s = false, done = false;
+    auto server = [&]() -> sim::Task<void> {
+      auto ctx = pb.ctx();
+      s.listen(port);
+      ok_s = co_await s.accept(ctx);
+    };
+    auto client = [&]() -> sim::Task<void> {
+      auto ctx = pa.ctx();
+      ok_c = co_await c.connect(ctx, Testbed::kIpB, port);
+      done = true;
+    };
+    sim::spawn(server());
+    sim::spawn(client());
+    tb.run_until_done(done, tb.sim.now() + 30 * sim::kSecond);
+    // Let the final ACK of the handshake reach the server.
+    tb.run_until_done(ok_s, tb.sim.now() + 30 * sim::kSecond);
+    ASSERT_TRUE(ok_c);
+    ASSERT_TRUE(ok_s);
+  }
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothEnds) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  EXPECT_EQ(c.tcp().state(), TcpState::kEstablished);
+  EXPECT_EQ(s.tcp().state(), TcpState::kEstablished);
+  // MSS negotiated from the 32 KB MTU.
+  EXPECT_EQ(c.tcp().mss(), 32 * 1024 - 40);
+  EXPECT_EQ(s.tcp().mss(), 32 * 1024 - 40);
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortTimesOut) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  bool done = false, ok = true;
+  auto client = [&]() -> sim::Task<void> {
+    auto ctx = pa.ctx();
+    ok = co_await c.connect(ctx, Testbed::kIpB, 4444);
+    done = true;
+  };
+  sim::spawn(client());
+  tb.run_until_done(done, tb.sim.now() + 300 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(c.tcp().state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, WindowScalingNegotiated) {
+  // 512 KB windows require a scale factor of at least 3 (max unscaled 64 KB).
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  bool done = false;
+  auto xfer = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    mem::UserBuffer src(pa.as, 256 * 1024);
+    mem::UserBuffer dst(pb.as, 256 * 1024);
+    src.fill_pattern(1);
+    // One large write needs a >64 KB window in flight to run at speed; just
+    // verify it completes and the data is right.
+    auto send = [&]() -> sim::Task<void> {
+      (void)co_await c.send(ctx_a, src.as_uio());
+    };
+    sim::spawn(send());
+    std::size_t got = 0;
+    while (got < 256 * 1024) {
+      const std::size_t n = co_await s.recv(ctx_b, dst.as_uio(got));
+      if (n == 0) break;
+      got += n;
+    }
+    EXPECT_EQ(got, 256u * 1024);
+    EXPECT_EQ(dst.verify_pattern(1, 0, got, 0), SIZE_MAX);
+    done = true;
+  };
+  sim::spawn(xfer());
+  tb.run_until_done(done, tb.sim.now() + 60 * sim::kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TcpFixture, NoWindowScalingLimitsWindowTo64K) {
+  SocketOptions so;
+  so.tcp.window_scaling = false;
+  Socket c(tb.a->stack(), Socket::Proto::kTcp, so);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp, so);
+  establish(c, s);
+  // Transfer still works, just slower.
+  bool done = false;
+  auto xfer = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    mem::UserBuffer src(pa.as, 128 * 1024);
+    mem::UserBuffer dst(pb.as, 128 * 1024);
+    src.fill_pattern(2);
+    auto send = [&]() -> sim::Task<void> { (void)co_await c.send(ctx_a, src.as_uio()); };
+    sim::spawn(send());
+    std::size_t got = 0;
+    while (got < 128 * 1024) {
+      const std::size_t n = co_await s.recv(ctx_b, dst.as_uio(got));
+      if (n == 0) break;
+      got += n;
+    }
+    EXPECT_EQ(dst.verify_pattern(2, 0, got, 0), SIZE_MAX);
+    done = true;
+  };
+  sim::spawn(xfer());
+  tb.run_until_done(done, tb.sim.now() + 120 * sim::kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TcpFixture, SlowReaderFlowControl) {
+  // Sender pushes 1 MB; reader drains in small sips with think time. The
+  // window must throttle the sender without deadlock or data loss.
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  const std::size_t total = 1024 * 1024;
+  bool done = false;
+  std::size_t got = 0;
+  auto sender = [&]() -> sim::Task<void> {
+    auto ctx = pa.ctx();
+    mem::UserBuffer src(pa.as, 64 * 1024);
+    src.fill_pattern(3);
+    std::size_t sent = 0;
+    while (sent < total) {
+      sent += co_await c.send(ctx, src.as_uio(0, std::min<std::size_t>(
+                                                     64 * 1024, total - sent)));
+    }
+  };
+  auto reader = [&]() -> sim::Task<void> {
+    auto ctx = pb.ctx();
+    mem::UserBuffer dst(pb.as, 8 * 1024);
+    while (got < total) {
+      co_await sim::delay(tb.sim, sim::msec(1));  // think time
+      const std::size_t n = co_await s.recv(ctx, dst.as_uio());
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(dst.view()[i],
+                  mem::UserBuffer::pattern_byte(3, (got + i) % (64 * 1024)));
+      }
+      got += n;
+    }
+    done = true;
+  };
+  sim::spawn(sender());
+  sim::spawn(reader());
+  tb.run_until_done(done, tb.sim.now() + 600 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, total);
+}
+
+struct TcpLossFixture : TcpFixture {
+  TcpLossFixture()
+      : TcpFixture([] {
+          TestbedOptions o;
+          o.loss_rate = 0.05;
+          o.loss_seed = 99;
+          return o;
+        }()) {}
+};
+
+TEST_F(TcpLossFixture, HeavyLossStillDeliversIntact) {
+  apps::TtcpConfig cfg;
+  cfg.policy = CopyPolicy::kAlwaysSingleCopy;
+  cfg.write_size = 64 * 1024;
+  cfg.total_bytes = 1024 * 1024;
+  cfg.verify_data = true;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.data_errors, 0u);
+  EXPECT_GT(r.sender_tcp.rexmt_segs, 0u);
+}
+
+TEST_F(TcpLossFixture, FastRetransmitFires) {
+  apps::TtcpConfig cfg;
+  cfg.policy = CopyPolicy::kAlwaysSingleCopy;
+  cfg.write_size = 128 * 1024;
+  cfg.total_bytes = 4 * 1024 * 1024;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sender_tcp.fast_rexmt + r.sender_tcp.rexmt_timeouts, 0u);
+  EXPECT_GT(r.sender_tcp.dup_acks, 0u);
+}
+
+TEST_F(TcpFixture, OrderlyCloseReachesTimeWaitAndClosed) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  bool done = false;
+  auto closer = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    co_await c.close(ctx_a);  // active close from the client
+    // Server sees EOF, closes too.
+    mem::UserBuffer dst(pb.as, 64);
+    const std::size_t n = co_await s.recv(ctx_b, dst.as_uio());
+    EXPECT_EQ(n, 0u);
+    co_await s.close(ctx_b);
+    co_await c.wait_closed();
+    co_await s.wait_closed();
+    done = true;
+  };
+  sim::spawn(closer());
+  tb.run_until_done(done, tb.sim.now() + 60 * sim::kSecond);
+  ASSERT_TRUE(done);
+  // Active closer passes through TIME_WAIT; passive closer fully closes.
+  EXPECT_TRUE(c.tcp().state() == TcpState::kTimeWait ||
+              c.tcp().state() == TcpState::kClosed);
+  EXPECT_EQ(s.tcp().state(), TcpState::kClosed);
+  // After 2*MSL the active side is fully closed as well.
+  tb.sim.run_until(tb.sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(c.tcp().state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, DataThenEofDeliveredInOrder) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  bool done = false;
+  auto run = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    mem::UserBuffer src(pa.as, 100 * 1000);
+    src.fill_pattern(4);
+    auto tx = [&]() -> sim::Task<void> {
+      (void)co_await c.send(ctx_a, src.as_uio());
+      co_await c.close(ctx_a);
+    };
+    sim::spawn(tx());
+    mem::UserBuffer dst(pb.as, 100 * 1000);
+    std::size_t got = 0;
+    for (;;) {
+      const std::size_t n = co_await s.recv(ctx_b, dst.as_uio(got));
+      if (n == 0) break;  // EOF strictly after all data
+      got += n;
+    }
+    EXPECT_EQ(got, 100u * 1000);
+    EXPECT_EQ(dst.verify_pattern(4, 0, got, 0), SIZE_MAX);
+    done = true;
+  };
+  sim::spawn(run());
+  tb.run_until_done(done, tb.sim.now() + 60 * sim::kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TcpFixture, AbortSendsRstAndPeerSeesEof) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s);
+  bool done = false;
+  auto run = [&]() -> sim::Task<void> {
+    auto ctx_b = pb.ctx();
+    c.tcp().abort();
+    mem::UserBuffer dst(pb.as, 64);
+    const std::size_t n = co_await s.recv(ctx_b, dst.as_uio());
+    EXPECT_EQ(n, 0u);
+    done = true;
+  };
+  sim::spawn(run());
+  tb.run_until_done(done, tb.sim.now() + 30 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(c.tcp().state(), TcpState::kClosed);
+  EXPECT_EQ(s.tcp().state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, SingleCopyStackStatsConsistency) {
+  apps::TtcpConfig cfg;
+  cfg.policy = CopyPolicy::kAlwaysSingleCopy;
+  cfg.write_size = 64 * 1024;
+  cfg.total_bytes = 2 * 1024 * 1024;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+  // No software checksums anywhere on the single-copy path.
+  EXPECT_EQ(r.sender_tcp.sw_csum_tx, 0u);
+  EXPECT_GT(r.sender_tcp.hw_csum_tx, 0u);
+  EXPECT_EQ(r.sender_tcp.bad_checksum, 0u);
+  // All data bytes accounted.
+  EXPECT_EQ(r.sender_tcp.bytes_out, cfg.total_bytes);
+}
+
+TEST_F(TcpFixture, TraditionalStackUsesSoftwareChecksums) {
+  apps::TtcpConfig cfg;
+  cfg.policy = CopyPolicy::kNeverSingleCopy;
+  cfg.write_size = 64 * 1024;
+  cfg.total_bytes = 1024 * 1024;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.sender_tcp.hw_csum_tx, 0u);
+  EXPECT_GT(r.sender_tcp.sw_csum_tx, 0u);
+}
+
+}  // namespace
+}  // namespace nectar::net

@@ -1,0 +1,236 @@
+// TCP corner cases: simultaneous close, half-close, zero-window persist
+// probing, tiny windows without scaling, and checksum-corruption rejection.
+#include <gtest/gtest.h>
+
+#include "apps/ttcp.h"
+#include "core/packet_trace.h"
+#include "tests/test_util.h"
+
+namespace nectar::net {
+namespace {
+
+using core::Testbed;
+using core::TestbedOptions;
+using socket::CopyPolicy;
+using socket::Socket;
+using socket::SocketOptions;
+
+struct EdgeFixture : ::testing::Test {
+  Testbed tb;
+  core::Host::Process& pa{tb.a->create_process("a")};
+  core::Host::Process& pb{tb.b->create_process("b")};
+
+  void establish(Socket& c, Socket& s, std::uint16_t port) {
+    bool ok_c = false, ok_s = false;
+    auto server = [&]() -> sim::Task<void> {
+      auto ctx = pb.ctx();
+      s.listen(port);
+      ok_s = co_await s.accept(ctx);
+    };
+    auto client = [&]() -> sim::Task<void> {
+      auto ctx = pa.ctx();
+      ok_c = co_await c.connect(ctx, Testbed::kIpB, port);
+    };
+    sim::spawn(server());
+    sim::spawn(client());
+    tb.run_until_done(ok_s, tb.sim.now() + 30 * sim::kSecond);
+    ASSERT_TRUE(ok_c);
+    ASSERT_TRUE(ok_s);
+  }
+};
+
+TEST_F(EdgeFixture, SimultaneousClose) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s, 7100);
+  bool done = false;
+  auto run = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    // Fire both FINs in the same event round.
+    auto ca = [&]() -> sim::Task<void> { co_await c.close(ctx_a); };
+    auto cb = [&]() -> sim::Task<void> { co_await s.close(ctx_b); };
+    sim::spawn(ca());
+    sim::spawn(cb());
+    co_await c.wait_closed();
+    co_await s.wait_closed();
+    done = true;
+  };
+  sim::spawn(run());
+  tb.run_until_done(done, tb.sim.now() + 60 * sim::kSecond);
+  ASSERT_TRUE(done);
+  tb.sim.run_until(tb.sim.now() + 10 * sim::kSecond);  // drain TIME_WAIT
+  EXPECT_EQ(c.tcp().state(), TcpState::kClosed);
+  EXPECT_EQ(s.tcp().state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeFixture, HalfCloseKeepsReverseDirectionAlive) {
+  Socket c(tb.a->stack(), Socket::Proto::kTcp);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp);
+  establish(c, s, 7101);
+  bool done = false;
+  auto run = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    // A closes its send side immediately...
+    co_await c.close(ctx_a);
+    // ...then B (in CLOSE_WAIT) still sends 64 KB to A.
+    mem::UserBuffer src(pb.as, 64 * 1024);
+    src.fill_pattern(61);
+    (void)co_await s.send(ctx_b, src.as_uio());
+    co_await s.close(ctx_b);
+    mem::UserBuffer dst(pa.as, 64 * 1024);
+    std::size_t got = 0;
+    for (;;) {
+      const std::size_t n = co_await c.recv(ctx_a, dst.as_uio(got));
+      if (n == 0) break;
+      got += n;
+    }
+    EXPECT_EQ(got, 64u * 1024);
+    EXPECT_EQ(dst.verify_pattern(61, 0, got, 0), SIZE_MAX);
+    done = true;
+  };
+  sim::spawn(run());
+  tb.run_until_done(done, tb.sim.now() + 60 * sim::kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(EdgeFixture, ZeroWindowPersistProbeRecovers) {
+  // Reader sleeps long enough for the window to close completely; the
+  // sender's persist machinery (plus the reader-driven update) must recover
+  // without a retransmission timeout storm.
+  SocketOptions so;
+  so.tcp.sndbuf = 64 * 1024;
+  so.tcp.rcvbuf = 64 * 1024;
+  Socket c(tb.a->stack(), Socket::Proto::kTcp, so);
+  Socket s(tb.b->stack(), Socket::Proto::kTcp, so);
+  establish(c, s, 7102);
+  bool done = false;
+  std::size_t got = 0;
+  const std::size_t total = 256 * 1024;
+  auto sender = [&]() -> sim::Task<void> {
+    auto ctx = pa.ctx();
+    mem::UserBuffer src(pa.as, 32 * 1024);
+    std::size_t sent = 0;
+    while (sent < total)
+      sent += co_await c.send(ctx, src.as_uio(0, std::min<std::size_t>(
+                                                    32 * 1024, total - sent)));
+  };
+  auto reader = [&]() -> sim::Task<void> {
+    auto ctx = pb.ctx();
+    mem::UserBuffer dst(pb.as, 16 * 1024);
+    while (got < total) {
+      co_await sim::delay(tb.sim, 2 * sim::kSecond);  // long stall: window 0
+      const std::size_t n = co_await s.recv(ctx, dst.as_uio());
+      if (n == 0) break;
+      got += n;
+    }
+    done = true;
+  };
+  sim::spawn(sender());
+  sim::spawn(reader());
+  tb.run_until_done(done, tb.sim.now() + 600 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(got, total);
+}
+
+TEST_F(EdgeFixture, CorruptedSegmentDropsAndRecovers) {
+  // Flip one bit in one data frame on the wire: the hardware checksum must
+  // reject it and TCP must retransmit (end-to-end argument in action).
+  struct Corruptor final : hippi::Fabric {
+    hippi::Fabric& inner;
+    int countdown;
+    bool fired = false;
+    Corruptor(hippi::Fabric& f, int n) : inner(f), countdown(n) {}
+    void attach(hippi::Addr a, hippi::Endpoint* e) override { inner.attach(a, e); }
+    void submit(hippi::Packet&& p) override {
+      if (!fired && p.size() > 2000 && --countdown == 0) {
+        p.bytes[1500] ^= std::byte{0x10};
+        fired = true;
+      }
+      inner.submit(std::move(p));
+    }
+  };
+  Corruptor corrupt(*tb.wire, 3);
+
+  sim::Simulator& simu = tb.sim;
+  core::Host ha(simu, core::HostParams::alpha3000_400(), "ca");
+  core::Host hb(simu, core::HostParams::alpha3000_400(), "cb");
+  auto& cab_a = ha.attach_cab(corrupt, 0x301, make_ip(10, 2, 0, 1));
+  auto& cab_b = hb.attach_cab(corrupt, 0x302, make_ip(10, 2, 0, 2));
+  cab_a.add_neighbor(make_ip(10, 2, 0, 2), 0x302);
+  cab_b.add_neighbor(make_ip(10, 2, 0, 1), 0x301);
+  ha.stack().routes().add(make_ip(10, 2, 0, 0), 24, &cab_a);
+  hb.stack().routes().add(make_ip(10, 2, 0, 0), 24, &cab_b);
+
+  auto& ptx = ha.create_process("tx");
+  auto& prx = hb.create_process("rx");
+  Socket c(ha.stack(), Socket::Proto::kTcp,
+           SocketOptions{.policy = CopyPolicy::kAlwaysSingleCopy});
+  Socket s(hb.stack(), Socket::Proto::kTcp);
+  s.listen(7103);
+  const std::size_t total = 512 * 1024;
+  bool done = false;
+  std::size_t got = 0, errors = 0;
+  auto server = [&]() -> sim::Task<void> {
+    auto ctx = prx.ctx();
+    if (!co_await s.accept(ctx)) co_return;
+    mem::UserBuffer dst(prx.as, total);
+    while (got < total) {
+      const std::size_t n = co_await s.recv(ctx, dst.as_uio(got));
+      if (n == 0) break;
+      got += n;
+    }
+    auto v = dst.view();
+    for (std::size_t i = 0; i < got; ++i) {
+      if (v[i] != mem::UserBuffer::pattern_byte(71, i)) ++errors;
+    }
+    done = true;
+  };
+  auto client = [&]() -> sim::Task<void> {
+    auto ctx = ptx.ctx();
+    if (!co_await c.connect(ctx, make_ip(10, 2, 0, 2), 7103)) co_return;
+    mem::UserBuffer src(ptx.as, total);
+    src.fill_pattern(71);
+    (void)co_await c.send(ctx, src.as_uio());
+    co_await c.close(ctx);
+  };
+  sim::spawn(server());
+  sim::spawn(client());
+  tb.run_until_done(done, tb.sim.now() + 600 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(corrupt.fired);
+  EXPECT_EQ(got, total);
+  EXPECT_EQ(errors, 0u);
+  EXPECT_GE(s.tcp().stats().bad_checksum, 1u);
+  EXPECT_GE(c.tcp().stats().rexmt_segs + c.tcp().stats().rexmt_timeouts, 1u);
+}
+
+TEST_F(EdgeFixture, UdpChecksumDisabledStillDelivers) {
+  SocketOptions so;
+  so.udp_checksum = false;
+  Socket tx(tb.a->stack(), Socket::Proto::kUdp, so);
+  Socket rx(tb.b->stack(), Socket::Proto::kUdp, so);
+  tx.bind(3100);
+  rx.bind(4100);
+  bool done = false;
+  auto run = [&]() -> sim::Task<void> {
+    auto ctx_a = pa.ctx();
+    auto ctx_b = pb.ctx();
+    mem::UserBuffer src(pa.as, 2048);
+    src.fill_pattern(81);
+    (void)co_await tx.sendto(ctx_a, src.as_uio(), Testbed::kIpB, 4100);
+    mem::UserBuffer dst(pb.as, 2048);
+    auto r = co_await rx.recvfrom(ctx_b, dst.as_uio());
+    EXPECT_EQ(r.len, 2048u);
+    EXPECT_EQ(dst.verify_pattern(81, 0, 2048, 0), SIZE_MAX);
+    done = true;
+  };
+  sim::spawn(run());
+  tb.run_until_done(done, tb.sim.now() + 30 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_GT(tb.a->stack().udp().stats().nocsum_tx, 0u);
+}
+
+}  // namespace
+}  // namespace nectar::net

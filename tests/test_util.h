@@ -1,0 +1,54 @@
+// Shared helpers for driving coroutines to completion inside tests.
+#pragma once
+
+#include <exception>
+#include <optional>
+
+#include "sim/task.h"
+
+namespace nectar::testutil {
+
+// Run a Task<T> by draining the simulator; returns its value or rethrows the
+// task's exception in the caller's context (so EXPECT_THROW works).
+template <typename T>
+T run_task(sim::Simulator& simu, sim::Task<T> t) {
+  std::optional<T> out;
+  std::exception_ptr err;
+  bool done = false;
+  auto wrap = [](sim::Task<T> inner, std::optional<T>& o, std::exception_ptr& e,
+                 bool& d) -> sim::Task<void> {
+    try {
+      o = co_await std::move(inner);
+    } catch (...) {
+      e = std::current_exception();
+    }
+    d = true;
+  };
+  sim::spawn(wrap(std::move(t), out, err, done));
+  while (!done && simu.step()) {
+  }
+  if (err) std::rethrow_exception(err);
+  if (!done) throw std::runtime_error("run_task: task did not complete");
+  return std::move(*out);
+}
+
+inline void run_task_void(sim::Simulator& simu, sim::Task<void> t) {
+  std::exception_ptr err;
+  bool done = false;
+  auto wrap = [](sim::Task<void> inner, std::exception_ptr& e,
+                 bool& d) -> sim::Task<void> {
+    try {
+      co_await std::move(inner);
+    } catch (...) {
+      e = std::current_exception();
+    }
+    d = true;
+  };
+  sim::spawn(wrap(std::move(t), err, done));
+  while (!done && simu.step()) {
+  }
+  if (err) std::rethrow_exception(err);
+  if (!done) throw std::runtime_error("run_task_void: task did not complete");
+}
+
+}  // namespace nectar::testutil
