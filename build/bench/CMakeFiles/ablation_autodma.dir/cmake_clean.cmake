@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autodma.dir/ablation_autodma.cc.o"
+  "CMakeFiles/ablation_autodma.dir/ablation_autodma.cc.o.d"
+  "ablation_autodma"
+  "ablation_autodma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autodma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

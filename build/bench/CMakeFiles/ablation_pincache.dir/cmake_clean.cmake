@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pincache.dir/ablation_pincache.cc.o"
+  "CMakeFiles/ablation_pincache.dir/ablation_pincache.cc.o.d"
+  "ablation_pincache"
+  "ablation_pincache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pincache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

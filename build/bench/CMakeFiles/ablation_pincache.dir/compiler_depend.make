@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_pincache.
+# This may be replaced when dependencies are built.

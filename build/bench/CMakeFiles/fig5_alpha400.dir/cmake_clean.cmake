@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_alpha400.dir/fig5_alpha400.cc.o"
+  "CMakeFiles/fig5_alpha400.dir/fig5_alpha400.cc.o.d"
+  "fig5_alpha400"
+  "fig5_alpha400.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_alpha400.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_alpha300.dir/fig6_alpha300.cc.o"
+  "CMakeFiles/fig6_alpha300.dir/fig6_alpha300.cc.o.d"
+  "fig6_alpha300"
+  "fig6_alpha300.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_alpha300.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hol_channels.dir/hol_channels.cc.o"
+  "CMakeFiles/hol_channels.dir/hol_channels.cc.o.d"
+  "hol_channels"
+  "hol_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hol_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mbuf.dir/micro_mbuf.cc.o"
+  "CMakeFiles/micro_mbuf.dir/micro_mbuf.cc.o.d"
+  "micro_mbuf"
+  "micro_mbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_analysis.dir/sec7_analysis.cc.o"
+  "CMakeFiles/sec7_analysis.dir/sec7_analysis.cc.o.d"
+  "sec7_analysis"
+  "sec7_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

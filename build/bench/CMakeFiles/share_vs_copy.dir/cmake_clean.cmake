@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/share_vs_copy.dir/share_vs_copy.cc.o"
+  "CMakeFiles/share_vs_copy.dir/share_vs_copy.cc.o.d"
+  "share_vs_copy"
+  "share_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/share_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vmops.dir/table2_vmops.cc.o"
+  "CMakeFiles/table2_vmops.dir/table2_vmops.cc.o.d"
+  "table2_vmops"
+  "table2_vmops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vmops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inkernel_fileserver.dir/inkernel_fileserver.cpp.o"
+  "CMakeFiles/inkernel_fileserver.dir/inkernel_fileserver.cpp.o.d"
+  "inkernel_fileserver"
+  "inkernel_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inkernel_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

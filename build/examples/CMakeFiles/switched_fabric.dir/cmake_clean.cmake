@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switched_fabric.dir/switched_fabric.cpp.o"
+  "CMakeFiles/switched_fabric.dir/switched_fabric.cpp.o.d"
+  "switched_fabric"
+  "switched_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switched_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/experiment.cc" "src/CMakeFiles/nectar_apps.dir/apps/experiment.cc.o" "gcc" "src/CMakeFiles/nectar_apps.dir/apps/experiment.cc.o.d"
+  "/root/repo/src/apps/ttcp.cc" "src/CMakeFiles/nectar_apps.dir/apps/ttcp.cc.o" "gcc" "src/CMakeFiles/nectar_apps.dir/apps/ttcp.cc.o.d"
+  "/root/repo/src/apps/util_soaker.cc" "src/CMakeFiles/nectar_apps.dir/apps/util_soaker.cc.o" "gcc" "src/CMakeFiles/nectar_apps.dir/apps/util_soaker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_socket.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_cab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_hippi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

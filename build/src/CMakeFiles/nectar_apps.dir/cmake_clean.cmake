@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_apps.dir/apps/experiment.cc.o"
+  "CMakeFiles/nectar_apps.dir/apps/experiment.cc.o.d"
+  "CMakeFiles/nectar_apps.dir/apps/ttcp.cc.o"
+  "CMakeFiles/nectar_apps.dir/apps/ttcp.cc.o.d"
+  "CMakeFiles/nectar_apps.dir/apps/util_soaker.cc.o"
+  "CMakeFiles/nectar_apps.dir/apps/util_soaker.cc.o.d"
+  "libnectar_apps.a"
+  "libnectar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cab/mdma.cc" "src/CMakeFiles/nectar_cab.dir/cab/mdma.cc.o" "gcc" "src/CMakeFiles/nectar_cab.dir/cab/mdma.cc.o.d"
+  "/root/repo/src/cab/network_memory.cc" "src/CMakeFiles/nectar_cab.dir/cab/network_memory.cc.o" "gcc" "src/CMakeFiles/nectar_cab.dir/cab/network_memory.cc.o.d"
+  "/root/repo/src/cab/sdma.cc" "src/CMakeFiles/nectar_cab.dir/cab/sdma.cc.o" "gcc" "src/CMakeFiles/nectar_cab.dir/cab/sdma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_hippi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

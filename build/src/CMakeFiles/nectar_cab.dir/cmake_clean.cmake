@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_cab.dir/cab/mdma.cc.o"
+  "CMakeFiles/nectar_cab.dir/cab/mdma.cc.o.d"
+  "CMakeFiles/nectar_cab.dir/cab/network_memory.cc.o"
+  "CMakeFiles/nectar_cab.dir/cab/network_memory.cc.o.d"
+  "CMakeFiles/nectar_cab.dir/cab/sdma.cc.o"
+  "CMakeFiles/nectar_cab.dir/cab/sdma.cc.o.d"
+  "libnectar_cab.a"
+  "libnectar_cab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_cab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

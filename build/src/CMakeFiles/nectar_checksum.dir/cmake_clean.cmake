@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_checksum.dir/checksum/internet_checksum.cc.o"
+  "CMakeFiles/nectar_checksum.dir/checksum/internet_checksum.cc.o.d"
+  "libnectar_checksum.a"
+  "libnectar_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

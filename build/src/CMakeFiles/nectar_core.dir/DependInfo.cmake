@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/host.cc" "src/CMakeFiles/nectar_core.dir/core/host.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/host.cc.o.d"
+  "/root/repo/src/core/host_params.cc" "src/CMakeFiles/nectar_core.dir/core/host_params.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/host_params.cc.o.d"
+  "/root/repo/src/core/interop.cc" "src/CMakeFiles/nectar_core.dir/core/interop.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/interop.cc.o.d"
+  "/root/repo/src/core/netstat.cc" "src/CMakeFiles/nectar_core.dir/core/netstat.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/netstat.cc.o.d"
+  "/root/repo/src/core/packet_trace.cc" "src/CMakeFiles/nectar_core.dir/core/packet_trace.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/packet_trace.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/nectar_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/CMakeFiles/nectar_core.dir/core/testbed.cc.o" "gcc" "src/CMakeFiles/nectar_core.dir/core/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_socket.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_cab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_hippi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

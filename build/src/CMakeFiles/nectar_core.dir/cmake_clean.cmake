@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_core.dir/core/host.cc.o"
+  "CMakeFiles/nectar_core.dir/core/host.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/host_params.cc.o"
+  "CMakeFiles/nectar_core.dir/core/host_params.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/interop.cc.o"
+  "CMakeFiles/nectar_core.dir/core/interop.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/netstat.cc.o"
+  "CMakeFiles/nectar_core.dir/core/netstat.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/packet_trace.cc.o"
+  "CMakeFiles/nectar_core.dir/core/packet_trace.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/stats.cc.o"
+  "CMakeFiles/nectar_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/nectar_core.dir/core/testbed.cc.o"
+  "CMakeFiles/nectar_core.dir/core/testbed.cc.o.d"
+  "libnectar_core.a"
+  "libnectar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/cab_driver.cc" "src/CMakeFiles/nectar_drivers.dir/drivers/cab_driver.cc.o" "gcc" "src/CMakeFiles/nectar_drivers.dir/drivers/cab_driver.cc.o.d"
+  "/root/repo/src/drivers/ether_driver.cc" "src/CMakeFiles/nectar_drivers.dir/drivers/ether_driver.cc.o" "gcc" "src/CMakeFiles/nectar_drivers.dir/drivers/ether_driver.cc.o.d"
+  "/root/repo/src/drivers/loopback.cc" "src/CMakeFiles/nectar_drivers.dir/drivers/loopback.cc.o" "gcc" "src/CMakeFiles/nectar_drivers.dir/drivers/loopback.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_cab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_hippi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

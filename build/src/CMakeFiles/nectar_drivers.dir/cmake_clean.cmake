@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_drivers.dir/drivers/cab_driver.cc.o"
+  "CMakeFiles/nectar_drivers.dir/drivers/cab_driver.cc.o.d"
+  "CMakeFiles/nectar_drivers.dir/drivers/ether_driver.cc.o"
+  "CMakeFiles/nectar_drivers.dir/drivers/ether_driver.cc.o.d"
+  "CMakeFiles/nectar_drivers.dir/drivers/loopback.cc.o"
+  "CMakeFiles/nectar_drivers.dir/drivers/loopback.cc.o.d"
+  "libnectar_drivers.a"
+  "libnectar_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hippi/framing.cc" "src/CMakeFiles/nectar_hippi.dir/hippi/framing.cc.o" "gcc" "src/CMakeFiles/nectar_hippi.dir/hippi/framing.cc.o.d"
+  "/root/repo/src/hippi/link.cc" "src/CMakeFiles/nectar_hippi.dir/hippi/link.cc.o" "gcc" "src/CMakeFiles/nectar_hippi.dir/hippi/link.cc.o.d"
+  "/root/repo/src/hippi/switch.cc" "src/CMakeFiles/nectar_hippi.dir/hippi/switch.cc.o" "gcc" "src/CMakeFiles/nectar_hippi.dir/hippi/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_hippi.dir/hippi/framing.cc.o"
+  "CMakeFiles/nectar_hippi.dir/hippi/framing.cc.o.d"
+  "CMakeFiles/nectar_hippi.dir/hippi/link.cc.o"
+  "CMakeFiles/nectar_hippi.dir/hippi/link.cc.o.d"
+  "CMakeFiles/nectar_hippi.dir/hippi/switch.cc.o"
+  "CMakeFiles/nectar_hippi.dir/hippi/switch.cc.o.d"
+  "libnectar_hippi.a"
+  "libnectar_hippi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_hippi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

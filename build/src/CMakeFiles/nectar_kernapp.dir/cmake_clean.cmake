@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_kernapp.dir/kernapp/block_server.cc.o"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/block_server.cc.o.d"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/echo_server.cc.o"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/echo_server.cc.o.d"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/kernel_socket.cc.o"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/kernel_socket.cc.o.d"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/ping.cc.o"
+  "CMakeFiles/nectar_kernapp.dir/kernapp/ping.cc.o.d"
+  "libnectar_kernapp.a"
+  "libnectar_kernapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_kernapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_mbuf.dir/mbuf/mbuf.cc.o"
+  "CMakeFiles/nectar_mbuf.dir/mbuf/mbuf.cc.o.d"
+  "CMakeFiles/nectar_mbuf.dir/mbuf/mbuf_ops.cc.o"
+  "CMakeFiles/nectar_mbuf.dir/mbuf/mbuf_ops.cc.o.d"
+  "libnectar_mbuf.a"
+  "libnectar_mbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

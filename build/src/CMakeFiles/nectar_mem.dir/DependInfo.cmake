@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/nectar_mem.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/nectar_mem.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/pin_cache.cc" "src/CMakeFiles/nectar_mem.dir/mem/pin_cache.cc.o" "gcc" "src/CMakeFiles/nectar_mem.dir/mem/pin_cache.cc.o.d"
+  "/root/repo/src/mem/user_buffer.cc" "src/CMakeFiles/nectar_mem.dir/mem/user_buffer.cc.o" "gcc" "src/CMakeFiles/nectar_mem.dir/mem/user_buffer.cc.o.d"
+  "/root/repo/src/mem/vm.cc" "src/CMakeFiles/nectar_mem.dir/mem/vm.cc.o" "gcc" "src/CMakeFiles/nectar_mem.dir/mem/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

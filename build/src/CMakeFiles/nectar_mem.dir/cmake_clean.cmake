@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_mem.dir/mem/address_space.cc.o"
+  "CMakeFiles/nectar_mem.dir/mem/address_space.cc.o.d"
+  "CMakeFiles/nectar_mem.dir/mem/pin_cache.cc.o"
+  "CMakeFiles/nectar_mem.dir/mem/pin_cache.cc.o.d"
+  "CMakeFiles/nectar_mem.dir/mem/user_buffer.cc.o"
+  "CMakeFiles/nectar_mem.dir/mem/user_buffer.cc.o.d"
+  "CMakeFiles/nectar_mem.dir/mem/vm.cc.o"
+  "CMakeFiles/nectar_mem.dir/mem/vm.cc.o.d"
+  "libnectar_mem.a"
+  "libnectar_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

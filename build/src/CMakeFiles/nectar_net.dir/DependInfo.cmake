@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/headers.cc" "src/CMakeFiles/nectar_net.dir/net/headers.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/headers.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/CMakeFiles/nectar_net.dir/net/ip.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/ip.cc.o.d"
+  "/root/repo/src/net/ip_frag.cc" "src/CMakeFiles/nectar_net.dir/net/ip_frag.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/ip_frag.cc.o.d"
+  "/root/repo/src/net/netstack.cc" "src/CMakeFiles/nectar_net.dir/net/netstack.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/netstack.cc.o.d"
+  "/root/repo/src/net/route.cc" "src/CMakeFiles/nectar_net.dir/net/route.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/route.cc.o.d"
+  "/root/repo/src/net/sockbuf.cc" "src/CMakeFiles/nectar_net.dir/net/sockbuf.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/sockbuf.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/nectar_net.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_input.cc" "src/CMakeFiles/nectar_net.dir/net/tcp_input.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/tcp_input.cc.o.d"
+  "/root/repo/src/net/tcp_output.cc" "src/CMakeFiles/nectar_net.dir/net/tcp_output.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/tcp_output.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/nectar_net.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/nectar_net.dir/net/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_net.dir/net/headers.cc.o"
+  "CMakeFiles/nectar_net.dir/net/headers.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/ip.cc.o"
+  "CMakeFiles/nectar_net.dir/net/ip.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/ip_frag.cc.o"
+  "CMakeFiles/nectar_net.dir/net/ip_frag.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/netstack.cc.o"
+  "CMakeFiles/nectar_net.dir/net/netstack.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/route.cc.o"
+  "CMakeFiles/nectar_net.dir/net/route.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/sockbuf.cc.o"
+  "CMakeFiles/nectar_net.dir/net/sockbuf.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/tcp.cc.o"
+  "CMakeFiles/nectar_net.dir/net/tcp.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/tcp_input.cc.o"
+  "CMakeFiles/nectar_net.dir/net/tcp_input.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/tcp_output.cc.o"
+  "CMakeFiles/nectar_net.dir/net/tcp_output.cc.o.d"
+  "CMakeFiles/nectar_net.dir/net/udp.cc.o"
+  "CMakeFiles/nectar_net.dir/net/udp.cc.o.d"
+  "libnectar_net.a"
+  "libnectar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

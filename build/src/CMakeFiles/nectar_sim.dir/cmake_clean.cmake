@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_sim.dir/sim/cpu.cc.o"
+  "CMakeFiles/nectar_sim.dir/sim/cpu.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/nectar_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/nectar_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/sim/task.cc.o"
+  "CMakeFiles/nectar_sim.dir/sim/task.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/nectar_sim.dir/sim/trace.cc.o.d"
+  "libnectar_sim.a"
+  "libnectar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

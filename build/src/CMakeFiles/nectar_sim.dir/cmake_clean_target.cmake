@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnectar_sim.a"
+)

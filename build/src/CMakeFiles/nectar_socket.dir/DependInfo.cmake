@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socket/socket.cc" "src/CMakeFiles/nectar_socket.dir/socket/socket.cc.o" "gcc" "src/CMakeFiles/nectar_socket.dir/socket/socket.cc.o.d"
+  "/root/repo/src/socket/soreceive.cc" "src/CMakeFiles/nectar_socket.dir/socket/soreceive.cc.o" "gcc" "src/CMakeFiles/nectar_socket.dir/socket/soreceive.cc.o.d"
+  "/root/repo/src/socket/sosend.cc" "src/CMakeFiles/nectar_socket.dir/socket/sosend.cc.o" "gcc" "src/CMakeFiles/nectar_socket.dir/socket/sosend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

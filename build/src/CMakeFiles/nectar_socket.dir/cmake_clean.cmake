@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_socket.dir/socket/socket.cc.o"
+  "CMakeFiles/nectar_socket.dir/socket/socket.cc.o.d"
+  "CMakeFiles/nectar_socket.dir/socket/soreceive.cc.o"
+  "CMakeFiles/nectar_socket.dir/socket/soreceive.cc.o.d"
+  "CMakeFiles/nectar_socket.dir/socket/sosend.cc.o"
+  "CMakeFiles/nectar_socket.dir/socket/sosend.cc.o.d"
+  "libnectar_socket.a"
+  "libnectar_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_taxonomy.dir/taxonomy/taxonomy.cc.o"
+  "CMakeFiles/nectar_taxonomy.dir/taxonomy/taxonomy.cc.o.d"
+  "libnectar_taxonomy.a"
+  "libnectar_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversarial.cc" "tests/CMakeFiles/nectar_tests.dir/test_adversarial.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_adversarial.cc.o.d"
+  "/root/repo/tests/test_cab.cc" "tests/CMakeFiles/nectar_tests.dir/test_cab.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_cab.cc.o.d"
+  "/root/repo/tests/test_checksum.cc" "tests/CMakeFiles/nectar_tests.dir/test_checksum.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_checksum.cc.o.d"
+  "/root/repo/tests/test_drivers.cc" "tests/CMakeFiles/nectar_tests.dir/test_drivers.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_drivers.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/nectar_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_hippi.cc" "tests/CMakeFiles/nectar_tests.dir/test_hippi.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_hippi.cc.o.d"
+  "/root/repo/tests/test_integration_tcp.cc" "tests/CMakeFiles/nectar_tests.dir/test_integration_tcp.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_integration_tcp.cc.o.d"
+  "/root/repo/tests/test_interop.cc" "tests/CMakeFiles/nectar_tests.dir/test_interop.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_interop.cc.o.d"
+  "/root/repo/tests/test_ip_route.cc" "tests/CMakeFiles/nectar_tests.dir/test_ip_route.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_ip_route.cc.o.d"
+  "/root/repo/tests/test_mbuf.cc" "tests/CMakeFiles/nectar_tests.dir/test_mbuf.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_mbuf.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/nectar_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/nectar_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/nectar_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_socket_paths.cc" "tests/CMakeFiles/nectar_tests.dir/test_socket_paths.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_socket_paths.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/nectar_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_taxonomy.cc" "tests/CMakeFiles/nectar_tests.dir/test_taxonomy.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_taxonomy.cc.o.d"
+  "/root/repo/tests/test_tcp.cc" "tests/CMakeFiles/nectar_tests.dir/test_tcp.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_tcp.cc.o.d"
+  "/root/repo/tests/test_tcp_edges.cc" "tests/CMakeFiles/nectar_tests.dir/test_tcp_edges.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_tcp_edges.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/nectar_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_udp.cc" "tests/CMakeFiles/nectar_tests.dir/test_udp.cc.o" "gcc" "tests/CMakeFiles/nectar_tests.dir/test_udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nectar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_kernapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_socket.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_cab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_hippi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nectar_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
