@@ -3,12 +3,25 @@
 // (single-copy) stack, and raw HIPPI.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "apps/experiment.h"
+#include "core/json.h"
 
 int main(int argc, char** argv) {
   using namespace nectar;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_fig5_alpha400.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        json_path = argv[++i];
+    }
+  }
 
   const core::HostParams params = core::HostParams::alpha3000_400();
   std::vector<std::size_t> sizes;
@@ -47,6 +60,36 @@ int main(int argc, char** argv) {
                 "(paper: ~3x)\n",
                 last.write_size / 1024,
                 last.eff_unmod > 0 ? last.eff_mod / last.eff_unmod : 0.0);
+  }
+
+  if (json) {
+    core::Json root = core::Json::object();
+    root.set("bench", "fig5_alpha400");
+    root.set("model", params.model);
+    root.set("quick", quick);
+    root.set("bytes_per_point", static_cast<std::uint64_t>(bytes));
+    core::Json arr = core::Json::array();
+    for (const auto& p : points) {
+      core::Json j = core::Json::object();
+      j.set("write_size", static_cast<std::uint64_t>(p.write_size));
+      j.set("tput_unmod_mbps", p.tput_unmod);
+      j.set("util_unmod", p.util_unmod);
+      j.set("eff_unmod_mbps", p.eff_unmod);
+      j.set("tput_mod_mbps", p.tput_mod);
+      j.set("util_mod", p.util_mod);
+      j.set("eff_mod_mbps", p.eff_mod);
+      j.set("tput_raw_mbps", p.tput_raw);
+      j.set("ok", p.ok);
+      arr.push_back(std::move(j));
+    }
+    root.set("points", std::move(arr));
+    root.set("crossover_lo_bytes", cross_lo);
+    root.set("crossover_hi_bytes", cross_hi);
+    if (!core::write_json_file(json_path, root)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -124,6 +124,7 @@ TtcpResult run_ttcp(Testbed& tb, const TtcpConfig& cfg) {
   r.sender_sock = tx.sock_stats();
   r.receiver_sock = rx.sock_stats();
   r.sender_tcp = tx.tcp().stats();
+  r.receiver_tcp = rx.tcp().stats();
   if (!r.completed) {
     tx.tcp().debug_dump("sender");
     rx.tcp().debug_dump("receiver");

@@ -33,6 +33,7 @@ struct TtcpResult {
   socket::Socket::SockStats sender_sock;
   socket::Socket::SockStats receiver_sock;
   net::TcpConnection::Stats sender_tcp;
+  net::TcpConnection::Stats receiver_tcp;
 };
 
 // Configure a testbed + socket options for a stack mode. The "unmodified

@@ -51,6 +51,23 @@ std::string netstat_protocols(Host& host) {
      << ip.ofragments << " fragments sent, " << ip.reassembled << " reassembled, "
      << ip.forwarded << " forwarded, " << ip.bad_checksum << " bad csum, "
      << ip.no_route << " unroutable, " << ip.frag_timeouts << " reasm timeouts\n";
+  // Aggregate over live connections: zombies unbind on close, so finished
+  // transfers drop out of this line (per-connection detail is in to_json).
+  net::TcpConnection::Stats tcp{};
+  for (const auto& [key, tp] : host.stack().tcp_connections()) {
+    const auto& s = tp->stats();
+    tcp.segs_out += s.segs_out;
+    tcp.segs_in += s.segs_in;
+    tcp.rexmt_segs += s.rexmt_segs;
+    tcp.dup_acks += s.dup_acks;
+    tcp.dup_segs_in += s.dup_segs_in;
+    tcp.ooo_segs += s.ooo_segs;
+    tcp.bad_checksum += s.bad_checksum;
+  }
+  os << "TCP: " << tcp.segs_in << " segs in, " << tcp.segs_out << " segs out, "
+     << tcp.rexmt_segs << " rexmt, " << tcp.dup_acks << " dup acks, "
+     << tcp.dup_segs_in << " dup segs, " << tcp.ooo_segs << " ooo, "
+     << tcp.bad_checksum << " bad csum\n";
   const auto& udp = host.stack().udp().stats();
   os << "UDP: " << udp.in_datagrams << " in, " << udp.out_datagrams << " out, "
      << udp.bad_checksum << " bad csum, " << udp.no_port << " no port ("
@@ -58,7 +75,8 @@ std::string netstat_protocols(Host& host) {
      << " none csum tx)\n";
   const auto& st = host.stack().stats();
   os << "demux: " << st.tcp_in << " tcp, " << st.udp_in << " udp, " << st.raw_in
-     << " raw, " << st.no_port << " no-port, " << st.no_proto << " no-proto\n";
+     << " raw, " << st.no_port << " no-port, " << st.no_proto << " no-proto, "
+     << st.bad_checksum << " bad csum\n";
   return os.str();
 }
 
@@ -97,6 +115,182 @@ std::string netstat(Host& host) {
      << netstat_interfaces(host) << netstat_protocols(host)
      << netstat_memory(host) << netstat_cpu(host);
   return os.str();
+}
+
+// --- JSON exporter ----------------------------------------------------------
+
+Json tcp_stats_json(const net::TcpConnection::Stats& s) {
+  Json j = Json::object();
+  j.set("segs_out", s.segs_out);
+  j.set("bytes_out", s.bytes_out);
+  j.set("segs_in", s.segs_in);
+  j.set("bytes_in", s.bytes_in);
+  j.set("acks_in", s.acks_in);
+  j.set("retransmits", s.rexmt_segs);
+  j.set("rexmt_timeouts", s.rexmt_timeouts);
+  j.set("fast_rexmt", s.fast_rexmt);
+  j.set("dup_acks", s.dup_acks);
+  j.set("dup_segs_in", s.dup_segs_in);
+  j.set("ooo_segs", s.ooo_segs);
+  j.set("checksum_drops", s.bad_checksum);
+  j.set("hw_csum_rx", s.hw_csum_rx);
+  j.set("sw_csum_rx", s.sw_csum_rx);
+  j.set("hw_csum_tx", s.hw_csum_tx);
+  j.set("sw_csum_tx", s.sw_csum_tx);
+  return j;
+}
+
+Json impairments_json(const std::vector<hippi::ImpairedFabric*>& impairments) {
+  Json arr = Json::array();
+  for (const hippi::ImpairedFabric* f : impairments) {
+    Json j = Json::object();
+    j.set("kind", f->kind());
+    for (const auto& [name, value] : f->counters()) j.set(name, value);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+Json Netstat::json() const {
+  Host& host = host_;
+  Json root = Json::object();
+  root.set("host", host.name());
+  root.set("model", host.params().model);
+  root.set("time_s", sim::to_seconds(host.sim().now()));
+
+  Json ifs = Json::array();
+  for (net::Ifnet* ifp : host.stack().ifnets()) {
+    const auto& s = ifp->if_stats;
+    Json j = Json::object();
+    j.set("name", ifp->name());
+    j.set("addr", ip_str(ifp->addr()));
+    j.set("mtu", static_cast<std::uint64_t>(ifp->mtu()));
+    j.set("single_copy", ifp->single_copy());
+    j.set("opackets", s.opackets);
+    j.set("obytes", s.obytes);
+    j.set("ipackets", s.ipackets);
+    j.set("ibytes", s.ibytes);
+    j.set("oerrors", s.oerrors);
+    j.set("uio_converted", s.uio_converted);
+    if (auto* cab = dynamic_cast<drivers::CabDriver*>(ifp)) {
+      auto& dev = cab->device();
+      const auto& sd = dev.sdma().stats();
+      const auto& mx = dev.mdma_xmit().stats();
+      const auto& mr = dev.mdma_recv().stats();
+      Json c = Json::object();
+      c.set("sdma_requests", sd.requests);
+      c.set("sdma_bytes_to_cab", sd.bytes_to_cab);
+      c.set("sdma_bytes_from_cab", sd.bytes_from_cab);
+      c.set("sdma_busy_s", sim::to_seconds(sd.busy_time));
+      c.set("checksum_bytes_summed", dev.sdma().checksum().bytes_summed());
+      c.set("mdma_tx_packets", mx.packets);
+      c.set("mdma_tx_bytes", mx.bytes);
+      c.set("mdma_tx_busy_s", sim::to_seconds(mx.busy_time));
+      c.set("mdma_rx_packets", mr.packets);
+      c.set("mdma_rx_bytes", mr.bytes);
+      c.set("mdma_rx_drops_no_memory", mr.drops_no_memory);
+      c.set("mdma_rx_fully_autodma", mr.fully_autodma);
+      c.set("tx_fresh", cab->drv_stats.tx_fresh);
+      c.set("tx_rewrite", cab->drv_stats.tx_rewrite);
+      c.set("tx_no_memory", cab->drv_stats.tx_no_memory);
+      c.set("rx_wcab", cab->drv_stats.rx_wcab);
+      c.set("rx_small", cab->drv_stats.rx_small);
+      c.set("copyouts", cab->drv_stats.copyouts);
+      c.set("nm_live_packets", static_cast<std::uint64_t>(dev.nm().live_packets()));
+      c.set("nm_free_bytes", static_cast<std::uint64_t>(dev.nm().free_bytes()));
+      j.set("cab", std::move(c));
+    }
+    ifs.push_back(std::move(j));
+  }
+  root.set("interfaces", std::move(ifs));
+
+  const auto& ip = host.stack().ip().stats();
+  Json jip = Json::object();
+  jip.set("ipackets", ip.ipackets);
+  jip.set("opackets", ip.opackets);
+  jip.set("ofragments", ip.ofragments);
+  jip.set("reassembled", ip.reassembled);
+  jip.set("forwarded", ip.forwarded);
+  jip.set("bad_header", ip.bad_header);
+  jip.set("bad_checksum", ip.bad_checksum);
+  jip.set("no_route", ip.no_route);
+  jip.set("frag_timeouts", ip.frag_timeouts);
+  jip.set("oversize", ip.oversize);
+  root.set("ip", std::move(jip));
+
+  const auto& udp = host.stack().udp().stats();
+  Json judp = Json::object();
+  judp.set("in_datagrams", udp.in_datagrams);
+  judp.set("out_datagrams", udp.out_datagrams);
+  judp.set("bad_checksum", udp.bad_checksum);
+  judp.set("no_port", udp.no_port);
+  judp.set("unverifiable", udp.unverifiable);
+  judp.set("hw_csum_tx", udp.hw_csum_tx);
+  judp.set("sw_csum_tx", udp.sw_csum_tx);
+  judp.set("nocsum_tx", udp.nocsum_tx);
+  root.set("udp", std::move(judp));
+
+  const auto& st = host.stack().stats();
+  Json jd = Json::object();
+  jd.set("tcp_in", st.tcp_in);
+  jd.set("udp_in", st.udp_in);
+  jd.set("raw_in", st.raw_in);
+  jd.set("no_proto", st.no_proto);
+  jd.set("no_port", st.no_port);
+  jd.set("bad_checksum", st.bad_checksum);
+  root.set("demux", std::move(jd));
+
+  Json conns = Json::array();
+  for (const auto& [key, tp] : host.stack().tcp_connections()) {
+    Json j = Json::object();
+    std::ostringstream name;
+    name << ip_str(key.laddr) << ':' << key.lport << '-' << ip_str(key.faddr)
+         << ':' << key.fport;
+    j.set("conn", name.str());
+    j.set("state", net::tcp_state_name(tp->state()));
+    j.set("stats", tcp_stats_json(tp->stats()));
+    conns.push_back(std::move(j));
+  }
+  root.set("tcp", std::move(conns));
+
+  const auto& m = host.pool().stats();
+  Json jm = Json::object();
+  jm.set("allocs", m.allocs);
+  jm.set("frees", m.frees);
+  jm.set("live", static_cast<std::uint64_t>(host.pool().in_use()));
+  jm.set("cluster_allocs", m.cluster_allocs);
+  jm.set("uio_allocs", m.uio_allocs);
+  jm.set("wcab_allocs", m.wcab_allocs);
+  root.set("mbufs", std::move(jm));
+
+  const auto& v = host.vm().stats();
+  Json jv = Json::object();
+  jv.set("pin_ops", v.pin_ops);
+  jv.set("pages_pinned", v.pages_pinned);
+  jv.set("unpin_ops", v.unpin_ops);
+  jv.set("map_ops", v.map_ops);
+  jv.set("pinned_now", static_cast<std::uint64_t>(host.vm().pinned_pages()));
+  root.set("vm", std::move(jv));
+
+  const auto& pc = host.pin_cache().stats();
+  Json jpc = Json::object();
+  jpc.set("page_hits", pc.page_hits);
+  jpc.set("page_misses", pc.page_misses);
+  jpc.set("evictions", pc.evictions);
+  jpc.set("resident", static_cast<std::uint64_t>(host.pin_cache().resident_pages()));
+  root.set("pin_cache", std::move(jpc));
+
+  Json jcpu = Json::object();
+  Json accts = Json::object();
+  for (std::size_t i = 0; i < host.cpu().num_accounts(); ++i) {
+    accts.set(host.cpu().account_name(i),
+              sim::to_seconds(host.cpu().busy(i)));
+  }
+  jcpu.set("accounts_busy_s", std::move(accts));
+  jcpu.set("total_busy_s", sim::to_seconds(host.cpu().total_busy()));
+  root.set("cpu", std::move(jcpu));
+
+  return root;
 }
 
 }  // namespace nectar::core

@@ -1,10 +1,16 @@
 // netstat-style reporting: formatted dumps of a host's stack, device, and
-// memory statistics, for examples and interactive debugging.
+// memory statistics for interactive debugging, plus a machine-readable JSON
+// exporter (Netstat::to_json) used by the bench binaries and the
+// determinism-regression tests.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/host.h"
+#include "core/json.h"
+#include "hippi/impairment.h"
+#include "net/tcp.h"
 
 namespace nectar::core {
 
@@ -17,5 +23,31 @@ namespace nectar::core {
 [[nodiscard]] std::string netstat_protocols(Host& host);
 [[nodiscard]] std::string netstat_memory(Host& host);
 [[nodiscard]] std::string netstat_cpu(Host& host);
+
+// Machine-readable counterpart of netstat(): one JSON object per host with
+// every counter the text report shows, plus per-connection TCP statistics
+// (retransmits, dup ACKs, out-of-order segments, checksum drops, ...).
+// Object-member order is fixed, so two identical runs dump identical text —
+// the determinism regression tests compare these dumps byte-for-byte.
+class Netstat {
+ public:
+  explicit Netstat(Host& host) : host_(host) {}
+
+  [[nodiscard]] Json json() const;
+  [[nodiscard]] std::string to_json(int indent = 2) const {
+    return json().dump(indent);
+  }
+
+ private:
+  Host& host_;
+};
+
+// One JSON object for a TCP connection's counters (shared by Netstat and the
+// ttcp-based benches, which hold Stats snapshots rather than live hosts).
+[[nodiscard]] Json tcp_stats_json(const net::TcpConnection::Stats& s);
+
+// One JSON object per impairment: {"kind": ..., <counter>: <value>, ...}.
+[[nodiscard]] Json impairments_json(
+    const std::vector<hippi::ImpairedFabric*>& impairments);
 
 }  // namespace nectar::core

@@ -4,9 +4,25 @@ namespace nectar::core {
 
 hippi::Fabric& Testbed::fabric() {
   if (trace) return *trace;
+  if (rate_limit) return *rate_limit;
+  if (partition) return *partition;
   if (lossy) return *lossy;
+  if (dup) return *dup;
+  if (reorder) return *reorder;
+  if (corrupt) return *corrupt;
   if (sw) return *sw;
   return *wire;
+}
+
+std::vector<hippi::ImpairedFabric*> Testbed::impairments() const {
+  std::vector<hippi::ImpairedFabric*> out;
+  if (rate_limit) out.push_back(rate_limit.get());
+  if (partition) out.push_back(partition.get());
+  if (lossy) out.push_back(lossy.get());
+  if (dup) out.push_back(dup.get());
+  if (reorder) out.push_back(reorder.get());
+  if (corrupt) out.push_back(corrupt.get());
+  return out;
 }
 
 Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
@@ -15,17 +31,45 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
   } else {
     wire = std::make_unique<hippi::DirectWire>(sim);
   }
+  // Build the impairment chain inside-out; each layer wraps whatever is
+  // outermost so far. Corruption sits innermost (damage happens "on the
+  // wire", after loss/dup decisions), rate limiting outermost (the
+  // bottleneck serializes everything submitted to it).
+  hippi::Fabric* outer = sw ? static_cast<hippi::Fabric*>(sw.get())
+                            : static_cast<hippi::Fabric*>(wire.get());
+  if (opts.corrupt_rate > 0.0) {
+    corrupt = std::make_unique<hippi::CorruptFabric>(*outer, opts.corrupt_rate,
+                                                     opts.corrupt_seed);
+    outer = corrupt.get();
+  }
+  if (opts.reorder_rate > 0.0) {
+    reorder = std::make_unique<hippi::ReorderFabric>(
+        sim, *outer, opts.reorder_rate, opts.reorder_hold, opts.reorder_seed);
+    outer = reorder.get();
+  }
+  if (opts.dup_rate > 0.0) {
+    dup = std::make_unique<hippi::DupFabric>(*outer, opts.dup_rate,
+                                             opts.dup_seed);
+    outer = dup.get();
+  }
   if (opts.loss_rate > 0.0) {
-    hippi::Fabric& inner = sw ? static_cast<hippi::Fabric&>(*sw)
-                              : static_cast<hippi::Fabric&>(*wire);
-    lossy = std::make_unique<hippi::LossyFabric>(inner, opts.loss_rate,
+    lossy = std::make_unique<hippi::LossyFabric>(*outer, opts.loss_rate,
                                                  opts.loss_seed);
+    outer = lossy.get();
+  }
+  if (!opts.partition_windows.empty()) {
+    partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
+    for (const auto& [start, end] : opts.partition_windows)
+      partition->add_window(start, end);
+    outer = partition.get();
+  }
+  if (opts.rate_limit_bps > 0.0) {
+    rate_limit = std::make_unique<hippi::RateLimitFabric>(
+        sim, *outer, opts.rate_limit_bps, opts.rate_limit_burst);
+    outer = rate_limit.get();
   }
   if (opts.trace_packets) {
-    hippi::Fabric& inner = lossy ? static_cast<hippi::Fabric&>(*lossy)
-                           : sw  ? static_cast<hippi::Fabric&>(*sw)
-                                 : static_cast<hippi::Fabric&>(*wire);
-    trace = std::make_unique<PacketTrace>(sim, inner);
+    trace = std::make_unique<PacketTrace>(sim, *outer);
   }
 
   a = std::make_unique<Host>(sim, opts.params_a, "hostA");

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/host.h"
 #include "core/packet_trace.h"
@@ -26,6 +28,17 @@ struct TestbedOptions {
   hippi::MacMode mac_mode = hippi::MacMode::kLogicalChannels;
   double loss_rate = 0.0;       // packet loss on the HIPPI fabric
   std::uint64_t loss_seed = 42;
+  double reorder_rate = 0.0;    // fraction of frames held back
+  sim::Duration reorder_hold = sim::usec(50.0);
+  std::uint64_t reorder_seed = 43;
+  double corrupt_rate = 0.0;    // fraction of frames with one bit flipped
+  std::uint64_t corrupt_seed = 44;
+  double dup_rate = 0.0;        // fraction of frames duplicated
+  std::uint64_t dup_seed = 45;
+  double rate_limit_bps = 0.0;  // bytes/s bottleneck; 0 = unlimited
+  std::size_t rate_limit_burst = 64 * 1024;
+  // Blackhole windows [start, end) applied by a PartitionFabric.
+  std::vector<std::pair<sim::Time, sim::Time>> partition_windows;
   bool with_ethernet = false;
   double ether_bandwidth_bps = 10e6 / 8.0;  // classic 10 Mbit/s Ethernet
 };
@@ -44,10 +57,18 @@ class Testbed {
   sim::Simulator sim;
   TestbedOptions opts;
 
-  std::unique_ptr<hippi::DirectWire> wire;     // when !use_switch
-  std::unique_ptr<hippi::Switch> sw;           // when use_switch
-  std::unique_ptr<hippi::LossyFabric> lossy;   // when loss_rate > 0
-  std::unique_ptr<PacketTrace> trace;          // when trace_packets
+  // Fabric chain, innermost first: the wire/switch, then one impairment per
+  // enabled option (corrupt → reorder → dup → lossy → partition → rate
+  // limit), then the trace. fabric() returns the outermost layer.
+  std::unique_ptr<hippi::DirectWire> wire;       // when !use_switch
+  std::unique_ptr<hippi::Switch> sw;             // when use_switch
+  std::unique_ptr<hippi::CorruptFabric> corrupt; // when corrupt_rate > 0
+  std::unique_ptr<hippi::ReorderFabric> reorder; // when reorder_rate > 0
+  std::unique_ptr<hippi::DupFabric> dup;         // when dup_rate > 0
+  std::unique_ptr<hippi::LossyFabric> lossy;     // when loss_rate > 0
+  std::unique_ptr<hippi::PartitionFabric> partition;  // when windows given
+  std::unique_ptr<hippi::RateLimitFabric> rate_limit; // when rate_limit_bps > 0
+  std::unique_ptr<PacketTrace> trace;            // when trace_packets
   std::unique_ptr<drivers::EtherSegment> ether;
 
   std::unique_ptr<Host> a;
@@ -58,6 +79,9 @@ class Testbed {
   drivers::EtherDriver* eth_b = nullptr;
 
   [[nodiscard]] hippi::Fabric& fabric();
+
+  // The active impairments, outermost first (for the JSON stats exporter).
+  [[nodiscard]] std::vector<hippi::ImpairedFabric*> impairments() const;
 
   // Drive the simulator until `done` is true or `deadline` passes. Returns
   // whether `done` fired.

@@ -1,0 +1,81 @@
+#include "hippi/impairment.h"
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace nectar::hippi {
+
+void ReorderFabric::submit(Packet&& p) {
+  if (rng_.chance(rate_)) {
+    ++reordered_;
+    // Move the packet straight into the callback: Packet is copyable, so
+    // std::function can hold the lambda, but only the single moved-in
+    // instance is ever submitted — the held frame is delivered exactly once
+    // with no shared_ptr indirection.
+    sim_.after(hold_, [this, p = std::move(p)]() mutable {
+      inner_.submit(std::move(p));
+    });
+    return;
+  }
+  inner_.submit(std::move(p));
+}
+
+void CorruptFabric::submit(Packet&& p) {
+  if (p.size() > min_offset_ && rng_.chance(rate_)) {
+    ++corrupted_;
+    const std::size_t off =
+        min_offset_ + static_cast<std::size_t>(
+                          rng_.below(static_cast<std::uint64_t>(p.size() - min_offset_)));
+    const unsigned bit = static_cast<unsigned>(rng_.below(8));
+    p.bytes[off] ^= static_cast<std::byte>(1u << bit);
+    last_offset_ = off;
+  }
+  inner_.submit(std::move(p));
+}
+
+void RateLimitFabric::submit(Packet&& p) {
+  const auto size = static_cast<double>(p.size());
+  // A frame may not depart before the one queued ahead of it (FIFO), and
+  // never before now.
+  const sim::Time earliest = std::max(sim_.now(), horizon_);
+  // Bring the bucket current to `earliest`, capped at the burst size.
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + bandwidth_bps_ *
+                                   sim::to_seconds(earliest - mark_));
+  mark_ = earliest;
+
+  sim::Time depart = earliest;
+  if (tokens_ >= size) {
+    tokens_ -= size;
+  } else {
+    depart = earliest + sim::transfer_time(
+                            static_cast<std::int64_t>(size - tokens_),
+                            bandwidth_bps_);
+    tokens_ = 0.0;
+    // The bucket is drained through `depart`, so future refills start there.
+    mark_ = depart;
+  }
+
+  if (depart == sim_.now()) {
+    ++passed_;
+    horizon_ = depart;
+    inner_.submit(std::move(p));
+    return;
+  }
+
+  if (backlog_ + p.size() > queue_limit_) {
+    ++dropped_;
+    return;
+  }
+  ++delayed_;
+  backlog_ += p.size();
+  horizon_ = depart;
+  const std::size_t sz = p.size();
+  sim_.after(depart - sim_.now(), [this, sz, p = std::move(p)]() mutable {
+    backlog_ -= sz;
+    inner_.submit(std::move(p));
+  });
+}
+
+}  // namespace nectar::hippi

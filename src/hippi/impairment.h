@@ -1,0 +1,292 @@
+// Composable fault-injection wrappers ("impairments") for HIPPI fabrics.
+//
+// Each impairment interposes on an inner Fabric, applies one kind of wire
+// fault to submitted frames, and counts exactly what it did. Impairments
+// stack by wrapping each other, so a testbed can model a lossy, corrupting,
+// duplicating, reordering, rate-limited, partitionable wire from independent
+// pieces. All randomness comes from ImpairmentRng, a per-fabric
+// deterministic coin: a given seed always produces the same fault pattern,
+// which is what makes the conformance tests exact.
+//
+// The corruption model flips bits only *after* the HIPPI framing header:
+// real HIPPI-PH/FP protects framing with its own parity and LLRC, so a frame
+// whose framing is damaged never reaches the endpoint at all — what the
+// outboard checksum engine must catch is damage to the IP header, transport
+// header, or payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hippi/framing.h"
+#include "sim/event_queue.h"
+
+namespace nectar::hippi {
+
+// xorshift64*: the cheap deterministic per-packet coin, factored out of the
+// (formerly duplicated) LossyFabric / ReorderFabric implementations. The
+// sequence is identical to the old inline code for a given seed.
+class ImpairmentRng {
+ public:
+  explicit ImpairmentRng(std::uint64_t seed) noexcept : state_(seed | 1) {}
+
+  std::uint64_t next() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Uniform integer in [0, n); n == 0 returns 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    return n == 0 ? 0
+                  : static_cast<std::uint64_t>(uniform() *
+                                               static_cast<double>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Base for all impairments: forwards attach to the inner fabric and exposes
+// the impairment's counters in a machine-readable form for the JSON stats
+// exporter (core::impairments_json).
+class ImpairedFabric : public Fabric {
+ public:
+  explicit ImpairedFabric(Fabric& inner) : inner_(inner) {}
+
+  void attach(Addr addr, Endpoint* ep) override { inner_.attach(addr, ep); }
+
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+  [[nodiscard]] virtual std::vector<std::pair<std::string, std::uint64_t>>
+  counters() const = 0;
+
+ protected:
+  Fabric& inner_;
+};
+
+// Drops a deterministic pseudo-random fraction of submitted packets before
+// they reach the inner fabric. Used by TCP retransmission tests (including
+// the WCAB header-rewrite path).
+class LossyFabric final : public ImpairedFabric {
+ public:
+  LossyFabric(Fabric& inner, double loss_rate, std::uint64_t seed)
+      : ImpairedFabric(inner), loss_(loss_rate), rng_(seed) {}
+
+  void submit(Packet&& p) override {
+    if (rng_.chance(loss_)) {
+      ++dropped_;
+      return;
+    }
+    inner_.submit(std::move(p));
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "loss"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"dropped", dropped_}};
+  }
+
+ private:
+  double loss_;
+  ImpairmentRng rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Delays a pseudo-random fraction of packets by a fixed amount, reordering
+// them relative to later traffic. Exercises TCP's out-of-order reassembly
+// without loss.
+class ReorderFabric final : public ImpairedFabric {
+ public:
+  ReorderFabric(sim::Simulator& sim, Fabric& inner, double reorder_rate,
+                sim::Duration hold, std::uint64_t seed)
+      : ImpairedFabric(inner), sim_(sim), rate_(reorder_rate), hold_(hold),
+        rng_(seed) {}
+
+  void submit(Packet&& p) override;
+
+  [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "reorder"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"reordered", reordered_}};
+  }
+
+ private:
+  sim::Simulator& sim_;
+  double rate_;
+  sim::Duration hold_;
+  ImpairmentRng rng_;
+  std::uint64_t reordered_ = 0;
+};
+
+// Flips one deterministic pseudo-random bit in a fraction of frames, at a
+// uniform offset past the HIPPI framing header — i.e. in the IP header,
+// transport header, or payload. The outboard checksum path (receive
+// ChecksumEngine sum + host pseudo-header add, or verify_ip_checksum for
+// header damage) must detect and drop every such frame.
+class CorruptFabric final : public ImpairedFabric {
+ public:
+  CorruptFabric(Fabric& inner, double corrupt_rate, std::uint64_t seed,
+                std::size_t min_offset = kHeaderSize)
+      : ImpairedFabric(inner), rate_(corrupt_rate), min_offset_(min_offset),
+        rng_(seed) {}
+
+  void submit(Packet&& p) override;
+
+  [[nodiscard]] std::uint64_t corrupted() const noexcept { return corrupted_; }
+  // Byte offset of the most recent flip (tests pin exact positions).
+  [[nodiscard]] std::size_t last_offset() const noexcept { return last_offset_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "corrupt"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"corrupted", corrupted_}};
+  }
+
+ private:
+  double rate_;
+  std::size_t min_offset_;
+  ImpairmentRng rng_;
+  std::uint64_t corrupted_ = 0;
+  std::size_t last_offset_ = 0;
+};
+
+// Duplicates a fraction of frames (original first, copy immediately after),
+// exercising TCP's duplicate-segment drop and dup-ACK handling.
+class DupFabric final : public ImpairedFabric {
+ public:
+  DupFabric(Fabric& inner, double dup_rate, std::uint64_t seed)
+      : ImpairedFabric(inner), rate_(dup_rate), rng_(seed) {}
+
+  void submit(Packet&& p) override {
+    if (rng_.chance(rate_)) {
+      ++duplicated_;
+      Packet copy = p;  // full byte copy: the duplicate is bit-identical
+      inner_.submit(std::move(p));
+      inner_.submit(std::move(copy));
+      return;
+    }
+    inner_.submit(std::move(p));
+  }
+
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "dup"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"duplicated", duplicated_}};
+  }
+
+ private:
+  double rate_;
+  ImpairmentRng rng_;
+  std::uint64_t duplicated_ = 0;
+};
+
+// Token-bucket bottleneck: frames are held until the bucket has earned one
+// byte of credit per frame byte (refill `bandwidth_bps` bytes/s, capacity
+// `burst_bytes`), serializing FIFO behind earlier held frames. Models a slow
+// link segment; enables congestion / persist-timer scenarios. Frames that
+// would exceed `queue_limit_bytes` of backlog are dropped (tail drop), like
+// a real bottleneck queue.
+class RateLimitFabric final : public ImpairedFabric {
+ public:
+  RateLimitFabric(sim::Simulator& sim, Fabric& inner, double bandwidth_bps,
+                  std::size_t burst_bytes = 64 * 1024,
+                  std::size_t queue_limit_bytes = 4 * 1024 * 1024)
+      : ImpairedFabric(inner), sim_(sim), bandwidth_bps_(bandwidth_bps),
+        burst_(burst_bytes), queue_limit_(queue_limit_bytes),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  void submit(Packet&& p) override;
+
+  [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t backlog_bytes() const noexcept { return backlog_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "rate_limit"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"passed", passed_}, {"delayed", delayed_}, {"dropped", dropped_}};
+  }
+
+ private:
+  sim::Simulator& sim_;
+  double bandwidth_bps_;  // bytes/s, like every other *_bps in this codebase
+  std::size_t burst_;
+  std::size_t queue_limit_;
+  double tokens_;            // credit available at time mark_
+  sim::Time mark_ = 0;       // when tokens_ was last brought current
+  sim::Time horizon_ = 0;    // departure time of the last accepted frame
+  std::size_t backlog_ = 0;  // bytes held but not yet forwarded
+  std::uint64_t passed_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Time-windowed blackhole: while the partition is active every frame
+// vanishes, exercising RTO backoff and recovery once the fabric heals.
+// Windows can be scheduled up front (add_window) or toggled manually
+// (set_down) from a test or experiment script.
+class PartitionFabric final : public ImpairedFabric {
+ public:
+  PartitionFabric(sim::Simulator& sim, Fabric& inner)
+      : ImpairedFabric(inner), sim_(sim) {}
+
+  // Blackhole every frame submitted in [start, end).
+  void add_window(sim::Time start, sim::Time end) {
+    windows_.emplace_back(start, end);
+  }
+  void set_down(bool down) noexcept { down_ = down; }
+
+  [[nodiscard]] bool active() const noexcept {
+    if (down_) return true;
+    const sim::Time now = sim_.now();
+    for (const auto& [s, e] : windows_) {
+      if (s <= now && now < e) return true;
+    }
+    return false;
+  }
+
+  void submit(Packet&& p) override {
+    if (active()) {
+      ++blackholed_;
+      return;
+    }
+    ++passed_;
+    inner_.submit(std::move(p));
+  }
+
+  [[nodiscard]] std::uint64_t blackholed() const noexcept { return blackholed_; }
+  [[nodiscard]] std::uint64_t passed() const noexcept { return passed_; }
+
+  [[nodiscard]] const char* kind() const noexcept override { return "partition"; }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const override {
+    return {{"blackholed", blackholed_}, {"passed", passed_}};
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::pair<sim::Time, sim::Time>> windows_;
+  bool down_ = false;
+  std::uint64_t blackholed_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace nectar::hippi

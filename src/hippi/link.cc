@@ -1,6 +1,6 @@
 #include "hippi/link.h"
 
-#include <memory>
+#include <utility>
 
 namespace nectar::hippi {
 
@@ -13,9 +13,8 @@ void DirectWire::submit(Packet&& p) {
   }
   Endpoint* ep = it->second;
   ++delivered_;
-  auto shared = std::make_shared<Packet>(std::move(p));
-  sim_.after(propagation_, [ep, shared]() mutable {
-    ep->hippi_receive(std::move(*shared));
+  sim_.after(propagation_, [ep, p = std::move(p)]() mutable {
+    ep->hippi_receive(std::move(p));
   });
 }
 

@@ -1,9 +1,14 @@
 // Direct point-to-point HIPPI wire between two endpoints.
+//
+// Fault-injection wrappers (LossyFabric, ReorderFabric, CorruptFabric, ...)
+// live in hippi/impairment.h; it is included here so existing users of
+// link.h keep seeing LossyFabric/ReorderFabric.
 #pragma once
 
 #include <unordered_map>
 
 #include "hippi/framing.h"
+#include "hippi/impairment.h"
 #include "sim/event_queue.h"
 
 namespace nectar::hippi {
@@ -28,77 +33,6 @@ class DirectWire final : public Fabric {
   std::unordered_map<Addr, Endpoint*> eps_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
-};
-
-// Fault-injection wrapper: drops a deterministic pseudo-random fraction of
-// submitted packets before they reach the inner fabric. Used by TCP
-// retransmission tests (including the WCAB header-rewrite path).
-class LossyFabric final : public Fabric {
- public:
-  LossyFabric(Fabric& inner, double loss_rate, std::uint64_t seed)
-      : inner_(inner), loss_(loss_rate), state_(seed | 1) {}
-
-  void attach(Addr addr, Endpoint* ep) override { inner_.attach(addr, ep); }
-
-  void submit(Packet&& p) override {
-    // xorshift64*: cheap deterministic per-packet coin.
-    state_ ^= state_ >> 12;
-    state_ ^= state_ << 25;
-    state_ ^= state_ >> 27;
-    const double u = static_cast<double>((state_ * 0x2545F4914F6CDD1DULL) >> 11) *
-                     0x1.0p-53;
-    if (u < loss_) {
-      ++dropped_;
-      return;
-    }
-    inner_.submit(std::move(p));
-  }
-
-  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
-
- private:
-  Fabric& inner_;
-  double loss_;
-  std::uint64_t state_;
-  std::uint64_t dropped_ = 0;
-};
-
-// Fault-injection wrapper: delays a pseudo-random fraction of packets by a
-// fixed amount, reordering them relative to later traffic. Exercises TCP's
-// out-of-order reassembly without loss.
-class ReorderFabric final : public Fabric {
- public:
-  ReorderFabric(sim::Simulator& sim, Fabric& inner, double reorder_rate,
-                sim::Duration hold, std::uint64_t seed)
-      : sim_(sim), inner_(inner), rate_(reorder_rate), hold_(hold),
-        state_(seed | 1) {}
-
-  void attach(Addr addr, Endpoint* ep) override { inner_.attach(addr, ep); }
-
-  void submit(Packet&& p) override {
-    state_ ^= state_ >> 12;
-    state_ ^= state_ << 25;
-    state_ ^= state_ >> 27;
-    const double u = static_cast<double>((state_ * 0x2545F4914F6CDD1DULL) >> 11) *
-                     0x1.0p-53;
-    if (u < rate_) {
-      ++reordered_;
-      auto held = std::make_shared<Packet>(std::move(p));
-      sim_.after(hold_, [this, held]() mutable { inner_.submit(std::move(*held)); });
-      return;
-    }
-    inner_.submit(std::move(p));
-  }
-
-  [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
-
- private:
-  sim::Simulator& sim_;
-  Fabric& inner_;
-  double rate_;
-  sim::Duration hold_;
-  std::uint64_t state_;
-  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace nectar::hippi

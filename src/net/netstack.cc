@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "checksum/internet_checksum.h"
+#include "mbuf/mbuf_ops.h"
 #include "net/ip.h"
 #include "net/tcp.h"
 #include "net/udp.h"
@@ -106,7 +108,28 @@ sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
       TcpConnection* tp = tcp_lookup(key);
       if (tp == nullptr) tp = tcp_lookup_listen(ih.dst, th.dst_port);
       if (tp == nullptr) {
-        ++stats_.no_port;
+        // Checksum before concluding "no such port" (BSD verifies before the
+        // PCB lookup): a bit flip in a port field must be charged to the
+        // checksum, not mistaken for a connection-less segment.
+        const auto seg_len = static_cast<std::uint16_t>(pkt->pkthdr.len);
+        const std::uint32_t pseudo =
+            transport_pseudo_sum(ih.src, ih.dst, kProtoTcp, seg_len);
+        bool any_descriptor = false;
+        for (const mbuf::Mbuf* m = pkt; m != nullptr; m = m->next) {
+          if (m->is_descriptor()) any_descriptor = true;
+        }
+        bool bad = false;
+        if (pkt->pkthdr.rx_hw_sum_valid) {
+          bad = checksum::fold(pseudo + pkt->pkthdr.rx_hw_sum) != 0xffff;
+        } else if (!any_descriptor) {
+          bad = checksum::fold(pseudo + mbuf::in_cksum_range(
+                                            pkt, 0, pkt->pkthdr.len)) != 0xffff;
+        }
+        if (bad) {
+          ++stats_.bad_checksum;
+        } else {
+          ++stats_.no_port;
+        }
         env_.pool.free_chain(pkt);
         co_return;
       }

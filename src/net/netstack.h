@@ -94,8 +94,17 @@ class NetStack {
     std::uint64_t raw_in = 0;
     std::uint64_t no_proto = 0;
     std::uint64_t no_port = 0;
+    // Segments whose transport checksum failed at demux-miss time: a
+    // corrupted port field would otherwise masquerade as "no such port".
+    std::uint64_t bad_checksum = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Live connections for the stats exporter (key -> connection, demux order).
+  [[nodiscard]] const std::map<ConnKey, TcpConnection*>& tcp_connections()
+      const noexcept {
+    return tcp_conns_;
+  }
 
  private:
   HostEnv env_;

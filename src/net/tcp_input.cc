@@ -303,6 +303,7 @@ sim::Task<void> TcpConnection::accept_data(KernCtx ctx, Mbuf* pkt,
     if (dup >= len + (fin ? 1u : 0u)) {
       // Entirely duplicate: re-ACK so the peer resynchronizes (this is also
       // the response that answers zero-window probes).
+      ++stats_.dup_segs_in;
       env.pool.free_chain(pkt);
       co_await send_control(ctx, snd_nxt_, kTcpAck);
       co_return;

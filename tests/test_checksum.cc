@@ -131,6 +131,64 @@ TEST(Checksum, SingleBitCorruptionDetected) {
   }
 }
 
+TEST(Checksum, AnySingleBitFlipChangesTheChecksumExhaustiveSmall) {
+  // Property behind CorruptFabric's guarantee: flipping any single bit of
+  // any frame always changes the Internet checksum (the flip perturbs one
+  // 16-bit word by ±2^k, which is never ≡ 0 mod 65535), so an injected flip
+  // can never slip past verification. Exhaustive over small frames: every
+  // byte, every bit.
+  sim::Rng rng(43);
+  for (std::size_t len = 1; len <= 16; ++len) {
+    std::vector<std::byte> buf(len);
+    rng.fill(buf);
+    const std::uint16_t orig = finish(ones_sum(buf));
+    for (std::size_t pos = 0; pos < len; ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        buf[pos] ^= static_cast<std::byte>(1 << bit);
+        EXPECT_NE(finish(ones_sum(buf)), orig)
+            << "len=" << len << " pos=" << pos << " bit=" << bit;
+        buf[pos] ^= static_cast<std::byte>(1 << bit);
+      }
+    }
+  }
+}
+
+TEST(Checksum, AnySingleBitFlipChangesTheChecksumRandomLarge) {
+  // The same property over a large frame, randomized: 500 independent flip
+  // positions in a 4 KB buffer, each verified in isolation.
+  sim::Rng rng(47);
+  std::vector<std::byte> buf(4096);
+  rng.fill(buf);
+  const std::uint16_t orig = finish(ones_sum(buf));
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t pos = rng.uniform_below(buf.size());
+    const int bit = static_cast<int>(rng.uniform_below(8));
+    buf[pos] ^= static_cast<std::byte>(1 << bit);
+    EXPECT_NE(finish(ones_sum(buf)), orig) << "pos=" << pos << " bit=" << bit;
+    buf[pos] ^= static_cast<std::byte>(1 << bit);
+  }
+  EXPECT_EQ(finish(ones_sum(buf)), orig);  // all flips restored
+}
+
+TEST(Checksum, SingleBitFlipFailsSeededVerification) {
+  // Verification-style statement of the same property: a segment carrying
+  // its own checksum stops summing to 0xffff after any single flip, even
+  // when the flip lands in the checksum field itself.
+  sim::Rng rng(53);
+  std::vector<std::byte> seg(128);
+  rng.fill(seg);
+  wire::store_be16(seg.data() + 16, 0);
+  wire::store_be16(seg.data() + 16, finish(ones_sum(seg)));
+  ASSERT_EQ(fold(ones_sum(seg)), 0xffff);
+  for (std::size_t pos = 0; pos < seg.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      seg[pos] ^= static_cast<std::byte>(1 << bit);
+      EXPECT_NE(fold(ones_sum(seg)), 0xffff) << "pos=" << pos << " bit=" << bit;
+      seg[pos] ^= static_cast<std::byte>(1 << bit);
+    }
+  }
+}
+
 TEST(Checksum, PseudoHeaderSum) {
   PseudoHeader ph;
   ph.src = 0x0a000001;  // 10.0.0.1

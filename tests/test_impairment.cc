@@ -1,0 +1,520 @@
+// Conformance tests for the impairment fabric suite: exact seeded counter
+// values per fabric, byte-identical ttcp delivery over a loss × corrupt ×
+// dup × reorder matrix, the 5%-corruption end-to-end accounting identity,
+// and a determinism regression (same seeds → identical traces and Netstat
+// JSON).
+#include <gtest/gtest.h>
+
+#include "apps/ttcp.h"
+#include "core/netstat.h"
+#include "core/testbed.h"
+#include "hippi/link.h"
+#include "net/ip.h"
+
+namespace nectar {
+namespace {
+
+using hippi::CorruptFabric;
+using hippi::DirectWire;
+using hippi::DupFabric;
+using hippi::ImpairmentRng;
+using hippi::kHeaderSize;
+using hippi::Packet;
+using hippi::PartitionFabric;
+using hippi::RateLimitFabric;
+using hippi::ReorderFabric;
+
+hippi::Packet make_packet(hippi::Addr src, hippi::Addr dst, std::size_t payload,
+                          std::uint8_t fill = 0) {
+  Packet p;
+  p.bytes.resize(kHeaderSize + payload, static_cast<std::byte>(fill));
+  write_header(p.bytes, hippi::FrameHeader{dst, src, hippi::kTypeRaw, 0,
+                                           static_cast<std::uint32_t>(payload)});
+  return p;
+}
+
+struct Sink final : hippi::Endpoint {
+  std::vector<Packet> got;
+  void hippi_receive(Packet&& p) override { got.push_back(std::move(p)); }
+};
+
+// --- ImpairmentRng ----------------------------------------------------------
+
+TEST(ImpairmentRng, MatchesTheOriginalInlineXorshift) {
+  // The refactor must not change any seeded test's fault pattern: replay the
+  // exact sequence the old LossyFabric/ReorderFabric inline code produced.
+  const std::uint64_t seed = 7;
+  std::uint64_t state = seed | 1;
+  ImpairmentRng rng(seed);
+  for (int i = 0; i < 1000; ++i) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const double u =
+        static_cast<double>((state * 0x2545F4914F6CDD1DULL) >> 11) * 0x1.0p-53;
+    EXPECT_EQ(rng.uniform(), u);
+  }
+}
+
+TEST(ImpairmentRng, BelowStaysInRange) {
+  ImpairmentRng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+// --- CorruptFabric ----------------------------------------------------------
+
+TEST(CorruptFabric, FlipsExactlyThePredictedBits) {
+  sim::Simulator s;
+  DirectWire wire(s);
+  Sink sink;
+  CorruptFabric corrupt(wire, 0.25, 1234);
+  corrupt.attach(2, &sink);
+
+  const int n = 200;
+  const std::size_t payload = 256;
+  // Replay the fabric's coin to predict every decision it will make.
+  ImpairmentRng replay(1234);
+  struct Flip {
+    std::size_t off;
+    unsigned bit;
+  };
+  std::vector<Flip> expected(n, Flip{0, 8});  // bit 8 = "not corrupted"
+  std::uint64_t expected_count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (replay.chance(0.25)) {
+      ++expected_count;
+      const std::size_t off =
+          kHeaderSize + static_cast<std::size_t>(replay.below(payload));
+      const unsigned bit = static_cast<unsigned>(replay.below(8));
+      expected[static_cast<std::size_t>(i)] = {off, bit};
+    }
+  }
+  ASSERT_GT(expected_count, 0u);
+
+  for (int i = 0; i < n; ++i) corrupt.submit(make_packet(1, 2, payload, 0xA5));
+  s.run();
+
+  EXPECT_EQ(corrupt.corrupted(), expected_count);
+  ASSERT_EQ(sink.got.size(), static_cast<std::size_t>(n));
+  const Packet ref = make_packet(1, 2, payload, 0xA5);
+  for (int i = 0; i < n; ++i) {
+    const auto& got = sink.got[static_cast<std::size_t>(i)].bytes;
+    const auto& exp = expected[static_cast<std::size_t>(i)];
+    ASSERT_EQ(got.size(), ref.bytes.size());
+    for (std::size_t off = 0; off < got.size(); ++off) {
+      std::byte want = ref.bytes[off];
+      if (exp.bit < 8 && off == exp.off)
+        want ^= static_cast<std::byte>(1u << exp.bit);
+      EXPECT_EQ(got[off], want) << "packet " << i << " offset " << off;
+    }
+  }
+}
+
+TEST(CorruptFabric, NeverTouchesTheHippiHeader) {
+  sim::Simulator s;
+  DirectWire wire(s);
+  Sink sink;
+  CorruptFabric corrupt(wire, 1.0, 5);  // corrupt every frame
+  corrupt.attach(2, &sink);
+  for (int i = 0; i < 500; ++i) corrupt.submit(make_packet(1, 2, 64));
+  s.run();
+  EXPECT_EQ(corrupt.corrupted(), 500u);
+  for (const auto& p : sink.got) {
+    const auto h = p.header();
+    EXPECT_EQ(h.src, 1u);
+    EXPECT_EQ(h.dst, 2u);
+    EXPECT_EQ(h.payload_len, 64u);
+    EXPECT_GE(corrupt.last_offset(), kHeaderSize);
+  }
+}
+
+TEST(CorruptFabric, HeaderOnlyFramesPassUntouched) {
+  sim::Simulator s;
+  DirectWire wire(s);
+  Sink sink;
+  CorruptFabric corrupt(wire, 1.0, 5);
+  corrupt.attach(2, &sink);
+  corrupt.submit(make_packet(1, 2, 0));  // nothing past the header to flip
+  s.run();
+  EXPECT_EQ(corrupt.corrupted(), 0u);
+  ASSERT_EQ(sink.got.size(), 1u);
+}
+
+// --- DupFabric --------------------------------------------------------------
+
+TEST(DupFabric, DuplicatesExactlyThePredictedFrames) {
+  sim::Simulator s;
+  DirectWire wire(s);
+  Sink sink;
+  DupFabric dup(wire, 0.3, 77);
+  dup.attach(2, &sink);
+
+  const int n = 400;
+  ImpairmentRng replay(77);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < n; ++i) {
+    if (replay.chance(0.3)) ++expected;
+  }
+  ASSERT_GT(expected, 0u);
+
+  for (int i = 0; i < n; ++i) dup.submit(make_packet(1, 2, 64, 0x5A));
+  s.run();
+  EXPECT_EQ(dup.duplicated(), expected);
+  EXPECT_EQ(sink.got.size(), static_cast<std::size_t>(n) + expected);
+  const Packet ref = make_packet(1, 2, 64, 0x5A);
+  for (const auto& p : sink.got) EXPECT_EQ(p.bytes, ref.bytes);
+}
+
+// --- ReorderFabric ----------------------------------------------------------
+
+TEST(ReorderFabric, HeldPacketDeliveredExactlyOnceAndIntact) {
+  // The latent-copy fix: the held frame is moved into the timer callback, so
+  // it arrives exactly once, byte-identical, at submit-time + hold.
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  ReorderFabric reorder(s, wire, /*rate=*/1.0, sim::usec(50), 9);
+  reorder.attach(2, &sink);
+
+  Packet sent = make_packet(1, 2, 128, 0xC3);
+  const std::vector<std::byte> ref = sent.bytes;
+  reorder.submit(std::move(sent));
+  EXPECT_TRUE(sink.got.empty());  // held
+  s.run();
+  EXPECT_EQ(s.now(), sim::usec(50));
+  EXPECT_EQ(reorder.reordered(), 1u);
+  ASSERT_EQ(sink.got.size(), 1u);  // exactly once
+  EXPECT_EQ(sink.got[0].bytes, ref);
+}
+
+TEST(ReorderFabric, HeldFrameLandsBehindLaterTraffic) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  // Seed 7: first uniform() draw is < 0.2 (the LossyFabric seeded test drops
+  // its first frame with this seed), so frame 0 is held and frame 1 (drawn
+  // later against rate 0.0... well, use a replay to be exact).
+  ImpairmentRng replay(7);
+  const bool first_held = replay.chance(0.2);
+  const bool second_held = replay.chance(0.2);
+  ReorderFabric reorder(s, wire, 0.2, sim::usec(100), 7);
+  reorder.attach(2, &sink);
+  reorder.submit(make_packet(1, 2, 10, 1));
+  reorder.submit(make_packet(1, 2, 10, 2));
+  s.run();
+  ASSERT_EQ(sink.got.size(), 2u);
+  const auto fill_of = [](const Packet& p) {
+    return std::to_integer<int>(p.bytes[kHeaderSize]);
+  };
+  if (first_held && !second_held) {
+    EXPECT_EQ(fill_of(sink.got[0]), 2);  // reordered
+    EXPECT_EQ(fill_of(sink.got[1]), 1);
+  } else if (!first_held && second_held) {
+    EXPECT_EQ(fill_of(sink.got[0]), 1);
+    EXPECT_EQ(fill_of(sink.got[1]), 2);
+  }
+  EXPECT_EQ(reorder.reordered(),
+            static_cast<std::uint64_t>(first_held) + second_held);
+}
+
+// --- RateLimitFabric --------------------------------------------------------
+
+TEST(RateLimitFabric, TokenBucketDeparturesAreExact) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  // 1 MB/s, burst of exactly one 1064-byte frame (1000 payload + header).
+  const std::size_t frame = kHeaderSize + 1000;
+  RateLimitFabric rl(s, wire, 1e6, /*burst=*/frame);
+  rl.attach(2, &sink);
+
+  rl.submit(make_packet(1, 2, 1000, 1));  // consumes the whole burst
+  rl.submit(make_packet(1, 2, 1000, 2));  // must earn `frame` bytes of credit
+  rl.submit(make_packet(1, 2, 1000, 3));  // FIFO behind frame 2
+  EXPECT_EQ(rl.passed(), 1u);  // frame 1 left the bucket immediately
+  EXPECT_EQ(rl.delayed(), 2u);
+  EXPECT_EQ(rl.backlog_bytes(), 2 * frame);
+
+  const sim::Duration per_frame =
+      sim::transfer_time(static_cast<std::int64_t>(frame), 1e6);
+  s.run();
+  EXPECT_EQ(s.now(), 2 * per_frame);  // frame 3 departs at 2 * serialization
+  ASSERT_EQ(sink.got.size(), 3u);
+  EXPECT_EQ(std::to_integer<int>(sink.got[0].bytes[kHeaderSize]), 1);
+  EXPECT_EQ(std::to_integer<int>(sink.got[1].bytes[kHeaderSize]), 2);
+  EXPECT_EQ(std::to_integer<int>(sink.got[2].bytes[kHeaderSize]), 3);
+  EXPECT_EQ(rl.backlog_bytes(), 0u);
+}
+
+TEST(RateLimitFabric, RefillAllowsLaterBurst) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  const std::size_t frame = kHeaderSize + 1000;
+  RateLimitFabric rl(s, wire, 1e6, frame);
+  rl.attach(2, &sink);
+  rl.submit(make_packet(1, 2, 1000));
+  s.run();
+  // After a full refill interval the bucket is full again: the next frame
+  // passes with no delay.
+  const sim::Duration per_frame =
+      sim::transfer_time(static_cast<std::int64_t>(frame), 1e6);
+  s.run_until(s.now() + per_frame);
+  rl.submit(make_packet(1, 2, 1000));
+  EXPECT_EQ(rl.passed(), 2u);
+  EXPECT_EQ(rl.delayed(), 0u);
+}
+
+TEST(RateLimitFabric, TailDropsBeyondQueueLimit) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  const std::size_t frame = kHeaderSize + 1000;
+  RateLimitFabric rl(s, wire, 1e6, frame, /*queue_limit=*/2 * frame);
+  rl.attach(2, &sink);
+  for (int i = 0; i < 5; ++i) rl.submit(make_packet(1, 2, 1000));
+  EXPECT_EQ(rl.passed(), 1u);
+  EXPECT_EQ(rl.delayed(), 2u);
+  EXPECT_EQ(rl.dropped(), 2u);
+  s.run();
+  EXPECT_EQ(sink.got.size(), 3u);
+}
+
+// --- PartitionFabric --------------------------------------------------------
+
+TEST(PartitionFabric, WindowedBlackholeCountsExactly) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  PartitionFabric part(s, wire);
+  part.add_window(sim::usec(10), sim::usec(20));
+  part.attach(2, &sink);
+
+  // One frame per microsecond for 30 us: exactly those submitted in
+  // [10us, 20us) vanish.
+  for (int t = 0; t < 30; ++t) {
+    s.after(sim::usec(t), [&part] { part.submit(make_packet(1, 2, 8)); });
+  }
+  s.run();
+  EXPECT_EQ(part.blackholed(), 10u);
+  EXPECT_EQ(part.passed(), 20u);
+  EXPECT_EQ(sink.got.size(), 20u);
+}
+
+TEST(PartitionFabric, ManualDownToggle) {
+  sim::Simulator s;
+  DirectWire wire(s, /*propagation=*/0);
+  Sink sink;
+  PartitionFabric part(s, wire);
+  part.attach(2, &sink);
+  part.submit(make_packet(1, 2, 8));
+  part.set_down(true);
+  part.submit(make_packet(1, 2, 8));
+  part.submit(make_packet(1, 2, 8));
+  part.set_down(false);
+  part.submit(make_packet(1, 2, 8));
+  s.run();
+  EXPECT_EQ(part.blackholed(), 2u);
+  EXPECT_EQ(part.passed(), 2u);
+  EXPECT_EQ(sink.got.size(), 2u);
+}
+
+// --- End-to-end: ttcp over impaired wires -----------------------------------
+
+// Every place a damaged frame can be detected and dropped: the IP header
+// check (a flip in the version/IHL byte surfaces as bad_header, anywhere
+// else in the header as bad_checksum), the TCP checksum at either endpoint,
+// and the hardened demux (a flip in a port field).
+std::uint64_t total_checksum_drops(core::Testbed& tb,
+                                   const apps::TtcpResult& r) {
+  const auto& ip_a = tb.a->stack().ip().stats();
+  const auto& ip_b = tb.b->stack().ip().stats();
+  const auto& st_a = tb.a->stack().stats();
+  const auto& st_b = tb.b->stack().stats();
+  return ip_a.bad_checksum + ip_b.bad_checksum + ip_a.bad_header +
+         ip_b.bad_header + st_a.bad_checksum + st_b.bad_checksum +
+         r.sender_tcp.bad_checksum + r.receiver_tcp.bad_checksum;
+}
+
+TEST(ImpairmentMatrix, ByteIdenticalDeliveryAcrossLossCorruptDupReorder) {
+  // Every combination of the four impairments at small sizes: the transfer
+  // must complete with zero data errors regardless of what the wire does.
+  for (const double loss : {0.0, 0.02}) {
+    for (const double corrupt : {0.0, 0.02}) {
+      for (const double dup : {0.0, 0.05}) {
+        for (const double reorder : {0.0, 0.05}) {
+          core::TestbedOptions opts;
+          opts.loss_rate = loss;
+          opts.corrupt_rate = corrupt;
+          opts.dup_rate = dup;
+          opts.reorder_rate = reorder;
+          opts.reorder_hold = sim::usec(200.0);
+          core::Testbed tb(opts);
+          apps::TtcpConfig cfg;
+          cfg.total_bytes = 128 * 1024;
+          cfg.write_size = 8 * 1024;
+          cfg.verify_data = true;
+          const auto r = apps::run_ttcp(tb, cfg);
+          SCOPED_TRACE("loss=" + std::to_string(loss) +
+                       " corrupt=" + std::to_string(corrupt) +
+                       " dup=" + std::to_string(dup) +
+                       " reorder=" + std::to_string(reorder));
+          EXPECT_TRUE(r.completed);
+          EXPECT_EQ(r.bytes, 128u * 1024u);
+          EXPECT_EQ(r.data_errors, 0u);
+          if (corrupt > 0.0) {
+            // Loss and dup act outside the corruptor in the chain, so every
+            // flipped frame reaches an endpoint and must be caught by
+            // exactly one checksum; none may reach the application.
+            EXPECT_EQ(tb.corrupt->corrupted(), total_checksum_drops(tb, r));
+          } else {
+            EXPECT_EQ(total_checksum_drops(tb, r), 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ImpairmentMatrix, FivePercentCorruptionIsFullyAccounted) {
+  // Acceptance criterion: at 5% corruption on a seeded 1 MB ttcp run, every
+  // corrupted frame is counted as a checksum drop at the receiving CAB/IP
+  // layer, zero corrupted bytes reach the socket layer, and the payload
+  // arrives byte-identical.
+  core::TestbedOptions opts;
+  opts.corrupt_rate = 0.05;
+  core::Testbed tb(opts);
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 1024 * 1024;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 1024u * 1024u);
+  EXPECT_EQ(r.data_errors, 0u);  // zero corrupted bytes reached the sockets
+
+  ASSERT_NE(tb.corrupt, nullptr);
+  EXPECT_GT(tb.corrupt->corrupted(), 0u);
+  // Corruption is the only impairment and the wire never drops, so the
+  // accounting identity is exact: every flip is detected exactly once, at
+  // the IP header check, the TCP checksum, or the hardened demux.
+  EXPECT_EQ(tb.corrupt->corrupted(), total_checksum_drops(tb, r));
+  // And retransmissions repaired every hole.
+  EXPECT_GT(r.sender_tcp.rexmt_segs, 0u);
+}
+
+TEST(ImpairmentMatrix, DuplicatesAreCountedByTheReceiver) {
+  core::TestbedOptions opts;
+  opts.dup_rate = 0.2;
+  core::Testbed tb(opts);
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 256 * 1024;
+  cfg.write_size = 8 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.data_errors, 0u);
+  ASSERT_NE(tb.dup, nullptr);
+  EXPECT_GT(tb.dup->duplicated(), 0u);
+  // Duplicated data segments show up as entirely-duplicate drops (or dup
+  // ACKs) at one of the two endpoints.
+  EXPECT_GT(r.sender_tcp.dup_segs_in + r.receiver_tcp.dup_segs_in +
+                r.sender_tcp.dup_acks + r.receiver_tcp.dup_acks,
+            0u);
+}
+
+TEST(ImpairmentMatrix, TransferSurvivesAPartitionWindow) {
+  core::TestbedOptions opts;
+  opts.partition_windows.push_back({sim::msec(5), sim::msec(30)});
+  core::Testbed tb(opts);
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 512 * 1024;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.data_errors, 0u);
+  ASSERT_NE(tb.partition, nullptr);
+  EXPECT_GT(tb.partition->blackholed(), 0u);
+  EXPECT_GT(r.sender_tcp.rexmt_timeouts + r.sender_tcp.rexmt_segs, 0u);
+}
+
+TEST(ImpairmentMatrix, RateLimitedTransferCompletes) {
+  core::TestbedOptions opts;
+  opts.rate_limit_bps = 10e6;  // 10 MB/s bottleneck
+  opts.rate_limit_burst = 128 * 1024;
+  core::Testbed tb(opts);
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 1024 * 1024;
+  cfg.write_size = 32 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.data_errors, 0u);
+  ASSERT_NE(tb.rate_limit, nullptr);
+  EXPECT_GT(tb.rate_limit->delayed(), 0u);
+  // 1 MB through a 10 MB/s pipe takes at least 100 ms.
+  EXPECT_GE(r.elapsed, sim::msec(100.0));
+}
+
+// --- Determinism regression -------------------------------------------------
+
+struct RunArtifacts {
+  bool completed = false;
+  std::uint64_t bytes = 0;
+  sim::Duration elapsed = 0;
+  std::string trace;
+  std::string netstat_a;
+  std::string netstat_b;
+  std::string impairments;
+};
+
+RunArtifacts fig5_style_run() {
+  core::TestbedOptions opts;
+  opts.trace_packets = true;
+  opts.loss_rate = 0.01;
+  opts.corrupt_rate = 0.01;
+  opts.dup_rate = 0.02;
+  opts.reorder_rate = 0.02;
+  opts.reorder_hold = sim::usec(200.0);
+  core::Testbed tb(opts);
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 256 * 1024;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+
+  RunArtifacts a;
+  a.completed = r.completed;
+  a.bytes = r.bytes;
+  a.elapsed = r.elapsed;
+  a.trace = tb.trace->dump();
+  a.netstat_a = core::Netstat(*tb.a).to_json();
+  a.netstat_b = core::Netstat(*tb.b).to_json();
+  a.impairments = core::impairments_json(tb.impairments()).dump(2);
+  return a;
+}
+
+TEST(Determinism, SameSeededRunTwiceIsBitIdentical) {
+  // Guards the simulator against hidden nondeterminism (map iteration,
+  // address-dependent ordering, wall-clock leaks): two fresh processes of
+  // the same seeded experiment must produce identical event traces and
+  // identical exported stats.
+  const RunArtifacts first = fig5_style_run();
+  const RunArtifacts second = fig5_style_run();
+  EXPECT_TRUE(first.completed);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.bytes, second.bytes);
+  EXPECT_EQ(first.elapsed, second.elapsed);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.netstat_a, second.netstat_a);
+  EXPECT_EQ(first.netstat_b, second.netstat_b);
+  EXPECT_EQ(first.impairments, second.impairments);
+}
+
+}  // namespace
+}  // namespace nectar

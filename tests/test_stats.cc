@@ -5,6 +5,7 @@
 
 #include "apps/ttcp.h"
 #include "apps/util_soaker.h"
+#include "core/netstat.h"
 #include "net/sockbuf.h"
 #include "tests/test_util.h"
 
@@ -204,6 +205,123 @@ TEST_F(SockbufFixture, ConvertNonUioRangeThrows) {
   mbuf::Wcab w;
   EXPECT_THROW(sb.convert_to_wcab(0, 500, w, mbuf::UioWcabHdr{}),
                std::logic_error);
+}
+
+// --- JSON value -------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  core::Json root = core::Json::object();
+  root.set("int", std::int64_t{-42});
+  root.set("big", std::uint64_t{1234567890123});
+  root.set("pi", 3.25);
+  root.set("flag", true);
+  root.set("nothing", core::Json());
+  root.set("name", "a \"quoted\"\nstring\t\\");
+  core::Json arr = core::Json::array();
+  arr.push_back(std::int64_t{1});
+  arr.push_back("two");
+  arr.push_back(core::Json::object().set("k", 3.0));
+  root.set("list", std::move(arr));
+  root.set("empty_obj", core::Json::object());
+  root.set("empty_arr", core::Json::array());
+
+  for (int indent : {0, 2}) {
+    const std::string text = root.dump(indent);
+    const core::Json back = core::Json::parse(text);
+    EXPECT_EQ(back.find("int")->as_int(), -42);
+    EXPECT_EQ(back.find("big")->as_int(), 1234567890123);
+    EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.25);
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_TRUE(back.find("nothing")->is_null());
+    EXPECT_EQ(back.find("name")->as_string(), "a \"quoted\"\nstring\t\\");
+    ASSERT_EQ(back.find("list")->items().size(), 3u);
+    EXPECT_EQ(back.find("list")->items()[1].as_string(), "two");
+    EXPECT_DOUBLE_EQ(back.find("list")->items()[2].find("k")->as_double(), 3.0);
+    EXPECT_TRUE(back.find("empty_obj")->is_object());
+    EXPECT_TRUE(back.find("empty_arr")->is_array());
+    // Insertion order survives the round trip, so re-dumping is idempotent
+    // (what the determinism regression relies on).
+    EXPECT_EQ(core::Json::parse(text).dump(indent), text);
+  }
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  core::Json obj = core::Json::object();
+  obj.set("a", 1).set("b", 2).set("a", 3);
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "a");  // original position kept
+  EXPECT_EQ(obj.find("a")->as_int(), 3);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(core::Json::parse(""), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("treu"), std::runtime_error);
+  EXPECT_THROW(core::Json::parse("{} garbage"), std::runtime_error);
+}
+
+// --- Netstat JSON exporter --------------------------------------------------
+
+TEST(NetstatJson, RoundTripsWithExpectedKeys) {
+  // Run real traffic so the counters are nonzero, then check the exported
+  // JSON parses and carries every section and the per-connection TCP stats.
+  core::Testbed tb;
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 64 * 1024;
+  cfg.write_size = 8 * 1024;
+  const auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+
+  const std::string text = core::Netstat(*tb.b).to_json();
+  const core::Json j = core::Json::parse(text);
+  for (const char* key : {"host", "model", "time_s", "interfaces", "ip", "udp",
+                          "demux", "tcp", "mbufs", "vm", "pin_cache", "cpu"}) {
+    EXPECT_TRUE(j.has(key)) << key;
+  }
+  EXPECT_EQ(j.find("host")->as_string(), "hostB");
+  EXPECT_GT(j.find("time_s")->as_double(), 0.0);
+
+  ASSERT_FALSE(j.find("interfaces")->items().empty());
+  const core::Json& cab = j.find("interfaces")->items()[0];
+  ASSERT_TRUE(cab.has("cab")) << "first interface should be the CAB";
+  EXPECT_GT(cab.find("cab")->find("mdma_rx_packets")->as_int(), 0);
+  EXPECT_GT(cab.find("cab")->find("checksum_bytes_summed")->as_int(), 0);
+  EXPECT_GT(j.find("ip")->find("ipackets")->as_int(), 0);
+  EXPECT_GT(j.find("demux")->find("tcp_in")->as_int(), 0);
+  EXPECT_EQ(j.find("demux")->find("bad_checksum")->as_int(), 0);
+
+  // The receiver's connection is still bound (sockets are in scope inside
+  // run_ttcp only — after close it may have unbound; accept either, but if
+  // present it must carry the mapped counter names).
+  for (const core::Json& conn : j.find("tcp")->items()) {
+    EXPECT_TRUE(conn.has("conn"));
+    EXPECT_TRUE(conn.has("state"));
+    for (const char* key : {"segs_in", "retransmits", "dup_acks",
+                            "dup_segs_in", "ooo_segs", "checksum_drops"}) {
+      EXPECT_TRUE(conn.find("stats")->has(key)) << key;
+    }
+  }
+
+  // And the sender-side snapshot helper exports the same schema.
+  const core::Json snap = core::tcp_stats_json(r.sender_tcp);
+  EXPECT_GT(snap.find("segs_out")->as_int(), 0);
+  EXPECT_EQ(snap.find("checksum_drops")->as_int(), 0);
+}
+
+TEST(NetstatJson, TextReportStillCoversAllSections) {
+  core::Testbed tb;
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 16 * 1024;
+  const auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+  const std::string text = core::netstat(*tb.a);
+  for (const char* needle : {"Interfaces:", "IP:", "TCP:", "UDP:", "demux:",
+                             "mbufs:", "vm:", "pin cache:", "total busy"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
 }
 
 }  // namespace
