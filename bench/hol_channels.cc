@@ -5,6 +5,7 @@
 //
 // 8x8 input-queued switch, saturated inputs, fixed-size packets.
 #include <cstdio>
+#include <functional>
 
 #include "hippi/switch.h"
 #include "sim/rng.h"

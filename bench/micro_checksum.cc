@@ -2,9 +2,11 @@
 // shared by the software stack and the simulated CAB hardware.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "checksum/internet_checksum.h"
+#include "checksum/simd.h"
 #include "sim/rng.h"
 
 namespace {
@@ -61,4 +63,25 @@ BENCHMARK(BM_IncrementalAdjust);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Per-implementation sweep: one benchmark per kernel that survived the
+// startup self-check (reference/scalar64/sse2/avx2), so the size at which
+// each SIMD width starts paying off is visible in one run.
+int main(int argc, char** argv) {
+  for (const nectar::checksum::SumImpl impl : nectar::checksum::available_impls()) {
+    const std::string name =
+        std::string("BM_OnesSumImpl/") + nectar::checksum::impl_name(impl);
+    benchmark::RegisterBenchmark(name.c_str(), [impl](benchmark::State& state) {
+      const auto buf = random_buf(static_cast<std::size_t>(state.range(0)));
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(nectar::checksum::ones_sum_with(impl, buf));
+      }
+      state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                              state.range(0));
+    })->Range(64, 64 << 10);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,372 @@
+// Wall-clock perf harness: unlike the paper-figure benches (which report
+// *simulated* time), this binary measures how fast the simulator itself runs
+// on the host — events/sec through the event core, mbuf get/free ops/sec,
+// checksum GB/s, and end-to-end ttcp simulated-Mb/s per wall-clock second.
+// It also counts real heap allocations (via a local operator-new hook) so the
+// steady-state allocation behaviour of the hot paths is a measured number,
+// not a claim. Emits BENCH_wallclock.json with --json.
+//
+// Methodology notes live in EXPERIMENTS.md ("Wall-clock methodology").
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "apps/ttcp.h"
+#include "checksum/internet_checksum.h"
+#include "checksum/simd.h"
+#include "core/json.h"
+#include "core/netstat.h"
+#include "mbuf/mbuf.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+// --- heap allocation counter -------------------------------------------------
+// Single-threaded bench: a plain counter is fine. Every operator-new in the
+// process (including the standard library) lands here. GCC warns that free()
+// pairs with this replacement operator new — that pairing is exactly the
+// point, so the warning is silenced for this file.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}
+void* operator new(std::size_t n) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_heap_allocs;
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+using namespace nectar;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- event core --------------------------------------------------------------
+
+// A self-rescheduling chain: each fired event schedules its successor with a
+// pseudo-random small delay, so the heap sees realistic churn rather than a
+// single FIFO pattern.
+struct PlainChain {
+  sim::Simulator* s;
+  std::uint64_t seed;
+  void operator()() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    s->after(1 + static_cast<sim::Duration>(seed >> 60), *this);
+  }
+};
+
+struct EventBenchResult {
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  double heap_allocs_per_event = 0;
+  std::uint64_t cancels = 0;
+};
+
+EventBenchResult bench_plain_events(std::uint64_t target) {
+  sim::Simulator s;
+  constexpr int kChains = 256;
+  for (int i = 0; i < kChains; ++i)
+    s.after(1 + i, PlainChain{&s, 0x9e3779b97f4a7c15ull + i});
+  // Warm-up: let every chain fire a few times so steady state is measured.
+  while (s.events_processed() < 4 * kChains) s.step();
+  const std::uint64_t ev0 = s.events_processed();
+  const std::uint64_t heap0 = g_heap_allocs;
+  const auto t0 = Clock::now();
+  while (s.events_processed() < ev0 + target) s.step();
+  EventBenchResult r;
+  r.wall_s = elapsed_s(t0);
+  r.events = s.events_processed() - ev0;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.heap_allocs_per_event =
+      static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(r.events);
+  return r;
+}
+
+// Timer workload modelled on TCP: every fired event cancels a previously
+// armed "retransmit" timer, arms a fresh one far in the future, and re-arms
+// itself — so the queue carries live timers, tombstones, and data events.
+struct TimerCtx {
+  sim::Simulator s;
+  std::vector<sim::TimerHandle> decoys;
+  std::uint64_t fired = 0;
+  std::uint64_t cancels = 0;
+};
+
+struct TimerChain {
+  TimerCtx* c;
+  int id;
+  std::uint64_t seed;
+  void operator()() {
+    ++c->fired;
+    if (c->decoys[static_cast<std::size_t>(id)].armed()) ++c->cancels;
+    c->decoys[static_cast<std::size_t>(id)].cancel();
+    c->decoys[static_cast<std::size_t>(id)] =
+        c->s.timer_after(sim::msec(100), [] {});
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    c->s.timer_after(1 + static_cast<sim::Duration>(seed >> 60), *this);
+  }
+};
+
+EventBenchResult bench_timer_events(std::uint64_t target) {
+  TimerCtx c;
+  constexpr int kChains = 256;
+  c.decoys.resize(kChains);
+  for (int i = 0; i < kChains; ++i)
+    c.s.after(1 + i, TimerChain{&c, i, 0xdeadbeef12345ull + i});
+  while (c.fired < 4 * kChains) c.s.step();
+  const std::uint64_t f0 = c.fired;
+  const std::uint64_t heap0 = g_heap_allocs;
+  const auto t0 = Clock::now();
+  while (c.fired < f0 + target) c.s.step();
+  EventBenchResult r;
+  r.wall_s = elapsed_s(t0);
+  r.events = c.fired - f0;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  r.heap_allocs_per_event =
+      static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(r.events);
+  r.cancels = c.cancels;
+  return r;
+}
+
+// --- mbuf pool ---------------------------------------------------------------
+
+struct MbufBenchResult {
+  double get_free_per_sec = 0;
+  double cluster_per_sec = 0;
+  double chain_per_sec = 0;
+  double heap_allocs_per_get_free = 0;
+  double heap_allocs_per_cluster = 0;
+  mbuf::MbufPool::Stats stats;
+};
+
+MbufBenchResult bench_mbuf(std::uint64_t iters) {
+  sim::Simulator s;
+  mbuf::MbufPool pool(s);
+  MbufBenchResult r;
+  // Warm-up pass so a recycling pool reaches steady state before measuring.
+  for (int i = 0; i < 64; ++i) pool.free_chain(pool.get_cluster(true));
+
+  {
+    const std::uint64_t heap0 = g_heap_allocs;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      mbuf::Mbuf* m = pool.get();
+      pool.free_chain(m);
+    }
+    const double w = elapsed_s(t0);
+    r.get_free_per_sec = static_cast<double>(iters) / w;
+    r.heap_allocs_per_get_free =
+        static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(iters);
+  }
+  {
+    const std::uint64_t heap0 = g_heap_allocs;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      mbuf::Mbuf* m = pool.get_cluster(true);
+      pool.free_chain(m);
+    }
+    const double w = elapsed_s(t0);
+    r.cluster_per_sec = static_cast<double>(iters) / w;
+    r.heap_allocs_per_cluster =
+        static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(iters);
+  }
+  {
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters / 4; ++i) {
+      mbuf::Mbuf* head = pool.get_hdr();
+      mbuf::Mbuf** link = &head->next;
+      for (int k = 0; k < 3; ++k) {
+        mbuf::Mbuf* cl = pool.get_cluster(false);
+        *link = cl;
+        link = &cl->next;
+      }
+      pool.free_chain(head);
+    }
+    const double w = elapsed_s(t0);
+    r.chain_per_sec = static_cast<double>(iters / 4) / w;
+  }
+  r.stats = pool.stats();
+  return r;
+}
+
+// --- checksum ----------------------------------------------------------------
+
+struct CsumPoint {
+  std::string impl;
+  std::size_t size = 0;
+  double gb_per_sec = 0;
+};
+
+inline void keep(std::uint32_t v) { asm volatile("" : : "r"(v) : "memory"); }
+
+double time_csum(std::span<const std::byte> buf, std::uint64_t iters,
+                 std::uint32_t (*fn)(std::span<const std::byte>, std::uint32_t)) {
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) keep(fn(buf, 0));
+  const double w = elapsed_s(t0);
+  return static_cast<double>(buf.size()) * static_cast<double>(iters) / w / 1e9;
+}
+
+std::vector<CsumPoint> bench_checksum(bool quick) {
+  std::vector<std::byte> buf(256 * 1024);
+  sim::Rng rng(42);
+  rng.fill(buf);
+  std::vector<CsumPoint> out;
+  const std::uint64_t scale = quick ? 1 : 8;
+  for (std::size_t size : {std::size_t{1500}, std::size_t{65536}}) {
+    const std::span<const std::byte> s(buf.data(), size);
+    const std::uint64_t iters = scale * (size <= 4096 ? 40000 : 2000);
+    for (checksum::SumImpl impl : checksum::available_impls()) {
+      const auto t0 = Clock::now();
+      for (std::uint64_t i = 0; i < iters; ++i)
+        keep(checksum::ones_sum_with(impl, s, 0));
+      const double w = elapsed_s(t0);
+      out.push_back({checksum::impl_name(impl), size,
+                     static_cast<double>(size) * static_cast<double>(iters) / w / 1e9});
+    }
+    // What ones_sum() actually runs, through the dispatch indirection.
+    out.push_back({"dispatch", size, time_csum(s, iters, checksum::ones_sum)});
+  }
+  return out;
+}
+
+// --- ttcp end-to-end ---------------------------------------------------------
+
+struct TtcpBenchResult {
+  double sim_mbps = 0;
+  double wall_s = 0;
+  double sim_mbps_per_wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t bytes = 0;
+};
+
+TtcpBenchResult bench_ttcp(bool quick) {
+  core::Testbed tb;
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = quick ? 4 * 1024 * 1024 : 32 * 1024 * 1024;
+  cfg.write_size = 64 * 1024;
+  const auto t0 = Clock::now();
+  const auto res = apps::run_ttcp(tb, cfg);
+  TtcpBenchResult r;
+  r.wall_s = elapsed_s(t0);
+  r.sim_mbps = res.throughput_mbps;
+  r.bytes = res.bytes;
+  r.sim_mbps_per_wall_s = res.throughput_mbps / r.wall_s;
+  r.events_per_sec =
+      static_cast<double>(tb.sim.events_processed()) / r.wall_s;
+  if (!res.completed) std::fprintf(stderr, "warning: ttcp did not complete\n");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_wallclock.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        json_path = argv[++i];
+    }
+  }
+
+  const std::uint64_t ev_target = quick ? 200'000 : 2'000'000;
+  const std::uint64_t mbuf_iters = quick ? 200'000 : 2'000'000;
+
+  std::printf("wallclock: host-time throughput of the simulator hot paths\n\n");
+
+  const auto plain = bench_plain_events(ev_target);
+  std::printf("events (plain)  : %10.0f ev/s  (%.2f heap allocs/ev)\n",
+              plain.events_per_sec, plain.heap_allocs_per_event);
+  const auto timer = bench_timer_events(ev_target / 4);
+  std::printf("events (timers) : %10.0f ev/s  (%.2f heap allocs/ev, %llu cancels)\n",
+              timer.events_per_sec, timer.heap_allocs_per_event,
+              static_cast<unsigned long long>(timer.cancels));
+
+  const auto mb = bench_mbuf(mbuf_iters);
+  std::printf("mbuf get/free   : %10.0f op/s  (%.2f heap allocs/op)\n",
+              mb.get_free_per_sec, mb.heap_allocs_per_get_free);
+  std::printf("mbuf cluster    : %10.0f op/s  (%.2f heap allocs/op)\n",
+              mb.cluster_per_sec, mb.heap_allocs_per_cluster);
+  std::printf("mbuf 4-chain    : %10.0f chains/s  (%llu node hits, %llu cluster hits, high water %lld)\n",
+              mb.chain_per_sec,
+              static_cast<unsigned long long>(mb.stats.freelist_hits),
+              static_cast<unsigned long long>(mb.stats.cluster_freelist_hits),
+              static_cast<long long>(mb.stats.high_water));
+
+  std::printf("checksum active : %s\n",
+              checksum::impl_name(checksum::active_impl()));
+  const auto cs = bench_checksum(quick);
+  for (const auto& p : cs)
+    std::printf("checksum %-8s: %7.2f GB/s  (%zu B)\n", p.impl.c_str(),
+                p.gb_per_sec, p.size);
+
+  const auto tt = bench_ttcp(quick);
+  std::printf("ttcp            : %7.1f sim-Mb/s in %.2f wall-s -> %8.1f sim-Mb/s per wall-s (%0.f ev/s)\n",
+              tt.sim_mbps, tt.wall_s, tt.sim_mbps_per_wall_s, tt.events_per_sec);
+
+  if (json) {
+    core::Json root = core::Json::object();
+    root.set("bench", "wallclock");
+    root.set("quick", quick);
+    core::Json ev = core::Json::object();
+    ev.set("plain_events_per_sec", plain.events_per_sec);
+    ev.set("plain_heap_allocs_per_event", plain.heap_allocs_per_event);
+    ev.set("timer_events_per_sec", timer.events_per_sec);
+    ev.set("timer_heap_allocs_per_event", timer.heap_allocs_per_event);
+    ev.set("timer_cancels", timer.cancels);
+    root.set("events", std::move(ev));
+    core::Json jm = core::Json::object();
+    jm.set("get_free_per_sec", mb.get_free_per_sec);
+    jm.set("heap_allocs_per_get_free", mb.heap_allocs_per_get_free);
+    jm.set("cluster_per_sec", mb.cluster_per_sec);
+    jm.set("heap_allocs_per_cluster", mb.heap_allocs_per_cluster);
+    jm.set("chain_per_sec", mb.chain_per_sec);
+    jm.set("freelist_hits", mb.stats.freelist_hits);
+    jm.set("cluster_freelist_hits", mb.stats.cluster_freelist_hits);
+    jm.set("high_water", static_cast<std::uint64_t>(mb.stats.high_water));
+    root.set("mbuf", std::move(jm));
+    root.set("checksum_active", checksum::impl_name(checksum::active_impl()));
+    core::Json jc = core::Json::array();
+    for (const auto& p : cs) {
+      core::Json j = core::Json::object();
+      j.set("impl", p.impl);
+      j.set("size", static_cast<std::uint64_t>(p.size));
+      j.set("gb_per_sec", p.gb_per_sec);
+      jc.push_back(std::move(j));
+    }
+    root.set("checksum", std::move(jc));
+    core::Json jt = core::Json::object();
+    jt.set("sim_mbps", tt.sim_mbps);
+    jt.set("wall_s", tt.wall_s);
+    jt.set("sim_mbps_per_wall_s", tt.sim_mbps_per_wall_s);
+    jt.set("events_per_sec", tt.events_per_sec);
+    jt.set("bytes", tt.bytes);
+    root.set("ttcp", std::move(jt));
+    if (!core::write_json_file(json_path, root)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI entry point: build and test the two supported configurations, then
+# smoke-run the wall-clock bench harness.
+#
+#  * Debug: no NDEBUG, every assert live — the config that catches contract
+#    violations.
+#  * Release (-O2 -DNDEBUG): asserts compiled out — the config that catches
+#    code with side effects hidden inside assert(), and the one perf numbers
+#    should be quoted from (RelWithDebInfo, the developer default, is close
+#    but carries -g).
+set -eu
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-debug -j"$jobs"
+ctest --test-dir build-debug --output-on-failure -j"$jobs"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+cmake --build build-release -j"$jobs"
+ctest --test-dir build-release --output-on-failure -j"$jobs"
+
+build-release/bench/wallclock --quick --json \
+    build-release/BENCH_wallclock_smoke.json
+echo "ci: both configs green"

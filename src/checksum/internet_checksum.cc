@@ -1,7 +1,18 @@
 #include "checksum/internet_checksum.h"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
+
+#include "checksum/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define NECTAR_CSUM_X86 1
+#else
+#define NECTAR_CSUM_X86 0
+#endif
 
 namespace nectar::checksum {
 
@@ -22,11 +33,35 @@ std::uint32_t ones_sum_ref(std::span<const std::byte> data, std::uint32_t seed) 
 
 namespace {
 
-// Sum 16-bit big-endian words using 64-bit little-endian loads: a
-// ones-complement sum is byte-order independent up to a final byte swap of
-// the folded result (RFC 1071 §2), so we accumulate native 64-bit words and
-// swap once at the end if the host is little-endian.
-std::uint32_t sum_aligned64(const std::byte* p, std::size_t n, std::uint32_t seed_be) noexcept {
+// All fast kernels below share this epilogue: fold a native-order 64-bit
+// accumulator to 16 bits, byte-swap it into a big-endian word sum (RFC 1071
+// §2: a ones-complement sum is byte-order independent up to that final swap),
+// then add the remaining tail bytes and the caller's seed reference-style.
+// The kernels pair bytes relative to the *start of the range* and use
+// unaligned loads, so they are correct for any pointer — odd-pointer buffers
+// no longer fall back to the byte loop.
+std::uint32_t finish_native(std::uint64_t sum, const std::byte* p, std::size_t i,
+                            std::size_t n, std::uint32_t seed_be) noexcept {
+  while (sum >> 32) sum = (sum & 0xffffffff) + (sum >> 32);
+  std::uint32_t s16 = (static_cast<std::uint32_t>(sum) & 0xffff) +
+                      (static_cast<std::uint32_t>(sum) >> 16);
+  s16 = (s16 & 0xffff) + (s16 >> 16);
+  if constexpr (std::endian::native == std::endian::little) {
+    s16 = ((s16 & 0xff) << 8) | (s16 >> 8);  // convert to big-endian word sum
+  }
+  std::uint64_t tail = s16 + seed_be;
+  for (; i + 1 < n; i += 2) {
+    tail += (std::to_integer<std::uint32_t>(p[i]) << 8) |
+            std::to_integer<std::uint32_t>(p[i + 1]);
+  }
+  if (i < n) tail += std::to_integer<std::uint32_t>(p[i]) << 8;
+  while (tail >> 32) tail = (tail & 0xffffffff) + (tail >> 32);
+  return static_cast<std::uint32_t>((tail & 0xffff) + (tail >> 16));
+}
+
+// Sum 16-bit words using 64-bit loads with end-around-carry accumulation.
+std::uint32_t sum_scalar64(const std::byte* p, std::size_t n,
+                           std::uint32_t seed_be) noexcept {
   std::uint64_t sum = 0;
   std::size_t i = 0;
   while (i + 32 <= n) {
@@ -35,7 +70,6 @@ std::uint32_t sum_aligned64(const std::byte* p, std::size_t n, std::uint32_t see
     std::memcpy(&b, p + i + 8, 8);
     std::memcpy(&c, p + i + 16, 8);
     std::memcpy(&d, p + i + 24, 8);
-    // Accumulate with carry wrap-around.
     std::uint64_t s = sum;
     s += a;
     if (s < a) ++s;
@@ -55,37 +89,168 @@ std::uint32_t sum_aligned64(const std::byte* p, std::size_t n, std::uint32_t see
     if (sum < a) ++sum;
     i += 8;
   }
-  // Fold 64 -> 32 -> 16 in native order.
-  std::uint32_t s32 = static_cast<std::uint32_t>(sum & 0xffffffff) +
-                      static_cast<std::uint32_t>(sum >> 32);
-  if (s32 < static_cast<std::uint32_t>(sum >> 32)) ++s32;
-  std::uint32_t s16 = (s32 & 0xffff) + (s32 >> 16);
-  s16 = (s16 & 0xffff) + (s16 >> 16);
-  if constexpr (std::endian::native == std::endian::little) {
-    s16 = ((s16 & 0xff) << 8) | (s16 >> 8);  // convert to big-endian word sum
+  return finish_native(sum, p, i, n, seed_be);
+}
+
+#if NECTAR_CSUM_X86
+
+// SIMD strategy (both widths): widen each vector's 16-bit lanes to 32 bits
+// (interleave with zero) and add — the interleave scrambles lane order, which
+// a commutative sum does not care about. A 32-bit lane gains at most 2*0xffff
+// per block, so draining into the 64-bit scalar accumulator every <= 16384
+// blocks keeps lanes from overflowing.
+inline constexpr std::size_t kDrainBlocks = 16384;
+
+std::uint32_t sum_sse2(const std::byte* p, std::size_t n,
+                       std::uint32_t seed_be) noexcept {
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  while (i + 16 <= n) {
+    const std::size_t blocks = std::min((n - i) / 16, kDrainBlocks);
+    __m128i acc = zero;
+    for (std::size_t b = 0; b < blocks; ++b, i += 16) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+      acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(v, zero));
+      acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(v, zero));
+    }
+    alignas(16) std::uint32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    sum += static_cast<std::uint64_t>(lanes[0]) + lanes[1] + lanes[2] + lanes[3];
   }
-  // Tail (< 8 bytes) in reference style, as big-endian pairs.
-  std::uint64_t tail = s16 + seed_be;
-  for (; i + 1 < n; i += 2) {
-    tail += (std::to_integer<std::uint32_t>(p[i]) << 8) |
-            std::to_integer<std::uint32_t>(p[i + 1]);
+  return finish_native(sum, p, i, n, seed_be);
+}
+
+__attribute__((target("avx2"))) std::uint32_t sum_avx2(
+    const std::byte* p, std::size_t n, std::uint32_t seed_be) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  while (i + 32 <= n) {
+    const std::size_t blocks = std::min((n - i) / 32, kDrainBlocks);
+    __m256i acc = zero;
+    for (std::size_t b = 0; b < blocks; ++b, i += 32) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+      acc = _mm256_add_epi32(acc, _mm256_unpacklo_epi16(v, zero));
+      acc = _mm256_add_epi32(acc, _mm256_unpackhi_epi16(v, zero));
+    }
+    alignas(32) std::uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (std::uint32_t l : lanes) sum += l;
   }
-  if (i < n) tail += std::to_integer<std::uint32_t>(p[i]) << 8;
-  while (tail >> 32) tail = (tail & 0xffffffff) + (tail >> 32);
-  return static_cast<std::uint32_t>((tail & 0xffff) + (tail >> 16));
+  return finish_native(sum, p, i, n, seed_be);
+}
+
+#endif  // NECTAR_CSUM_X86
+
+using Kernel = std::uint32_t (*)(const std::byte*, std::size_t,
+                                 std::uint32_t) noexcept;
+
+struct Dispatch {
+  Kernel kernel = &sum_scalar64;
+  SumImpl impl = SumImpl::kScalar64;
+  std::array<SumImpl, 4> avail{};
+  std::size_t n_avail = 0;
+};
+
+// Bit-exactness gate: a kernel is usable only if it folds to the same value
+// as ones_sum_ref over a corpus covering every alignment (0..7), odd and even
+// lengths, the sub-block tails, and non-trivial seeds.
+bool matches_ref(Kernel k) noexcept {
+  std::array<std::byte, 1031> buf;
+  std::uint32_t x = 0x2545f491u;
+  for (std::byte& b : buf) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    b = static_cast<std::byte>(x & 0xff);
+  }
+  constexpr std::size_t kOffs[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  constexpr std::size_t kLens[] = {0,  1,  2,  3,  15, 16,  17,  31,
+                                   32, 33, 63, 64, 65, 255, 1000, 1023};
+  constexpr std::uint32_t kSeeds[] = {0, 0xffff, 0x12345678};
+  for (std::size_t off : kOffs) {
+    for (std::size_t len : kLens) {
+      const std::span<const std::byte> s{buf.data() + off, len};
+      for (std::uint32_t seed : kSeeds) {
+        if (fold(k(s.data(), s.size(), seed)) != fold(ones_sum_ref(s, seed)))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+Dispatch make_dispatch() noexcept {
+  Dispatch d;
+  d.avail[d.n_avail++] = SumImpl::kReference;
+  d.avail[d.n_avail++] = SumImpl::kScalar64;
+#if NECTAR_CSUM_X86
+  // SSE2 is baseline on x86-64 but gate it like the rest for uniformity.
+  if (__builtin_cpu_supports("sse2") && matches_ref(&sum_sse2)) {
+    d.avail[d.n_avail++] = SumImpl::kSse2;
+    d.kernel = &sum_sse2;
+    d.impl = SumImpl::kSse2;
+  }
+  if (__builtin_cpu_supports("avx2") && matches_ref(&sum_avx2)) {
+    d.avail[d.n_avail++] = SumImpl::kAvx2;
+    d.kernel = &sum_avx2;
+    d.impl = SumImpl::kAvx2;
+  }
+#endif
+  return d;
+}
+
+// Function-local static: selected (and self-checked) once, on first use, even
+// if that use happens during another TU's static initialization.
+const Dispatch& dispatch() noexcept {
+  static const Dispatch d = make_dispatch();
+  return d;
 }
 
 }  // namespace
 
 std::uint32_t ones_sum(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  if (data.empty()) return seed;
+  return dispatch().kernel(data.data(), data.size(), seed);
+}
+
+const char* impl_name(SumImpl impl) noexcept {
+  switch (impl) {
+    case SumImpl::kReference: return "reference";
+    case SumImpl::kScalar64: return "scalar64";
+    case SumImpl::kSse2: return "sse2";
+    case SumImpl::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+std::span<const SumImpl> available_impls() noexcept {
+  const Dispatch& d = dispatch();
+  return {d.avail.data(), d.n_avail};
+}
+
+SumImpl active_impl() noexcept { return dispatch().impl; }
+
+std::uint32_t ones_sum_with(SumImpl impl, std::span<const std::byte> data,
+                            std::uint32_t seed) noexcept {
+  if (impl == SumImpl::kReference) return ones_sum_ref(data, seed);
+  if (data.empty()) return seed;
   const std::byte* p = data.data();
-  std::size_t n = data.size();
-  if (n == 0) return seed;
-  // The 64-bit fast path requires the byte-pair phase to be even-aligned
-  // relative to the start of the range. If the pointer itself is odd, fall
-  // back to the reference loop for a (rare in this stack) unaligned buffer.
-  if (reinterpret_cast<std::uintptr_t>(p) % 2 != 0) return ones_sum_ref(data, seed);
-  return sum_aligned64(p, n, seed);
+  const std::size_t n = data.size();
+#if NECTAR_CSUM_X86
+  const Dispatch& d = dispatch();
+  const auto have = [&d](SumImpl want) {
+    for (std::size_t k = 0; k < d.n_avail; ++k) {
+      if (d.avail[k] == want) return true;
+    }
+    return false;
+  };
+  if (impl == SumImpl::kAvx2 && have(SumImpl::kAvx2)) return sum_avx2(p, n, seed);
+  if (impl == SumImpl::kSse2 && have(SumImpl::kSse2)) return sum_sse2(p, n, seed);
+#endif
+  return sum_scalar64(p, n, seed);
 }
 
 std::uint32_t pseudo_sum(const PseudoHeader& ph) noexcept {

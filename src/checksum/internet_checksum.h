@@ -27,7 +27,11 @@ namespace nectar::checksum {
 std::uint32_t ones_sum_ref(std::span<const std::byte> data,
                            std::uint32_t seed = 0) noexcept;
 
-// Optimized implementation (64-bit accumulation). Produces values equal to
+// Optimized implementation. Dispatches once, at first use, to the widest
+// kernel (AVX2 > SSE2 > 64-bit scalar) that the CPU supports *and* that
+// passed a bit-exactness self-check against ones_sum_ref; see checksum/simd.h
+// for introspection and per-implementation access. Works at any alignment
+// (odd pointers take the same fast path). Folds to the same value as
 // ones_sum_ref for every input.
 std::uint32_t ones_sum(std::span<const std::byte> data,
                        std::uint32_t seed = 0) noexcept;

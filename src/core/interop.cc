@@ -38,7 +38,7 @@ sim::Task<Mbuf*> convert_wcab_record(net::NetStack& stack, net::KernCtx ctx,
 
     Mbuf* after = m->next;
     if (m->has_pkthdr()) {
-      repl->set_flags(mbuf::kMPktHdr);
+      repl->add_flags(mbuf::kMPktHdr);
       repl->pkthdr = m->pkthdr;
     }
     m->next = nullptr;

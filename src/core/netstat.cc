@@ -85,7 +85,10 @@ std::string netstat_memory(Host& host) {
   const auto& m = host.pool().stats();
   os << "mbufs: " << m.allocs << " allocs / " << m.frees << " frees ("
      << host.pool().in_use() << " live), " << m.cluster_allocs << " clusters, "
-     << m.uio_allocs << " M_UIO, " << m.wcab_allocs << " M_WCAB\n";
+     << m.uio_allocs << " M_UIO, " << m.wcab_allocs << " M_WCAB\n"
+     << "  pool: " << m.freelist_hits << " node hits, "
+     << m.cluster_freelist_hits << " cluster hits, high water "
+     << m.high_water << "\n";
   const auto& v = host.vm().stats();
   os << "vm: " << v.pin_ops << " pins (" << v.pages_pinned << " pages), "
      << v.unpin_ops << " unpins, " << v.map_ops << " maps; "
@@ -261,7 +264,19 @@ Json Netstat::json() const {
   jm.set("cluster_allocs", m.cluster_allocs);
   jm.set("uio_allocs", m.uio_allocs);
   jm.set("wcab_allocs", m.wcab_allocs);
+  jm.set("freelist_hits", m.freelist_hits);
+  jm.set("cluster_freelist_hits", m.cluster_freelist_hits);
+  jm.set("high_water", static_cast<std::uint64_t>(m.high_water));
   root.set("mbufs", std::move(jm));
+
+  // Event-core hygiene counters (the Simulator is shared by all hosts of a
+  // testbed, so these are per-simulation, not per-host).
+  Json js = Json::object();
+  js.set("events_processed", host.sim().events_processed());
+  js.set("events_cancelled", host.sim().events_cancelled());
+  js.set("event_compactions", host.sim().compactions());
+  js.set("event_slots", static_cast<std::uint64_t>(host.sim().slots_allocated()));
+  root.set("sim", std::move(js));
 
   const auto& v = host.vm().stats();
   Json jv = Json::object();

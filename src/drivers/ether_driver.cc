@@ -54,7 +54,7 @@ sim::Task<Mbuf*> convert_uio_record(net::NetStack& stack, KernCtx ctx, Mbuf* pkt
 
     Mbuf* after = m->next;
     if (m->has_pkthdr() && repl_head != nullptr) {
-      repl_head->set_flags(mbuf::kMPktHdr);
+      repl_head->add_flags(mbuf::kMPktHdr);
       repl_head->pkthdr = m->pkthdr;
     }
     m->next = nullptr;

@@ -20,7 +20,7 @@ sim::Task<void> PingResponder::respond(Mbuf* pkt, net::IpAddr src, net::IpAddr d
   // Large echoes arrive partly outboard; the reply must be host-readable
   // kernel data (outboard buffers cannot be re-transmitted as fresh data).
   pkt = co_await core::convert_wcab_record(stack, ctx, pkt);
-  if (!pkt->has_pkthdr()) pkt->set_flags(mbuf::kMPktHdr);
+  if (!pkt->has_pkthdr()) pkt->add_flags(mbuf::kMPktHdr);
   pkt->pkthdr.len = mbuf::m_length(pkt);
   pkt->pkthdr.csum_tx = {};
   pkt->pkthdr.rx_hw_sum_valid = false;
@@ -62,7 +62,7 @@ sim::Task<sim::Duration> ping_once(core::Host& host, net::IpAddr dst,
 
   const sim::Time start = env.sim.now();
   Mbuf* pkt = make_pattern_chain(env.pool, len, seed);
-  pkt->set_flags(mbuf::kMPktHdr);
+  pkt->add_flags(mbuf::kMPktHdr);
   pkt->pkthdr.len = static_cast<int>(len);
   co_await stack.ip().output(ctx, pkt, stack.source_addr_for(dst), dst, kProtoEcho);
 

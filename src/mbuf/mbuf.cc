@@ -89,7 +89,13 @@ Wcab& Mbuf::wcab() {
 }
 const Wcab& Mbuf::wcab() const { return const_cast<Mbuf*>(this)->wcab(); }
 
-MbufPool::~MbufPool() = default;
+MbufPool::~MbufPool() {
+  while (free_nodes_ != nullptr) {
+    Mbuf* n = free_nodes_->next;
+    delete free_nodes_;
+    free_nodes_ = n;
+  }
+}
 // No leak assertion here: tearing a whole host down mid-simulation (tests,
 // examples) legitimately abandons chains owned by still-suspended protocol
 // coroutines, exactly as a kernel never returns its mbuf pool. Tests that
@@ -97,9 +103,32 @@ MbufPool::~MbufPool() = default;
 
 Mbuf* MbufPool::raw_alloc() {
   ++stats_.allocs;
+  if (in_use() > stats_.high_water) stats_.high_water = in_use();
+  if (free_nodes_ != nullptr) {
+    ++stats_.freelist_hits;
+    --free_node_count_;
+    Mbuf* m = free_nodes_;
+    free_nodes_ = m->next;
+    m->next = nullptr;
+    return m;  // fully reinitialized when it was freed
+  }
   auto* m = new Mbuf();
   m->pool_ = this;
   return m;
+}
+
+std::shared_ptr<ExtBuf> MbufPool::alloc_cluster() {
+  ++stats_.cluster_allocs;
+  if (!free_clusters_.empty()) {
+    ++stats_.cluster_freelist_hits;
+    std::shared_ptr<ExtBuf> ext = std::move(free_clusters_.back());
+    free_clusters_.pop_back();
+    return ext;
+  }
+  auto ext = std::make_shared<ExtBuf>();
+  ext->size = kClBytes;
+  ext->store = std::make_unique<std::byte[]>(kClBytes);
+  return ext;
 }
 
 Mbuf* MbufPool::get() {
@@ -119,13 +148,9 @@ Mbuf* MbufPool::get_hdr() {
 
 Mbuf* MbufPool::get_cluster(bool pkthdr) {
   Mbuf* m = raw_alloc();
-  ++stats_.cluster_allocs;
   m->type_ = MbufType::kData;
   m->flags_ = kMExt | (pkthdr ? kMPktHdr : 0u);
-  auto ext = std::make_shared<ExtBuf>();
-  ext->size = kClBytes;
-  ext->store = std::make_unique<std::byte[]>(kClBytes);
-  m->ext_ = std::move(ext);
+  m->ext_ = alloc_cluster();
   return m;
 }
 
@@ -182,7 +207,27 @@ Mbuf* MbufPool::free_one(Mbuf* m) {
     m->wcab_.owner->outboard_release(m->wcab_.handle);
   }
   ++stats_.frees;
-  delete m;
+  // Park the cluster for reuse if this was the last reference to a
+  // standard-size buffer (arbitrary-size ext bufs from get_ext are dropped).
+  if (m->ext_ != nullptr && m->ext_->size == kClBytes && m->ext_.use_count() == 1) {
+    free_clusters_.push_back(std::move(m->ext_));
+  }
+  // Full reinit *at free time*, so captured resources (cluster refs, the
+  // pkthdr's on_outboarded closure, uio vectors) are released promptly and a
+  // recycled node is indistinguishable from a fresh one.
+  m->type_ = MbufType::kData;
+  m->flags_ = 0;
+  m->len_ = 0;
+  m->off_ = 0;
+  m->ext_.reset();
+  m->uw_ = UioWcabHdr{};
+  m->uio_ = mem::Uio{};
+  m->wcab_ = Wcab{};
+  m->pkthdr = PktHdr{};
+  m->nextpkt = nullptr;
+  m->next = free_nodes_;
+  free_nodes_ = m;
+  ++free_node_count_;
   return n;
 }
 

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "mbuf/descriptor.h"
 
@@ -92,7 +93,12 @@ class Mbuf {
 
   [[nodiscard]] MbufType type() const noexcept { return type_; }
   [[nodiscard]] unsigned flags() const noexcept { return flags_; }
-  void set_flags(unsigned f) noexcept { flags_ |= f; }
+  // ORs `f` into the flag word (it does not assign). The old name set_flags
+  // hid exactly the kind of stale-state bug pool recycling must not have.
+  void add_flags(unsigned f) noexcept { flags_ |= f; }
+  [[deprecated("ORs, does not assign; use add_flags")]] void set_flags(unsigned f) noexcept {
+    add_flags(f);
+  }
   void clear_flags(unsigned f) noexcept { flags_ &= ~f; }
   [[nodiscard]] bool has_pkthdr() const noexcept { return flags_ & kMPktHdr; }
   [[nodiscard]] bool is_descriptor() const noexcept {
@@ -164,6 +170,15 @@ class Mbuf {
 };
 
 // Allocator with stats; one per simulated host.
+//
+// Recycling (PR 2): freed Mbuf nodes go on an intrusive free-list (linked
+// through `next`) and freed kClBytes cluster buffers — once their last
+// reference drops — are parked with their shared_ptr control block intact, so
+// steady-state get/free of both mbufs and clusters touches no allocator.
+// A reused node is fully reinitialized (flags, window, pkthdr, descriptor
+// payloads) before it is handed out; recycled cluster *bytes* are NOT zeroed
+// (fresh heap clusters are), matching what real mbuf clusters guarantee —
+// nothing may read bytes it did not write.
 class MbufPool {
  public:
   explicit MbufPool(sim::Simulator& sim) : sim_(sim) {}
@@ -200,18 +215,32 @@ class MbufPool {
     std::uint64_t cluster_allocs = 0;
     std::uint64_t uio_allocs = 0;
     std::uint64_t wcab_allocs = 0;
+    // Recycling: allocations served from the free-lists (no heap traffic).
+    std::uint64_t freelist_hits = 0;
+    std::uint64_t cluster_freelist_hits = 0;
+    // Peak concurrently-live mbufs — the slab size a fixed pool would need.
+    std::int64_t high_water = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::int64_t in_use() const noexcept {
     return static_cast<std::int64_t>(stats_.allocs - stats_.frees);
   }
+  // Nodes / cluster buffers currently parked on the free-lists.
+  [[nodiscard]] std::size_t free_nodes() const noexcept { return free_node_count_; }
+  [[nodiscard]] std::size_t free_clusters() const noexcept {
+    return free_clusters_.size();
+  }
   [[nodiscard]] sim::Simulator& sim() const noexcept { return sim_; }
 
  private:
   Mbuf* raw_alloc();
+  std::shared_ptr<ExtBuf> alloc_cluster();
 
   sim::Simulator& sim_;
   Stats stats_;
+  Mbuf* free_nodes_ = nullptr;  // intrusive, linked through Mbuf::next
+  std::size_t free_node_count_ = 0;
+  std::vector<std::shared_ptr<ExtBuf>> free_clusters_;
 };
 
 }  // namespace nectar::mbuf

@@ -80,7 +80,7 @@ Mbuf* m_copym(Mbuf* m, int off, int len) {
   }
 
   if (head != nullptr && copyhdr) {
-    head->set_flags(kMPktHdr);
+    head->add_flags(kMPktHdr);
     head->pkthdr = m->pkthdr;
     head->pkthdr.len = len;
   }
@@ -150,7 +150,7 @@ Mbuf* m_pullup(Mbuf* m, int len) {
   MbufPool& pool = m->pool();
   Mbuf* n = pool.get();
   if (m->has_pkthdr()) {
-    n->set_flags(kMPktHdr);
+    n->add_flags(kMPktHdr);
     n->pkthdr = m->pkthdr;
   }
   // Gather the first `len` bytes (throws if they live in a descriptor).
@@ -238,7 +238,7 @@ Mbuf* m_prepend(Mbuf* m, int len) {
   if (static_cast<std::size_t>(len) > kMLen) fail("m_prepend: request exceeds mbuf");
   Mbuf* n = pool.get();
   if (m->has_pkthdr()) {
-    n->set_flags(kMPktHdr);
+    n->add_flags(kMPktHdr);
     n->pkthdr = m->pkthdr;
     m->clear_flags(kMPktHdr);
   }

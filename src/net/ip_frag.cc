@@ -24,7 +24,7 @@ sim::Task<void> IpFragOps::fragment(KernCtx ctx, Ip& ip, NetStack& stack, Mbuf* 
   for (std::size_t off = 0; off < total; off += max_payload) {
     const std::size_t flen = std::min(max_payload, total - off);
     Mbuf* data = mbuf::m_copym(pkt, static_cast<int>(off), static_cast<int>(flen));
-    if (!data->has_pkthdr()) data->set_flags(mbuf::kMPktHdr);
+    if (!data->has_pkthdr()) data->add_flags(mbuf::kMPktHdr);
     data->pkthdr = pkt->pkthdr;
     data->pkthdr.len = static_cast<int>(flen);
 

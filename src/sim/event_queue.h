@@ -3,37 +3,46 @@
 // Determinism: events at the same timestamp fire in insertion order (a
 // monotonically increasing sequence number breaks ties), so a given seed and
 // workload always produce the same execution.
+//
+// Hot-path design (PR 2): scheduling an event is allocation-free in steady
+// state. Callbacks live in SmallFn slots (48-byte inline buffer) inside a
+// recycled slab; the priority queue is a 4-ary heap of 16-byte entries over
+// slot indices, which touches a quarter of the cache lines a binary heap of
+// fat Event structs did. Cancelable timers are a (slot, generation) pair —
+// no shared_ptr control blocks — and cancel() is an O(1) lazy delete whose
+// tombstones are purged in bulk once they outnumber live entries (so
+// pending() stays honest and a pathological cancel storm cannot bloat the
+// heap).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace nectar::sim {
 
+class Simulator;
+
 // Cancelable handle for a scheduled event (used by protocol timers).
-// Copyable; cancel() is idempotent and safe after the event fired.
+// Copyable; cancel() is idempotent and safe after the event fired. A handle
+// refers to its event by slot index + generation counter, so a handle that
+// outlives its event (fired, cancelled, or slot recycled) is inert.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  [[nodiscard]] bool armed() const {
-    return cancelled_ && !*cancelled_ && !*fired_;
-  }
+  inline void cancel();
+  [[nodiscard]] inline bool armed() const;
 
  private:
   friend class Simulator;
-  TimerHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
-      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
-  std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<bool> fired_;
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
@@ -45,14 +54,14 @@ class Simulator {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   // Schedule `fn` at absolute time t (>= now).
-  void at(Time t, std::function<void()> fn);
+  void at(Time t, SmallFn fn);
 
   // Schedule `fn` after a relative delay (>= 0).
-  void after(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+  void after(Duration d, SmallFn fn) { at(now_ + d, std::move(fn)); }
 
   // Cancelable variants for protocol timers.
-  TimerHandle timer_at(Time t, std::function<void()> fn);
-  TimerHandle timer_after(Duration d, std::function<void()> fn) {
+  TimerHandle timer_at(Time t, SmallFn fn);
+  TimerHandle timer_after(Duration d, SmallFn fn) {
     return timer_at(now_ + d, std::move(fn));
   }
 
@@ -66,28 +75,76 @@ class Simulator {
   // still fire) or the queue drains.
   void run_until(Time deadline);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  // Live (non-cancelled) scheduled events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - tombstones_;
+  }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const noexcept { return cancelled_; }
+  // Tombstone purges performed (each removes every cancelled entry at once).
+  [[nodiscard]] std::uint64_t compactions() const noexcept { return compactions_; }
+  // Slab high-water mark: slots ever allocated (== peak concurrent events).
+  [[nodiscard]] std::size_t slots_allocated() const noexcept { return slots_.size(); }
 
  private:
-  struct Event {
+  friend class TimerHandle;
+
+  enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
+
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    SlotState state = SlotState::kFree;
+  };
+
+  struct HeapEntry {
     Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;  // null for non-cancelable events
-    std::shared_ptr<bool> fired;
+    std::uint64_t seq : 40;  // insertion order; 2^40 events per queue epoch
+    std::uint64_t slot : 24;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  static_assert(sizeof(HeapEntry) == 16);
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot(SmallFn fn);
+  void release_slot(std::uint32_t idx) noexcept;
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+  void sift_down(std::size_t i) noexcept;
+  // Drop cancelled entries sitting at the top so heap_[0] is live.
+  void purge_top();
+  // Rebuild the heap without tombstones once they dominate.
+  void maybe_compact();
+
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+  [[nodiscard]] bool slot_armed(std::uint32_t slot, std::uint32_t gen) const noexcept {
+    return slot < slots_.size() && slots_[slot].gen == gen &&
+           slots_[slot].state == SlotState::kPending;
+  }
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t tombstones_ = 0;  // cancelled entries still in heap_
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
+
+inline void TimerHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
+
+inline bool TimerHandle::armed() const {
+  return sim_ != nullptr && sim_->slot_armed(slot_, gen_);
+}
 
 }  // namespace nectar::sim

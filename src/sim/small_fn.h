@@ -1,0 +1,133 @@
+// SmallFn: a move-only `void()` callable with a 48-byte inline buffer, used
+// by the Simulator's event slots so scheduling a callback never touches the
+// heap for the captures the stack actually produces (a `this` pointer, a
+// coroutine handle, a couple of small values). Callables that are larger than
+// the inline budget — or whose move constructor may throw — degrade to a
+// single heap allocation, preserving std::function semantics.
+//
+// Compared to std::function<void()> (16-byte SBO in libstdc++), the larger
+// buffer keeps every callback in this codebase inline, and dropping
+// copyability removes the copy-ctor branch from the dispatch table.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nectar::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static constexpr Ops ops{&inline_invoke<D>, &inline_relocate<D>,
+                               &inline_destroy<D>};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      static constexpr Ops ops{&heap_invoke<D>, &heap_relocate_any,
+                               &heap_destroy<D>};
+      ops_ = &ops;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Destroy the stored callable (releasing captured resources) and go empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the callable lives in the inline buffer (no heap). Exposed so
+  // tests can pin down the no-allocation property per capture size.
+  [[nodiscard]] bool inline_stored() const noexcept {
+    return ops_ != nullptr && ops_->relocate != &heap_relocate_any;
+  }
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* p) noexcept;
+  };
+
+  template <typename D>
+  static D* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static void inline_invoke(void* p) {
+    (*as<D>(p))();
+  }
+  template <typename D>
+  static void inline_relocate(void* dst, void* src) noexcept {
+    D* s = as<D>(src);
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void inline_destroy(void* p) noexcept {
+    as<D>(p)->~D();
+  }
+
+  // Heap fallback: the buffer holds a single D*.
+  template <typename D>
+  static void heap_invoke(void* p) {
+    (**as<D*>(p))();
+  }
+  static void heap_relocate_any(void* dst, void* src) noexcept {
+    void** s = std::launder(reinterpret_cast<void**>(src));
+    ::new (dst) void*(*s);
+  }
+  template <typename D>
+  static void heap_destroy(void* p) noexcept {
+    delete *as<D*>(p);
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nectar::sim

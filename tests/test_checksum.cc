@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "checksum/internet_checksum.h"
+#include "checksum/simd.h"
 #include "checksum/wire.h"
 #include "sim/rng.h"
 
@@ -246,6 +247,48 @@ TEST(Checksum, ByteswapSumConsistency) {
   const std::uint16_t direct = fold(ones_sum(buf));
   const std::uint16_t via_shift = fold(byteswap_sum(ones_sum(shifted)));
   EXPECT_EQ(direct, via_shift);
+}
+
+TEST(ChecksumSimd, DispatchPickedACheckedImpl) {
+  const auto avail = available_impls();
+  ASSERT_GE(avail.size(), 2u);
+  EXPECT_EQ(avail[0], SumImpl::kReference);
+  EXPECT_EQ(avail[1], SumImpl::kScalar64);
+  bool active_listed = false;
+  for (const SumImpl impl : avail) {
+    EXPECT_STRNE(impl_name(impl), "unknown");
+    if (impl == active_impl()) active_listed = true;
+  }
+  EXPECT_TRUE(active_listed);
+}
+
+// Property test: every implementation folds identically to the reference on
+// random buffers across random lengths, all start alignments 0..7, and random
+// seeds — including lengths around the 16/32-byte SIMD block boundaries.
+TEST(ChecksumSimd, PropertyAllImplsMatchReference) {
+  sim::Rng rng(20260805);
+  std::vector<std::byte> buf(70000);
+  rng.fill(buf);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t align = rng.uniform_below(8);
+    std::size_t len;
+    switch (trial % 3) {
+      case 0:  len = rng.uniform_below(48); break;              // tails only
+      case 1:  len = rng.uniform_below(2048); break;            // packet-ish
+      default: len = rng.uniform_below(buf.size() - 8); break;  // large
+    }
+    const std::uint32_t seed =
+        (trial % 2 == 0) ? 0u : static_cast<std::uint32_t>(rng.next());
+    const std::span<const std::byte> s{buf.data() + align, len};
+    const std::uint16_t want = fold(ones_sum_ref(s, seed));
+    EXPECT_EQ(fold(ones_sum(s, seed)), want)
+        << "dispatch len=" << len << " align=" << align << " seed=" << seed;
+    for (const SumImpl impl : available_impls()) {
+      EXPECT_EQ(fold(ones_sum_with(impl, s, seed)), want)
+          << impl_name(impl) << " len=" << len << " align=" << align
+          << " seed=" << seed;
+    }
+  }
 }
 
 TEST(Wire, RoundTrip16And32) {

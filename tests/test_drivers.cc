@@ -24,7 +24,7 @@ TEST(CabDriverPaths, FreshPacketsForKernelData) {
   tb.b->stack().set_raw_handler(200,
                                 [&](mbuf::Mbuf* m, const net::IpHeader&) { got = m; });
   mbuf::Mbuf* data = kernapp::make_pattern_chain(tb.a->pool(), 10000, 3);
-  data->set_flags(mbuf::kMPktHdr);
+  data->add_flags(mbuf::kMPktHdr);
   data->pkthdr.len = 10000;
   sim::spawn(tb.a->stack().ip().output(ctx, data, Testbed::kIpA, Testbed::kIpB, 200));
   tb.sim.run();
@@ -131,7 +131,7 @@ TEST(LoopbackDriver, RegularRecordsRoundTrip) {
                             [&](mbuf::Mbuf* m, const net::IpHeader&) { got = m; });
   net::KernCtx ctx{h.intr_acct(), sim::Priority::Kernel};
   mbuf::Mbuf* data = kernapp::make_pattern_chain(h.pool(), 3000, 5);
-  data->set_flags(mbuf::kMPktHdr);
+  data->add_flags(mbuf::kMPktHdr);
   data->pkthdr.len = 3000;
   sim::spawn(h.stack().ip().output(ctx, data, lo.addr(), lo.addr(), 200));
   simu.run();

@@ -41,7 +41,7 @@ struct MbufFixture : ::testing::Test {
       produced += n;
     }
     if (head != nullptr) {
-      head->set_flags(kMPktHdr);
+      head->add_flags(kMPktHdr);
       head->pkthdr.len = static_cast<int>(total);
     }
     return head;
@@ -336,6 +336,100 @@ TEST_F(MbufFixture, QueueFifo) {
   EXPECT_EQ(q.dequeue(), nullptr);
   pool.free_chain(a);
   pool.free_chain(b);
+}
+
+// --- pool recycling (PR 2) ---------------------------------------------------
+
+TEST_F(MbufFixture, RecycledNodeIsPristine) {
+  Mbuf* m = pool.get_cluster(true);
+  std::vector<std::byte> junk(100, std::byte{0xee});
+  m->append(junk);
+  m->trim_front(10);
+  m->add_flags(kMEor);
+  m->pkthdr.len = 12345;
+  m->pkthdr.rx_hw_sum = 0xbeef;
+  m->pkthdr.rx_hw_sum_valid = true;
+  pool.free_chain(m);
+
+  Mbuf* r = pool.get();
+  EXPECT_EQ(r, m);  // came off the free-list...
+  EXPECT_EQ(pool.stats().freelist_hits, 1u);
+  // ...indistinguishable from a fresh node.
+  EXPECT_EQ(r->type(), MbufType::kData);
+  EXPECT_EQ(r->flags(), 0u);
+  EXPECT_EQ(r->len(), 0);
+  EXPECT_EQ(r->leading_space(), 0u);
+  EXPECT_FALSE(r->uses_cluster());
+  EXPECT_EQ(r->next, nullptr);
+  EXPECT_EQ(r->nextpkt, nullptr);
+  EXPECT_EQ(r->pkthdr.len, 0);
+  EXPECT_EQ(r->pkthdr.rcvif, nullptr);
+  EXPECT_FALSE(r->pkthdr.on_outboarded);
+  EXPECT_EQ(r->pkthdr.rx_hw_sum, 0u);
+  EXPECT_FALSE(r->pkthdr.rx_hw_sum_valid);
+  pool.free_chain(r);
+}
+
+TEST_F(MbufFixture, FreeReleasesPkthdrClosureImmediately) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  Mbuf* m = pool.get_hdr();
+  m->pkthdr.on_outboarded = [token = std::move(token)](const Wcab&) {};
+  EXPECT_FALSE(watch.expired());
+  pool.free_chain(m);
+  // Reinit happens at free time: the closure (and anything it pinned) must
+  // not survive on the free-list.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST_F(MbufFixture, ClusterRecycling) {
+  Mbuf* a = pool.get_cluster(false);
+  const ExtBuf* buf = a->ext().get();
+  pool.free_chain(a);
+  EXPECT_EQ(pool.free_clusters(), 1u);
+  Mbuf* b = pool.get_cluster(false);
+  EXPECT_EQ(b->ext().get(), buf);  // same storage, control block intact
+  EXPECT_EQ(pool.stats().cluster_freelist_hits, 1u);
+  EXPECT_EQ(pool.free_clusters(), 0u);
+  pool.free_chain(b);
+}
+
+TEST_F(MbufFixture, SharedClusterNotParkedUntilLastRef) {
+  Mbuf* a = pool.get_cluster(false);
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  a->append(data);
+  Mbuf* b = pool.share_ext(*a, 0, 32);
+  pool.free_chain(a);
+  // b still references the cluster: it must not be handed out again.
+  EXPECT_EQ(pool.free_clusters(), 0u);
+  pool.free_chain(b);
+  EXPECT_EQ(pool.free_clusters(), 1u);
+}
+
+TEST_F(MbufFixture, ArbitrarySizeExtIsNotRecycled) {
+  Mbuf* m = pool.get_ext(512, false);
+  pool.free_chain(m);
+  EXPECT_EQ(pool.free_clusters(), 0u);  // only kClBytes buffers are pooled
+  EXPECT_EQ(pool.free_nodes(), 1u);     // the node itself is
+}
+
+TEST_F(MbufFixture, InUseAndHighWaterExactThroughRecycling) {
+  std::vector<Mbuf*> live;
+  for (int i = 0; i < 8; ++i) live.push_back(pool.get());
+  EXPECT_EQ(pool.in_use(), 8);
+  for (Mbuf* m : live) pool.free_chain(m);
+  live.clear();
+  EXPECT_EQ(pool.in_use(), 0);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) live.push_back(pool.get());
+    EXPECT_EQ(pool.in_use(), 4);
+    for (Mbuf* m : live) pool.free_chain(m);
+    live.clear();
+    EXPECT_EQ(pool.in_use(), 0);
+  }
+  EXPECT_EQ(pool.stats().high_water, 8);
+  // Rounds after the first were served entirely from the free-list.
+  EXPECT_EQ(pool.stats().freelist_hits, 12u);
 }
 
 TEST_F(MbufFixture, DmaSyncDrain) {

@@ -2,6 +2,9 @@
 // resource with priority scheduling and per-account time accounting.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/cpu.h"
@@ -56,6 +59,120 @@ TEST(Simulator, TimerFiresAndReportsUnarmed) {
   EXPECT_EQ(fired, 1);
   EXPECT_FALSE(t.armed());
   t.cancel();  // idempotent after firing
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator s;
+  int first = 0, second = 0;
+  auto t1 = s.timer_after(usec(10), [&] { ++first; });
+  s.run();
+  EXPECT_EQ(first, 1);
+  // The fired timer's slot is recycled for the next event; the stale handle
+  // must be inert (generation mismatch), not cancel the new timer.
+  auto t2 = s.timer_after(usec(10), [&] { ++second; });
+  t1.cancel();
+  EXPECT_TRUE(t2.armed());
+  s.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, TimerCancelThenReArm) {
+  Simulator s;
+  int fired = 0;
+  auto t = s.timer_after(usec(10), [&] { fired = 1; });
+  t.cancel();
+  t = s.timer_after(usec(20), [&] { fired = 2; });
+  EXPECT_TRUE(t.armed());
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), usec(20));
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(Simulator, CancelFromEarlierCallbackSuppressesFiring) {
+  Simulator s;
+  int fired = 0;
+  TimerHandle victim;
+  s.at(usec(5), [&] { victim.cancel(); });
+  victim = s.timer_after(usec(10), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(Simulator, CancelStormCompactsAndPendingStaysHonest) {
+  Simulator s;
+  constexpr int kN = 1000;
+  std::vector<TimerHandle> timers;
+  timers.reserve(kN);
+  for (int i = 0; i < kN; ++i)
+    timers.push_back(s.timer_after(usec(1000 + i), [] {}));
+  int fired = 0;
+  s.after(usec(1), [&] { ++fired; });
+  EXPECT_EQ(s.pending(), static_cast<std::size_t>(kN) + 1);
+  for (auto& t : timers) t.cancel();
+  EXPECT_EQ(s.pending(), 1u);  // tombstones are not pending work
+  EXPECT_EQ(s.events_cancelled(), static_cast<std::uint64_t>(kN));
+  EXPECT_GE(s.compactions(), 1u);  // the storm forced at least one purge
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, SlotSlabIsRecycled) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) s.after(usec(1), chain);
+  };
+  s.after(usec(1), chain);
+  s.run();
+  EXPECT_EQ(count, 1000);
+  // One live event at a time: a thousand-event chain must reuse a couple of
+  // slots, not grow the slab per event.
+  EXPECT_LE(s.slots_allocated(), 4u);
+}
+
+TEST(Simulator, LargeAndMoveOnlyCallbacksWork) {
+  Simulator s;
+  // 128-byte capture: exceeds SmallFn's inline buffer, exercises heap path.
+  std::array<std::uint64_t, 16> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = 3 * i;
+  std::uint64_t sum = 0;
+  s.after(usec(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  // Move-only capture: SmallFn never requires copyability.
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  s.after(usec(2), [p = std::move(p), &got] { got = *p + 1; });
+  s.run();
+  EXPECT_EQ(sum, 3u * (15 * 16 / 2));
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Simulator, CancelReleasesCapturedResourcesEarly) {
+  Simulator s;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  auto t = s.timer_after(usec(1000), [token = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  t.cancel();
+  // The capture must die at cancel time, not at the (distant) deadline.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, RunUntilIgnoresCancelledHead) {
+  Simulator s;
+  int fired = 0;
+  auto t = s.timer_after(usec(10), [&] { ++fired; });
+  s.at(usec(50), [&] { fired += 10; });
+  t.cancel();
+  s.run_until(usec(20));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now(), usec(20));
+  s.run();
+  EXPECT_EQ(fired, 10);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
