@@ -1,0 +1,204 @@
+// Flow-count sweep: N concurrent ttcp-style flows through one switched
+// MultiTestbed, N in {1, 8, 64, 256, 1024}. Reports aggregate goodput,
+// per-flow fairness (Jain index), wall-clock events/s, and the CAB
+// arbitration / demux-table gauges, as BENCH_flow_scaling.json.
+//
+// Determinism is part of the contract: the N=64 cell runs twice and the
+// per-flow byte counts and Jain index must match exactly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/flow_matrix.h"
+#include "core/netstat.h"
+
+namespace {
+
+using namespace nectar;
+
+struct CellResult {
+  apps::FlowMatrixResult r;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  core::Json cab_json;    // pair-0 client CAB gauges
+  core::Json demux_json;  // pair-0 server demux gauges
+};
+
+CellResult run_cell(std::size_t flows, std::uint64_t bytes_per_flow,
+                    cab::ArbPolicy arb) {
+  core::MultiTestbedOptions mo;
+  mo.num_pairs = std::min<std::size_t>(8, flows);
+  mo.arb = arb;
+  // Provision DMA request slots for the flow multiplex: each of the
+  // flows-per-pair connections can have a handful of SDMA requests queued at
+  // once (data copy-in plus header staging), and post() refusing a request
+  // is a hard driver error, not backpressure.
+  const std::size_t per_pair = (flows + mo.num_pairs - 1) / mo.num_pairs;
+  mo.params.cab.sdma.queue_depth =
+      std::max(mo.params.cab.sdma.queue_depth, 8 * per_pair);
+  // Outboard memory likewise: every flow can hold a send window of
+  // retransmit data (tx side) or staged receive data (rx side) in network
+  // memory at once. 256 KB per flow keeps the 4 MB default for small N and
+  // grows for the big multiplexes.
+  mo.params.cab.memory_bytes =
+      std::max(mo.params.cab.memory_bytes, per_pair * 256 * 1024);
+  core::MultiTestbed tb(mo);
+
+  apps::FlowMatrixConfig cfg;
+  cfg.num_flows = flows;
+  cfg.bytes_per_flow = bytes_per_flow;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult c;
+  c.r = apps::run_flow_matrix(tb, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  c.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  c.events = tb.sim.events_processed();
+  c.events_per_sec = c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0;
+
+  // Gauges from one representative CAB and stack (all pairs are symmetric in
+  // configuration; traffic symmetry is what the Jain index measures).
+  const core::Json cfull = core::Netstat(*tb.clients[0]).json();
+  if (const core::Json* ifs = cfull.find("interfaces")) {
+    for (const auto& ifj : ifs->items())
+      if (const core::Json* cj = ifj.find("cab")) c.cab_json = *cj;
+  }
+  const core::Json sfull = core::Netstat(*tb.servers[0]).json();
+  if (const core::Json* dj = sfull.find("demux")) c.demux_json = *dj;
+  return c;
+}
+
+core::Json cell_json(const char* name, std::size_t flows,
+                     std::uint64_t bytes_per_flow, cab::ArbPolicy arb,
+                     const CellResult& c) {
+  core::Json j = core::Json::object();
+  j.set("cell", name);
+  j.set("flows", static_cast<std::uint64_t>(flows));
+  j.set("bytes_per_flow", bytes_per_flow);
+  j.set("arb_policy", cab::arb_policy_name(arb));
+  j.set("completed", c.r.completed);
+  j.set("total_bytes", c.r.total_bytes);
+  j.set("aggregate_mbps", c.r.aggregate_mbps);
+  j.set("jain_index", c.r.jain);
+  j.set("elapsed_sim_s", sim::to_seconds(c.r.elapsed));
+  j.set("wall_s", c.wall_s);
+  j.set("events", c.events);
+  j.set("events_per_sec", c.events_per_sec);
+  core::Json per_flow = core::Json::array();
+  for (const auto& f : c.r.flows) {
+    core::Json pf = core::Json::object();
+    pf.set("flow", static_cast<std::uint64_t>(f.flow));
+    pf.set("bytes", f.bytes);
+    pf.set("goodput_mbps", f.goodput_mbps);
+    pf.set("retransmits", f.tx_tcp.rexmt_segs);
+    per_flow.push_back(std::move(pf));
+  }
+  j.set("per_flow", std::move(per_flow));
+  j.set("cab_client0", c.cab_json);
+  j.set("demux_server0", c.demux_json);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = true;
+  std::string json_path = "BENCH_flow_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      json = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        json_path = argv[++i];
+    }
+  }
+
+  const std::vector<std::size_t> sweep =
+      quick ? std::vector<std::size_t>{1, 8, 64}
+            : std::vector<std::size_t>{1, 8, 64, 256, 1024};
+  // Bounded total work: big per-flow transfers at small N, connection-
+  // machinery dominated cells at large N.
+  const auto bytes_for = [quick](std::size_t flows) -> std::uint64_t {
+    const std::uint64_t budget = quick ? (2u << 20) : (8u << 20);
+    const std::uint64_t floor_bytes = 32 * 1024;
+    const std::uint64_t per = budget / flows;
+    return per > floor_bytes ? per : floor_bytes;
+  };
+
+  std::printf("Flow scaling sweep (%s)\n", quick ? "quick" : "full");
+  std::printf("%6s %12s | %4s %9s %7s | %10s %8s\n", "flows", "B/flow", "ok",
+              "aggMb/s", "jain", "events/s", "wall_s");
+  std::printf("----------------------------------------------------------------\n");
+
+  core::Json out = core::Json::object();
+  out.set("bench", "flow_scaling");
+  out.set("quick", quick);
+  core::Json jcells = core::Json::array();
+  bool all_ok = true;
+
+  for (const std::size_t n : sweep) {
+    const std::uint64_t bpf = bytes_for(n);
+    const auto c = run_cell(n, bpf, cab::ArbPolicy::kRoundRobin);
+    std::printf("%6zu %12llu | %4s %9.1f %7.4f | %10.0f %8.2f\n", n,
+                static_cast<unsigned long long>(bpf),
+                c.r.completed ? "yes" : "NO", c.r.aggregate_mbps, c.r.jain,
+                c.events_per_sec, c.wall_s);
+    all_ok = all_ok && c.r.completed;
+    jcells.push_back(cell_json("sweep", n, bpf, cab::ArbPolicy::kRoundRobin, c));
+  }
+  out.set("cells", std::move(jcells));
+
+  // Same-seed determinism: an identical N=64 run must reproduce every
+  // per-flow byte count (the whole simulation is seeded and event-driven).
+  {
+    const std::size_t n = 64;
+    const std::uint64_t bpf = bytes_for(n);
+    const auto c1 = run_cell(n, bpf, cab::ArbPolicy::kRoundRobin);
+    const auto c2 = run_cell(n, bpf, cab::ArbPolicy::kRoundRobin);
+    bool same = c1.r.flows.size() == c2.r.flows.size() && c1.r.jain == c2.r.jain;
+    for (std::size_t i = 0; same && i < c1.r.flows.size(); ++i) {
+      same = c1.r.flows[i].bytes == c2.r.flows[i].bytes &&
+             c1.r.flows[i].finished == c2.r.flows[i].finished;
+    }
+    std::printf("determinism (N=64, two runs): %s\n", same ? "ok" : "MISMATCH");
+    all_ok = all_ok && same;
+    core::Json jd = core::Json::object();
+    jd.set("flows", static_cast<std::uint64_t>(n));
+    jd.set("identical", same);
+    out.set("determinism", std::move(jd));
+  }
+
+  // Arbitration policy face-off at N=64: round-robin should not be less fair
+  // than FIFO.
+  {
+    const std::size_t n = 64;
+    const std::uint64_t bpf = bytes_for(n);
+    const auto cf = run_cell(n, bpf, cab::ArbPolicy::kFifo);
+    const auto cr = run_cell(n, bpf, cab::ArbPolicy::kRoundRobin);
+    std::printf("policy @64 flows: fifo jain %.4f, round-robin jain %.4f\n",
+                cf.r.jain, cr.r.jain);
+    core::Json jp = core::Json::array();
+    jp.push_back(cell_json("policy", n, bpf, cab::ArbPolicy::kFifo, cf));
+    jp.push_back(cell_json("policy", n, bpf, cab::ArbPolicy::kRoundRobin, cr));
+    out.set("policy_compare", std::move(jp));
+    all_ok = all_ok && cf.r.completed && cr.r.completed;
+  }
+
+  out.set("all_ok", all_ok);
+  if (json) {
+    if (!core::write_json_file(json_path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

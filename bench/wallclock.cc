@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <new>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "core/json.h"
 #include "core/netstat.h"
 #include "mbuf/mbuf.h"
+#include "net/conn_table.h"
+#include "net/netstack.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -204,6 +207,79 @@ MbufBenchResult bench_mbuf(std::uint64_t iters) {
   return r;
 }
 
+inline void keep(std::uint32_t v) { asm volatile("" : : "r"(v) : "memory"); }
+
+// --- demux: ConnTable vs std::map --------------------------------------------
+// The TCP demux runs one lookup per received segment. Compare the hashed
+// ConnTable against the std::map it replaced, on the same keys and the same
+// mixed hit/miss pattern, and count heap allocations per lookup (the table's
+// contract is zero).
+
+struct DemuxBenchResult {
+  std::size_t conns = 0;
+  double table_lookups_per_sec = 0;
+  double map_lookups_per_sec = 0;
+  double table_heap_allocs_per_lookup = 0;
+  double speedup = 0;
+};
+
+DemuxBenchResult bench_demux(std::uint64_t iters) {
+  constexpr std::size_t kConns = 512;
+  std::vector<net::ConnKey> keys;
+  keys.reserve(kConns);
+  sim::Rng rng(7);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    net::ConnKey k;
+    k.laddr = 0x0a010001;
+    k.lport = static_cast<std::uint16_t>(1024 + i);
+    k.faddr = 0x0a020000 + static_cast<std::uint32_t>(rng.next() & 0xffff);
+    k.fport = static_cast<std::uint16_t>(5001 + (rng.next() % 4096));
+    keys.push_back(k);
+  }
+
+  net::ConnTable<net::ConnKey, const net::ConnKey*> table;
+  std::map<net::ConnKey, const net::ConnKey*> bymap;
+  for (const auto& k : keys) {
+    table.insert(k, &k);
+    bymap.emplace(k, &k);
+  }
+  // Lookup stream: mostly hits, every 8th a miss (port nobody bound), in a
+  // pseudo-random order so neither structure enjoys a warm sequential walk.
+  std::vector<net::ConnKey> probes;
+  probes.reserve(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    net::ConnKey k = keys[rng.next() % kConns];
+    if (i % 8 == 7) k.fport = static_cast<std::uint16_t>(k.fport + 17000);
+    probes.push_back(k);
+  }
+
+  DemuxBenchResult r;
+  r.conns = kConns;
+  std::uint64_t sink = 0;
+  {
+    const std::uint64_t heap0 = g_heap_allocs;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i)
+      sink += table.find(probes[i & 1023]) != nullptr;
+    const double w = elapsed_s(t0);
+    r.table_lookups_per_sec = static_cast<double>(iters) / w;
+    r.table_heap_allocs_per_lookup =
+        static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(iters);
+  }
+  {
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      auto it = bymap.find(probes[i & 1023]);
+      sink += it != bymap.end();
+    }
+    const double w = elapsed_s(t0);
+    r.map_lookups_per_sec = static_cast<double>(iters) / w;
+  }
+  keep(static_cast<std::uint32_t>(sink));
+  r.speedup = r.table_lookups_per_sec / r.map_lookups_per_sec;
+  return r;
+}
+
 // --- checksum ----------------------------------------------------------------
 
 struct CsumPoint {
@@ -211,8 +287,6 @@ struct CsumPoint {
   std::size_t size = 0;
   double gb_per_sec = 0;
 };
-
-inline void keep(std::uint32_t v) { asm volatile("" : : "r"(v) : "memory"); }
 
 double time_csum(std::span<const std::byte> buf, std::uint64_t iters,
                  std::uint32_t (*fn)(std::span<const std::byte>, std::uint32_t)) {
@@ -313,6 +387,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mb.stats.cluster_freelist_hits),
               static_cast<long long>(mb.stats.high_water));
 
+  const auto dx = bench_demux(mbuf_iters);
+  std::printf("demux table     : %10.0f lookups/s  (%.2f heap allocs/lookup)\n",
+              dx.table_lookups_per_sec, dx.table_heap_allocs_per_lookup);
+  std::printf("demux std::map  : %10.0f lookups/s  (table %.2fx, %zu conns)\n",
+              dx.map_lookups_per_sec, dx.speedup, dx.conns);
+
   std::printf("checksum active : %s\n",
               checksum::impl_name(checksum::active_impl()));
   const auto cs = bench_checksum(quick);
@@ -345,6 +425,13 @@ int main(int argc, char** argv) {
     jm.set("cluster_freelist_hits", mb.stats.cluster_freelist_hits);
     jm.set("high_water", static_cast<std::uint64_t>(mb.stats.high_water));
     root.set("mbuf", std::move(jm));
+    core::Json jx = core::Json::object();
+    jx.set("conns", static_cast<std::uint64_t>(dx.conns));
+    jx.set("table_lookups_per_sec", dx.table_lookups_per_sec);
+    jx.set("table_heap_allocs_per_lookup", dx.table_heap_allocs_per_lookup);
+    jx.set("map_lookups_per_sec", dx.map_lookups_per_sec);
+    jx.set("speedup", dx.speedup);
+    root.set("demux", std::move(jx));
     root.set("checksum_active", checksum::impl_name(checksum::active_impl()));
     core::Json jc = core::Json::array();
     for (const auto& p : cs) {

@@ -23,4 +23,16 @@ ctest --test-dir build-release --output-on-failure -j"$jobs"
 
 build-release/bench/wallclock --quick --json \
     build-release/BENCH_wallclock_smoke.json
-echo "ci: both configs green"
+build-release/bench/flow_scaling --quick --json \
+    build-release/BENCH_flow_scaling_smoke.json
+
+# ASan/UBSan lane over the many-flow suite: connect/close churn through the
+# demux hash table, the CAB arbitration queues and the listener backlog is
+# exactly where lifetime and aliasing bugs would hide.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-asan -j"$jobs"
+ctest --test-dir build-asan --output-on-failure -j"$jobs" \
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling'
+
+echo "ci: all configs green"

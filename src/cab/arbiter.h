@@ -1,0 +1,110 @@
+// ArbQueue: the CAB's DMA request arbiter.
+//
+// The SDMA engine and the MDMA transmit engine are single resources that
+// every connection on the host shares (§2.1: one TURBOchannel, one media
+// transmitter). With one flow a plain FIFO is the hardware's command queue;
+// with many flows the service discipline decides who makes progress. Two
+// policies:
+//
+//  * kFifo — strict arrival order, the seed behaviour. One bulk flow that
+//    keeps the queue full starves nobody outright (the queue is bounded and
+//    the driver backs off), but bursts serialize behind each other.
+//  * kRoundRobin — one request per flow per turn, in flow-id order. A flow
+//    that posts many requests waits for every other backlogged flow between
+//    its own; this is what keeps the Jain index high at 64+ flows.
+//
+// Both policies are deterministic: ties break by arrival order (kFifo) or
+// flow id (kRoundRobin); nothing consults wall-clock or hashes.
+//
+// R must expose a `std::uint32_t flow` member (0 = unattributed; flow 0 is
+// just another queue, so control traffic is arbitrated too).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+namespace nectar::cab {
+
+enum class ArbPolicy { kFifo, kRoundRobin };
+
+[[nodiscard]] constexpr const char* arb_policy_name(ArbPolicy p) noexcept {
+  return p == ArbPolicy::kRoundRobin ? "round_robin" : "fifo";
+}
+
+template <typename R>
+class ArbQueue {
+ public:
+  explicit ArbQueue(ArbPolicy p = ArbPolicy::kFifo) : policy_(p) {}
+
+  void set_policy(ArbPolicy p) noexcept { policy_ = p; }
+  [[nodiscard]] ArbPolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  // Flows with at least one queued request right now.
+  [[nodiscard]] std::size_t flows_queued() const noexcept { return flows_.size(); }
+
+  void push(R r) {
+    flows_[r.flow].push_back(Item{next_seq_++, std::move(r)});
+    ++size_;
+    ++stats_.pushes;
+    stats_.max_depth = std::max(stats_.max_depth, size_);
+    stats_.max_flows = std::max<std::uint64_t>(stats_.max_flows, flows_.size());
+  }
+
+  // Remove and return the next request under the current policy. Precondition:
+  // !empty().
+  R pop() {
+    auto it = policy_ == ArbPolicy::kRoundRobin ? pick_round_robin() : pick_fifo();
+    R r = std::move(it->second.front().req);
+    it->second.pop_front();
+    last_flow_ = it->first;
+    if (it->second.empty()) flows_.erase(it);
+    --size_;
+    ++stats_.pops;
+    return r;
+  }
+
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t max_depth = 0;  // high-water of queued requests
+    std::uint64_t max_flows = 0;  // high-water of flows queued at once
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Item {
+    std::uint64_t seq;  // global arrival order
+    R req;
+  };
+  using FlowMap = std::map<std::uint32_t, std::deque<Item>>;
+
+  // Oldest request overall. O(flows queued); the command queue is bounded
+  // (depth 64), so this stays trivially small.
+  typename FlowMap::iterator pick_fifo() {
+    auto best = flows_.begin();
+    for (auto it = std::next(flows_.begin()); it != flows_.end(); ++it) {
+      if (it->second.front().seq < best->second.front().seq) best = it;
+    }
+    return best;
+  }
+
+  // Next backlogged flow after the last one served, wrapping in flow-id order.
+  typename FlowMap::iterator pick_round_robin() {
+    auto it = flows_.upper_bound(last_flow_);
+    if (it == flows_.end()) it = flows_.begin();
+    return it;
+  }
+
+  ArbPolicy policy_;
+  FlowMap flows_;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t last_flow_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nectar::cab

@@ -6,15 +6,14 @@
 namespace nectar::cab {
 
 void MdmaXmit::post(Request r) {
-  q_.push_back(std::move(r));
+  q_.push(std::move(r));
   kick();
 }
 
 void MdmaXmit::kick() {
   if (busy_ || q_.empty()) return;
   busy_ = true;
-  Request r = std::move(q_.front());
-  q_.pop_front();
+  Request r = q_.pop();
 
   const sim::Duration t =
       cfg_.setup +

@@ -28,17 +28,19 @@ namespace nectar::cab {
 struct MdmaConfig {
   double line_rate_bps = hippi::kLineRateBps;  // 100 MByte/s
   sim::Duration setup = sim::usec(10);
+  ArbPolicy arb = ArbPolicy::kFifo;  // transmit service discipline across flows
 };
 
 class MdmaXmit {
  public:
   MdmaXmit(sim::Simulator& sim, NetworkMemory& nm, hippi::Fabric& fabric,
            const MdmaConfig& cfg)
-      : sim_(sim), nm_(nm), fabric_(&fabric), cfg_(cfg) {}
+      : sim_(sim), nm_(nm), fabric_(&fabric), cfg_(cfg), q_(cfg.arb) {}
 
   struct Request {
     Handle handle = 0;
     std::size_t len = 0;  // bytes to transmit from offset 0
+    std::uint32_t flow = 0;  // owning transport flow (0 = unattributed)
     std::function<void()> on_complete;
   };
 
@@ -51,6 +53,8 @@ class MdmaXmit {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
+  [[nodiscard]] const ArbQueue<Request>& arb() const noexcept { return q_; }
+  void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
 
  private:
   void kick();
@@ -60,7 +64,7 @@ class MdmaXmit {
   hippi::Fabric* fabric_;
   MdmaConfig cfg_;
   bool busy_ = false;
-  std::deque<Request> q_;
+  ArbQueue<Request> q_;
   Stats stats_;
 };
 

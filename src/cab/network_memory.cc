@@ -1,5 +1,6 @@
 #include "cab/network_memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -54,6 +55,8 @@ std::optional<Handle> NetworkMemory::alloc(std::size_t len) {
     s.refs = 1;
     s.live = true;
     ++live_;
+    max_used_pages_ = std::max(max_used_pages_, page_used_.size() - free_pages_);
+    max_live_ = std::max(max_live_, live_);
     return h;
   }
   ++alloc_failures_;  // fragmentation: enough pages but no contiguous run

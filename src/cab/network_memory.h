@@ -45,8 +45,17 @@ class NetworkMemory {
   [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
   [[nodiscard]] std::size_t total_bytes() const noexcept { return store_.size(); }
   [[nodiscard]] std::size_t free_bytes() const noexcept { return free_pages_ * page_size_; }
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    return store_.size() - free_bytes();
+  }
   [[nodiscard]] std::size_t live_packets() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t alloc_failures() const noexcept { return alloc_failures_; }
+  // Occupancy high-water marks: how close the flows came to exhausting the
+  // outboard packet memory (pages, not the possibly-shorter packet lengths).
+  [[nodiscard]] std::size_t max_used_bytes() const noexcept {
+    return max_used_pages_ * page_size_;
+  }
+  [[nodiscard]] std::size_t max_live_packets() const noexcept { return max_live_; }
 
  private:
   struct Slot {
@@ -70,6 +79,8 @@ class NetworkMemory {
   std::size_t live_ = 0;
   std::uint64_t alloc_failures_ = 0;
   std::size_t next_fit_ = 0;  // rotating first-fit cursor
+  std::size_t max_used_pages_ = 0;
+  std::size_t max_live_ = 0;
 };
 
 }  // namespace nectar::cab

@@ -17,7 +17,7 @@ bool SdmaEngine::post(SdmaRequest r) {
       throw std::logic_error("SdmaEngine: empty segment");
   }
   r.id = next_id_++;
-  q_.push_back(std::move(r));
+  q_.push(std::move(r));
   kick();
   return true;
 }
@@ -25,8 +25,7 @@ bool SdmaEngine::post(SdmaRequest r) {
 void SdmaEngine::kick() {
   if (busy_ || q_.empty()) return;
   busy_ = true;
-  SdmaRequest r = std::move(q_.front());
-  q_.pop_front();
+  SdmaRequest r = q_.pop();
 
   std::size_t total = 0;
   for (const auto& seg : r.segs) total += seg.bytes.size();

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "cab/arbiter.h"
 #include "cab/checksum_engine.h"
 #include "cab/network_memory.h"
 #include "mem/address_space.h"
@@ -51,6 +51,7 @@ struct SdmaRequest {
   bool body_sum_only = false;
 
   bool interrupt_on_done = false;  // paper: only the last SDMA of a write
+  std::uint32_t flow = 0;          // owning transport flow (0 = unattributed)
   std::uint64_t id = 0;            // assigned by the engine
   std::function<void(const SdmaRequest&)> on_complete;
 };
@@ -59,12 +60,13 @@ struct SdmaConfig {
   double bandwidth_bps = 18.75e6;       // effective TURBOchannel payload rate
   sim::Duration setup = sim::usec(20);  // per-request engine overhead
   std::size_t queue_depth = 64;
+  ArbPolicy arb = ArbPolicy::kFifo;     // service discipline across flows
 };
 
 class SdmaEngine {
  public:
   SdmaEngine(sim::Simulator& sim, NetworkMemory& nm, const SdmaConfig& cfg)
-      : sim_(sim), nm_(nm), cfg_(cfg) {}
+      : sim_(sim), nm_(nm), cfg_(cfg), q_(cfg.arb) {}
 
   // Returns false if the command queue is full (request not accepted).
   bool post(SdmaRequest r);
@@ -82,6 +84,8 @@ class SdmaEngine {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] ChecksumEngine& checksum() noexcept { return csum_; }
+  [[nodiscard]] const ArbQueue<SdmaRequest>& arb() const noexcept { return q_; }
+  void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
 
  private:
   void kick();
@@ -93,7 +97,7 @@ class SdmaEngine {
   ChecksumEngine csum_;
   bool busy_ = false;
   std::uint64_t next_id_ = 1;
-  std::deque<SdmaRequest> q_;
+  ArbQueue<SdmaRequest> q_;
   Stats stats_;
 };
 

@@ -1,0 +1,107 @@
+#include "core/multi_testbed.h"
+
+namespace nectar::core {
+
+namespace {
+constexpr hippi::Addr kHaClientBase = 0x200;
+constexpr hippi::Addr kHaServerBase = 0x400;
+}  // namespace
+
+hippi::Fabric& MultiTestbed::fabric() {
+  if (rate_limit) return *rate_limit;
+  if (partition) return *partition;
+  if (lossy) return *lossy;
+  if (dup) return *dup;
+  if (reorder) return *reorder;
+  if (corrupt) return *corrupt;
+  return *sw;
+}
+
+std::vector<hippi::ImpairedFabric*> MultiTestbed::impairments() const {
+  std::vector<hippi::ImpairedFabric*> out;
+  if (rate_limit) out.push_back(rate_limit.get());
+  if (partition) out.push_back(partition.get());
+  if (lossy) out.push_back(lossy.get());
+  if (dup) out.push_back(dup.get());
+  if (reorder) out.push_back(reorder.get());
+  if (corrupt) out.push_back(corrupt.get());
+  return out;
+}
+
+MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
+  if (opts.num_pairs == 0) opts.num_pairs = 1;
+  sw = std::make_unique<hippi::Switch>(sim, opts.mac_mode);
+
+  // Same inside-out layering as Testbed: corruption innermost, rate limit
+  // outermost.
+  hippi::Fabric* outer = sw.get();
+  if (opts.corrupt_rate > 0.0) {
+    corrupt = std::make_unique<hippi::CorruptFabric>(*outer, opts.corrupt_rate,
+                                                     opts.corrupt_seed);
+    outer = corrupt.get();
+  }
+  if (opts.reorder_rate > 0.0) {
+    reorder = std::make_unique<hippi::ReorderFabric>(
+        sim, *outer, opts.reorder_rate, opts.reorder_hold, opts.reorder_seed);
+    outer = reorder.get();
+  }
+  if (opts.dup_rate > 0.0) {
+    dup = std::make_unique<hippi::DupFabric>(*outer, opts.dup_rate, opts.dup_seed);
+    outer = dup.get();
+  }
+  if (opts.loss_rate > 0.0) {
+    lossy = std::make_unique<hippi::LossyFabric>(*outer, opts.loss_rate,
+                                                 opts.loss_seed);
+    outer = lossy.get();
+  }
+  if (!opts.partition_windows.empty()) {
+    partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
+    for (const auto& [start, end] : opts.partition_windows)
+      partition->add_window(start, end);
+    outer = partition.get();
+  }
+  if (opts.rate_limit_bps > 0.0) {
+    rate_limit = std::make_unique<hippi::RateLimitFabric>(
+        sim, *outer, opts.rate_limit_bps, opts.rate_limit_burst);
+    outer = rate_limit.get();
+  }
+
+  HostParams hp = opts.params;
+  hp.cab.sdma.arb = opts.arb;
+  hp.cab.mdma.arb = opts.arb;
+
+  for (std::size_t i = 0; i < opts.num_pairs; ++i) {
+    clients.push_back(std::make_unique<Host>(
+        sim, hp, "client" + std::to_string(i)));
+    servers.push_back(std::make_unique<Host>(
+        sim, hp, "server" + std::to_string(i)));
+    const auto ha_c = static_cast<hippi::Addr>(kHaClientBase + i);
+    const auto ha_s = static_cast<hippi::Addr>(kHaServerBase + i);
+    cab_clients.push_back(&clients[i]->attach_cab(fabric(), ha_c, client_ip(i)));
+    cab_servers.push_back(&servers[i]->attach_cab(fabric(), ha_s, server_ip(i)));
+    clients[i]->stack().routes().add(net::make_ip(10, 2, 0, 0), 16,
+                                     cab_clients[i]);
+    servers[i]->stack().routes().add(net::make_ip(10, 1, 0, 0), 16,
+                                     cab_servers[i]);
+  }
+  // Full mesh of neighbor entries: flows are usually pairwise, but nothing
+  // stops an experiment from crossing pairs.
+  for (std::size_t i = 0; i < opts.num_pairs; ++i) {
+    for (std::size_t j = 0; j < opts.num_pairs; ++j) {
+      cab_clients[i]->add_neighbor(server_ip(j),
+                                   static_cast<hippi::Addr>(kHaServerBase + j));
+      cab_servers[i]->add_neighbor(client_ip(j),
+                                   static_cast<hippi::Addr>(kHaClientBase + j));
+    }
+  }
+}
+
+bool MultiTestbed::run_until_done(const bool& done, sim::Time deadline) {
+  while (!done && sim.now() < deadline) {
+    if (!sim.step()) break;
+    if (sim.now() > deadline) break;
+  }
+  return done;
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,84 @@
+// MultiTestbed: the many-flow experiment topology — P client/server host
+// pairs on one HIPPI switch, with the same impairment chain Testbed builds.
+//
+//   client 0 (10.1.0.1) --CAB--+                 +--CAB-- server 0 (10.2.0.1)
+//   client 1 (10.1.0.2) --CAB--+--[switch+imps]--+--CAB-- server 1 (10.2.0.2)
+//   ...                        +                 +        ...
+//
+// Flows are multiplexed across the pairs (flow i talks over pair i mod P),
+// so "1024 flows" does not mean 1024 hosts: many connections share each
+// host's one CAB — its network memory, its SDMA engine, its MDMA
+// transmitter — which is exactly the contention this topology exists to
+// create. Host count stays small (each CAB carries 4 MB of simulated
+// outboard memory).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/host.h"
+#include "core/packet_trace.h"
+#include "hippi/link.h"
+#include "hippi/switch.h"
+
+namespace nectar::core {
+
+struct MultiTestbedOptions {
+  std::size_t num_pairs = 4;  // client/server host pairs on the switch
+  HostParams params = HostParams::alpha3000_400();
+  hippi::MacMode mac_mode = hippi::MacMode::kLogicalChannels;
+  // DMA service discipline for every CAB (overrides params.cab.*.arb).
+  cab::ArbPolicy arb = cab::ArbPolicy::kFifo;
+  // Impairment chain, same knobs and layering as TestbedOptions.
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 42;
+  double reorder_rate = 0.0;
+  sim::Duration reorder_hold = sim::usec(50.0);
+  std::uint64_t reorder_seed = 43;
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 44;
+  double dup_rate = 0.0;
+  std::uint64_t dup_seed = 45;
+  double rate_limit_bps = 0.0;
+  std::size_t rate_limit_burst = 64 * 1024;
+  std::vector<std::pair<sim::Time, sim::Time>> partition_windows;
+};
+
+class MultiTestbed {
+ public:
+  explicit MultiTestbed(MultiTestbedOptions opts = {});
+
+  [[nodiscard]] static net::IpAddr client_ip(std::size_t i) noexcept {
+    return net::make_ip(10, 1, static_cast<std::uint8_t>(i >> 8),
+                        static_cast<std::uint8_t>((i & 0xff) + 1));
+  }
+  [[nodiscard]] static net::IpAddr server_ip(std::size_t i) noexcept {
+    return net::make_ip(10, 2, static_cast<std::uint8_t>(i >> 8),
+                        static_cast<std::uint8_t>((i & 0xff) + 1));
+  }
+
+  sim::Simulator sim;
+  MultiTestbedOptions opts;
+
+  std::unique_ptr<hippi::Switch> sw;
+  std::unique_ptr<hippi::CorruptFabric> corrupt;
+  std::unique_ptr<hippi::ReorderFabric> reorder;
+  std::unique_ptr<hippi::DupFabric> dup;
+  std::unique_ptr<hippi::LossyFabric> lossy;
+  std::unique_ptr<hippi::PartitionFabric> partition;
+  std::unique_ptr<hippi::RateLimitFabric> rate_limit;
+
+  std::vector<std::unique_ptr<Host>> clients;
+  std::vector<std::unique_ptr<Host>> servers;
+  std::vector<drivers::CabDriver*> cab_clients;
+  std::vector<drivers::CabDriver*> cab_servers;
+
+  [[nodiscard]] std::size_t num_pairs() const noexcept { return clients.size(); }
+  [[nodiscard]] hippi::Fabric& fabric();
+  [[nodiscard]] std::vector<hippi::ImpairedFabric*> impairments() const;
+
+  bool run_until_done(const bool& done, sim::Time deadline);
+};
+
+}  // namespace nectar::core

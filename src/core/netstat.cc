@@ -76,7 +76,12 @@ std::string netstat_protocols(Host& host) {
   const auto& st = host.stack().stats();
   os << "demux: " << st.tcp_in << " tcp, " << st.udp_in << " udp, " << st.raw_in
      << " raw, " << st.no_port << " no-port, " << st.no_proto << " no-proto, "
-     << st.bad_checksum << " bad csum\n";
+     << st.bad_checksum << " bad csum, " << st.listen_overflows
+     << " listen overflows\n";
+  const auto& dm = host.stack().tcp_demux();
+  os << "  table: " << dm.size() << " live / " << dm.buckets() << " buckets, "
+     << dm.tombstones() << " tombstones, " << dm.stats().lookups << " lookups ("
+     << dm.stats().hits << " hits), max probe " << dm.stats().max_probe << "\n";
   return os.str();
 }
 
@@ -201,6 +206,26 @@ Json Netstat::json() const {
       c.set("copyouts", cab->drv_stats.copyouts);
       c.set("nm_live_packets", static_cast<std::uint64_t>(dev.nm().live_packets()));
       c.set("nm_free_bytes", static_cast<std::uint64_t>(dev.nm().free_bytes()));
+      c.set("nm_used_bytes", static_cast<std::uint64_t>(dev.nm().used_bytes()));
+      c.set("nm_max_used_bytes",
+            static_cast<std::uint64_t>(dev.nm().max_used_bytes()));
+      c.set("nm_max_live_packets",
+            static_cast<std::uint64_t>(dev.nm().max_live_packets()));
+      c.set("nm_alloc_failures", dev.nm().alloc_failures());
+      // DMA arbitration: how deep the per-engine request queues ran and how
+      // many flows were backlogged at once.
+      const auto arb_json = [](const auto& arb) {
+        Json a = Json::object();
+        a.set("policy", cab::arb_policy_name(arb.policy()));
+        a.set("pushes", arb.stats().pushes);
+        a.set("pops", arb.stats().pops);
+        a.set("max_depth", arb.stats().max_depth);
+        a.set("max_flows", arb.stats().max_flows);
+        a.set("queued_now", static_cast<std::uint64_t>(arb.size()));
+        return a;
+      };
+      c.set("sdma_arb", arb_json(dev.sdma().arb()));
+      c.set("mdma_tx_arb", arb_json(dev.mdma_xmit().arb()));
       j.set("cab", std::move(c));
     }
     ifs.push_back(std::move(j));
@@ -241,6 +266,24 @@ Json Netstat::json() const {
   jd.set("no_proto", st.no_proto);
   jd.set("no_port", st.no_port);
   jd.set("bad_checksum", st.bad_checksum);
+  jd.set("listen_overflows", st.listen_overflows);
+  // Connection hash-table internals: probe behaviour tells whether the O(1)
+  // demux claim held up under this run's churn.
+  const auto& dm = host.stack().tcp_demux();
+  Json jt = Json::object();
+  jt.set("live", static_cast<std::uint64_t>(dm.size()));
+  jt.set("buckets", static_cast<std::uint64_t>(dm.buckets()));
+  jt.set("tombstones", static_cast<std::uint64_t>(dm.tombstones()));
+  jt.set("max_cluster", static_cast<std::uint64_t>(dm.max_cluster()));
+  jt.set("lookups", dm.stats().lookups);
+  jt.set("hits", dm.stats().hits);
+  jt.set("probe_steps", dm.stats().probe_steps);
+  jt.set("max_probe", dm.stats().max_probe);
+  jt.set("inserts", dm.stats().inserts);
+  jt.set("erases", dm.stats().erases);
+  jt.set("grows", dm.stats().grows);
+  jt.set("rehashes", dm.stats().rehashes);
+  jd.set("table", std::move(jt));
   root.set("demux", std::move(jd));
 
   Json conns = Json::array();

@@ -55,6 +55,7 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
   req.dir = cab::SdmaRequest::Dir::kToCab;
   req.handle = *handle;
   req.cab_off = 0;
+  req.flow = m0->pkthdr.flow;
   std::size_t data_start = 0;  // offset of the first M_UIO byte in the packet
   bool before_data = true;
   for (Mbuf* m = m0; m != nullptr; m = m->next) {
@@ -98,7 +99,9 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
   // The mbuf chain must stay alive until the SDMA engine reads it.
   Mbuf* chain = m0;
   const std::size_t dstart = data_start;
-  req.on_complete = [this, dev, h, chain, total, dstart](const cab::SdmaRequest&) {
+  const std::uint32_t flow = m0->pkthdr.flow;
+  req.on_complete = [this, dev, h, chain, total, dstart,
+                     flow](const cab::SdmaRequest&) {
     if (chain->pkthdr.on_outboarded) {
       mbuf::Wcab w;
       w.owner = dev;
@@ -116,6 +119,7 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
     cab::MdmaXmit::Request mr;
     mr.handle = h;
     mr.len = total;
+    mr.flow = flow;
     mr.on_complete = [dev, h] { dev->nm().release(h); };
     dev->mdma_xmit().post(mr);
   };
@@ -172,6 +176,7 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   req.dir = cab::SdmaRequest::Dir::kToCab;
   req.handle = w.handle;
   req.cab_off = 0;
+  req.flow = m0->pkthdr.flow;
   req.header_rewrite = true;
   for (Mbuf* m = m0; m != nullptr; m = m->next) {
     if (m->type() == mbuf::MbufType::kData)
@@ -193,11 +198,13 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   cab::CabDevice* dev = &dev_;
   dev_.outboard_retain(h);  // keep alive through SDMA + MDMA
   Mbuf* chain = m0;
-  req.on_complete = [dev, h, chain, total](const cab::SdmaRequest&) {
+  const std::uint32_t flow = m0->pkthdr.flow;
+  req.on_complete = [dev, h, chain, total, flow](const cab::SdmaRequest&) {
     chain->pool().free_chain(chain);  // drops the packet's own WCAB reference
     cab::MdmaXmit::Request mr;
     mr.handle = h;
     mr.len = total;
+    mr.flow = flow;
     mr.on_complete = [dev, h] { dev->nm().release(h); };
     dev->mdma_xmit().post(mr);
   };
@@ -234,6 +241,7 @@ sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
   req.dir = cab::SdmaRequest::Dir::kToCab;
   req.handle = *handle;
   req.cab_off = header_space;
+  req.flow = ctx.flow;
   for (const auto& v : data.iov)
     req.segs.push_back(cab::SdmaSeg{v.base, data.space->write_view(v.base, v.len)});
   req.csum_enable = true;
@@ -314,6 +322,7 @@ sim::Task<void> CabDriver::copy_out(KernCtx ctx, const mbuf::Wcab& w,
   req.dir = cab::SdmaRequest::Dir::kFromCab;
   req.handle = w.handle;
   req.cab_off = w.data_off + wcab_off;
+  req.flow = ctx.flow;
   for (const auto& v : dst.iov) {
     req.segs.push_back(cab::SdmaSeg{v.base, dst.space->write_view(v.base, v.len)});
   }
@@ -343,6 +352,7 @@ sim::Task<void> CabDriver::copy_out_raw(KernCtx ctx, const mbuf::Wcab& w,
   req.dir = cab::SdmaRequest::Dir::kFromCab;
   req.handle = w.handle;
   req.cab_off = w.data_off + wcab_off;
+  req.flow = ctx.flow;
   req.segs.push_back(cab::SdmaSeg{0, dst});
   dev_.outboard_retain(w.handle);
   cab::CabDevice* dev = &dev_;

@@ -67,6 +67,8 @@ struct ExtBuf {
 struct PktHdr {
   int len = 0;                 // total record length
   net::Ifnet* rcvif = nullptr; // interface the record arrived on
+  std::uint32_t flow = 0;      // transport flow id (0 = none); CAB DMA
+                               // arbitration queues per flow
 
   // Transmit: outboard checksum request, honoured by single-copy drivers.
   // Offsets are relative to the start of the IP header; the driver adds the

@@ -1,0 +1,206 @@
+// ConnTable: the TCP demux hot path as an open-addressing hash table.
+//
+// The original demux was a std::map<ConnKey, TcpConnection*> — fine for a
+// two-host demo, O(log n) pointer-chasing and a node allocation per insert
+// once the stack serves hundreds of concurrent flows. This table is a flat
+// power-of-two slot array with linear probing and tombstone deletion:
+// lookup touches a handful of contiguous slots and never allocates, insert
+// allocates only when the whole table grows. Growth (and the periodic
+// rehash when tombstones pile up) rebuilds the array and discards every
+// tombstone, so the probe-length bound is restored after churn.
+//
+// Iteration order of a hash table is not meaningful, and the stats exporter
+// needs a deterministic one — sorted_snapshot() hands out entries ordered
+// by key for that use; nothing on the packet path calls it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nectar::net {
+
+// 64-bit finalizer-quality mix (splitmix64); the key's 12 meaningful bytes
+// are folded into one word first. Ports land in the low bits so the common
+// many-flows-one-address case still spreads.
+inline std::uint64_t conn_key_hash(std::uint32_t laddr, std::uint16_t lport,
+                                   std::uint32_t faddr, std::uint16_t fport) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(laddr) << 32) | faddr;
+  x ^= (static_cast<std::uint64_t>(lport) << 16) | fport;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Open-addressing map from a four-tuple key to a pointer. Key must provide
+// laddr/lport/faddr/fport members and operator==; Value is a raw pointer.
+template <typename Key, typename Value>
+class ConnTable {
+  enum class SlotState : std::uint8_t { kEmpty, kLive, kTomb };
+  struct Slot {
+    Key key{};
+    Value val{};
+    SlotState state = SlotState::kEmpty;
+  };
+
+ public:
+  ConnTable() { slots_.resize(kMinSlots); }
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t probe_steps = 0;  // extra slots touched beyond the first
+    std::uint64_t max_probe = 0;    // worst single-lookup probe length seen
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t grows = 0;        // capacity doublings
+    std::uint64_t rehashes = 0;     // same-size rebuilds that purge tombstones
+  };
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombs_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool contains(const Key& k) const noexcept {
+    return find(k) != nullptr;
+  }
+
+  [[nodiscard]] Value find(const Key& k) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(k);
+    std::uint64_t probes = 0;
+    Value found{};
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.state == SlotState::kEmpty) break;
+      if (s.state == SlotState::kLive && s.key == k) {
+        found = s.val;
+        break;
+      }
+      ++probes;  // tombstone or other key: keep probing
+      i = (i + 1) & mask;
+    }
+    ++stats_.lookups;
+    if (found != Value{}) ++stats_.hits;
+    stats_.probe_steps += probes;
+    stats_.max_probe = std::max(stats_.max_probe, probes);
+    return found;
+  }
+
+  // Insert a new key; returns false (table unchanged) if already present.
+  bool insert(const Key& k, Value v) {
+    if ((live_ + tombs_ + 1) * 4 >= slots_.size() * 3) rebuild();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(k);
+    std::size_t grave = slots_.size();  // first tombstone on the probe path
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == SlotState::kEmpty) break;
+      if (s.state == SlotState::kLive && s.key == k) return false;
+      if (s.state == SlotState::kTomb && grave == slots_.size()) grave = i;
+      i = (i + 1) & mask;
+    }
+    if (grave != slots_.size()) {
+      i = grave;  // recycle the tombstone
+      --tombs_;
+    }
+    slots_[i] = Slot{k, v, SlotState::kLive};
+    ++live_;
+    ++stats_.inserts;
+    return true;
+  }
+
+  bool erase(const Key& k) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(k);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == SlotState::kEmpty) return false;
+      if (s.state == SlotState::kLive && s.key == k) {
+        s.state = SlotState::kTomb;
+        s.val = Value{};
+        --live_;
+        ++tombs_;
+        ++stats_.erases;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Visit every live entry (unspecified order — hot-path helpers only).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == SlotState::kLive) fn(s.key, s.val);
+    }
+  }
+
+  // Deterministic (key-sorted) view for the stats exporter.
+  [[nodiscard]] std::vector<std::pair<Key, Value>> sorted_snapshot() const {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(live_);
+    for_each([&out](const Key& k, Value v) { out.emplace_back(k, v); });
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  // Longest contiguous run of non-empty slots — the current worst-case probe
+  // bound. O(buckets); exporter/tests only.
+  [[nodiscard]] std::size_t max_cluster() const noexcept {
+    std::size_t best = 0, run = 0;
+    // Two passes over the ring handle a cluster wrapping the array end.
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      for (const Slot& s : slots_) {
+        if (s.state == SlotState::kEmpty) {
+          best = std::max(best, run);
+          run = 0;
+        } else if (++run >= slots_.size()) {
+          return slots_.size();
+        }
+      }
+    }
+    return std::max(best, run);
+  }
+
+ private:
+  static constexpr std::size_t kMinSlots = 16;
+
+  [[nodiscard]] std::size_t index_of(const Key& k) const noexcept {
+    return static_cast<std::size_t>(
+               conn_key_hash(k.laddr, k.lport, k.faddr, k.fport)) &
+           (slots_.size() - 1);
+  }
+
+  // Grow when live entries need room; rebuild at the same size when only
+  // tombstones pushed the load factor up. Either way tombstones vanish.
+  void rebuild() {
+    const bool grow = (live_ + 1) * 2 >= slots_.size();
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(grow ? old.size() * 2 : old.size(), Slot{});
+    tombs_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.state != SlotState::kLive) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].state == SlotState::kLive) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+    if (grow) {
+      ++stats_.grows;
+    } else {
+      ++stats_.rehashes;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t tombs_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace nectar::net

@@ -26,6 +26,10 @@ using IpAddr = std::uint32_t;
 struct KernCtx {
   sim::AccountId acct = 0;
   sim::Priority prio = sim::Priority::Kernel;
+  // Transport flow the work is charged to (0 = unattributed). Single-copy
+  // drivers tag their DMA requests with it so the CAB arbiter can queue per
+  // flow; data staged before headers exist has no packet to carry the id.
+  std::uint32_t flow = 0;
 };
 
 // Per-byte and per-operation CPU costs (the §7.3 decomposition). Per-byte

@@ -35,35 +35,51 @@ IpAddr NetStack::source_addr_for(IpAddr dst) const {
 }
 
 void NetStack::tcp_bind(const ConnKey& key, TcpConnection* tp) {
-  if (tcp_conns_.contains(key))
+  if (!tcp_conns_.insert(key, tp))
     throw std::invalid_argument("netstack: tcp tuple in use");
-  tcp_conns_[key] = tp;
+  // First binding names the flow: the id rides every packet the connection
+  // sends so the CAB's DMA arbiter can queue per flow.
+  if (tp->flow_id() == 0) tp->set_flow_id(++next_flow_id_);
 }
 
 void NetStack::tcp_unbind(const ConnKey& key) { tcp_conns_.erase(key); }
 
 void NetStack::tcp_listen(IpAddr laddr, std::uint16_t lport, TcpConnection* tp) {
-  const auto key = std::make_pair(laddr, lport);
-  if (tcp_listeners_.contains(key))
-    throw std::invalid_argument("netstack: tcp listen port in use");
-  tcp_listeners_[key] = tp;
+  tcp_listeners_[std::make_pair(laddr, lport)].push_back(tp);
 }
 
-void NetStack::tcp_unlisten(IpAddr laddr, std::uint16_t lport) {
-  tcp_listeners_.erase(std::make_pair(laddr, lport));
+void NetStack::tcp_unlisten(IpAddr laddr, std::uint16_t lport, TcpConnection* tp) {
+  const auto it = tcp_listeners_.find(std::make_pair(laddr, lport));
+  if (it == tcp_listeners_.end()) return;
+  std::erase(it->second, tp);
+  if (it->second.empty()) tcp_listeners_.erase(it);
 }
 
 TcpConnection* NetStack::tcp_lookup(const ConnKey& key) const {
-  auto it = tcp_conns_.find(key);
-  return it != tcp_conns_.end() ? it->second : nullptr;
+  return tcp_conns_.find(key);
 }
 
 TcpConnection* NetStack::tcp_lookup_listen(IpAddr laddr, std::uint16_t lport) const {
   auto it = tcp_listeners_.find(std::make_pair(laddr, lport));
-  if (it != tcp_listeners_.end()) return it->second;
+  if (it != tcp_listeners_.end()) return it->second.front();
   // Wildcard listen (laddr 0).
   it = tcp_listeners_.find(std::make_pair(IpAddr{0}, lport));
-  return it != tcp_listeners_.end() ? it->second : nullptr;
+  return it != tcp_listeners_.end() ? it->second.front() : nullptr;
+}
+
+void NetStack::listen_service_register(IpAddr laddr, std::uint16_t lport) {
+  ++listen_services_[std::make_pair(laddr, lport)];
+}
+
+void NetStack::listen_service_unregister(IpAddr laddr, std::uint16_t lport) {
+  const auto it = listen_services_.find(std::make_pair(laddr, lport));
+  if (it == listen_services_.end()) return;
+  if (--it->second <= 0) listen_services_.erase(it);
+}
+
+bool NetStack::listen_service_exists(IpAddr laddr, std::uint16_t lport) const {
+  return listen_services_.contains(std::make_pair(laddr, lport)) ||
+         listen_services_.contains(std::make_pair(IpAddr{0}, lport));
 }
 
 std::uint16_t NetStack::alloc_ephemeral_port() {
@@ -71,12 +87,9 @@ std::uint16_t NetStack::alloc_ephemeral_port() {
     const std::uint16_t p = next_ephemeral_++;
     if (next_ephemeral_ < 10000) next_ephemeral_ = 10000;
     bool used = false;
-    for (const auto& [key, tp] : tcp_conns_) {
-      if (key.lport == p) {
-        used = true;
-        break;
-      }
-    }
+    tcp_conns_.for_each([&used, p](const ConnKey& key, TcpConnection*) {
+      if (key.lport == p) used = true;
+    });
     if (!used) return p;
   }
   throw std::runtime_error("netstack: ephemeral ports exhausted");
@@ -103,7 +116,17 @@ sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
         co_return;
       }
       pkt = mbuf::m_pullup(pkt, static_cast<int>(kTcpHdrLen));
-      const TcpHeader th = read_tcp_header(pkt->span());
+      // A header that does not parse (e.g. a corrupted data-offset nibble)
+      // is charged to the checksum, same as tcp_input's malformed-segment
+      // guard — it must not escape the demux as an exception.
+      TcpHeader th;
+      try {
+        th = read_tcp_header(pkt->span());
+      } catch (const std::exception&) {
+        ++stats_.bad_checksum;
+        env_.pool.free_chain(pkt);
+        co_return;
+      }
       const ConnKey key{ih.dst, th.dst_port, ih.src, th.src_port};
       TcpConnection* tp = tcp_lookup(key);
       if (tp == nullptr) tp = tcp_lookup_listen(ih.dst, th.dst_port);
@@ -127,6 +150,12 @@ sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
         }
         if (bad) {
           ++stats_.bad_checksum;
+        } else if ((th.flags & kTcpSyn) != 0 && (th.flags & kTcpAck) == 0 &&
+                   listen_service_exists(ih.dst, th.dst_port)) {
+          // A clean SYN for a live listen service whose embryonic-socket
+          // backlog is empty: the accept path is overflowing. The client's
+          // SYN retransmission recovers once the backlog is re-armed.
+          ++stats_.listen_overflows;
         } else {
           ++stats_.no_port;
         }

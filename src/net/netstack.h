@@ -5,6 +5,7 @@
 // capabilities, and policy, never by selecting a different stack.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 
 #include "mem/pin_cache.h"
 #include "mem/vm.h"
+#include "net/conn_table.h"
 #include "net/ifnet.h"
 #include "net/route.h"
 
@@ -65,13 +67,28 @@ class NetStack {
 
   // --- transport demux ------------------------------------------------------
 
+  // Full-tuple demux is an open-addressing hash table (net/conn_table.h):
+  // the per-segment lookup is O(1) and allocation-free, which is what lets
+  // one stack carry hundreds of concurrent flows.
   void tcp_bind(const ConnKey& key, TcpConnection* tp);
   void tcp_unbind(const ConnKey& key);
+  // Listen demux: a FIFO of embryonic connections per (laddr, lport) — the
+  // backlog. A SYN converts the front entry to a full-tuple binding;
+  // additional armed sockets stand behind it.
   void tcp_listen(IpAddr laddr, std::uint16_t lport, TcpConnection* tp);
-  void tcp_unlisten(IpAddr laddr, std::uint16_t lport);
+  void tcp_unlisten(IpAddr laddr, std::uint16_t lport, TcpConnection* tp);
   [[nodiscard]] TcpConnection* tcp_lookup(const ConnKey& key) const;
   [[nodiscard]] TcpConnection* tcp_lookup_listen(IpAddr laddr, std::uint16_t lport) const;
   [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+
+  // Listen-service registry (held for the lifetime of a socket::Listener):
+  // while a service is registered, a SYN that finds no armed embryonic
+  // socket means the backlog is exhausted — counted as listen_overflows and
+  // recovered by the client's SYN retransmission — rather than "no such
+  // port". Refcounted so wildcard and specific listeners compose.
+  void listen_service_register(IpAddr laddr, std::uint16_t lport);
+  void listen_service_unregister(IpAddr laddr, std::uint16_t lport);
+  [[nodiscard]] bool listen_service_exists(IpAddr laddr, std::uint16_t lport) const;
 
   // Called by Ip after reassembly: dispatch to TCP/UDP/raw. `pkt` starts at
   // the transport header. Takes ownership.
@@ -97,13 +114,21 @@ class NetStack {
     // Segments whose transport checksum failed at demux-miss time: a
     // corrupted port field would otherwise masquerade as "no such port".
     std::uint64_t bad_checksum = 0;
+    // SYNs that arrived for a registered listen service whose backlog of
+    // embryonic sockets was exhausted (recovered by SYN retransmission).
+    std::uint64_t listen_overflows = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  // Live connections for the stats exporter (key -> connection, demux order).
-  [[nodiscard]] const std::map<ConnKey, TcpConnection*>& tcp_connections()
-      const noexcept {
-    return tcp_conns_;
+  using ConnMap = ConnTable<ConnKey, TcpConnection*>;
+  // Demux-table internals (probe lengths, tombstones, ...) for the exporter.
+  [[nodiscard]] const ConnMap& tcp_demux() const noexcept { return tcp_conns_; }
+
+  // Live connections for the stats exporter, in deterministic (key-sorted)
+  // order — hash-table iteration order means nothing.
+  [[nodiscard]] std::vector<std::pair<ConnKey, TcpConnection*>> tcp_connections()
+      const {
+    return tcp_conns_.sorted_snapshot();
   }
 
  private:
@@ -112,11 +137,14 @@ class NetStack {
   std::vector<Ifnet*> ifnets_;
   std::unique_ptr<Ip> ip_;
   std::unique_ptr<Udp> udp_;
-  std::map<ConnKey, TcpConnection*> tcp_conns_;
-  std::map<std::pair<IpAddr, std::uint16_t>, TcpConnection*> tcp_listeners_;
+  ConnMap tcp_conns_;
+  std::map<std::pair<IpAddr, std::uint16_t>, std::deque<TcpConnection*>>
+      tcp_listeners_;
+  std::map<std::pair<IpAddr, std::uint16_t>, int> listen_services_;
   std::map<std::uint8_t, RawHandler> raw_handlers_;
   std::vector<std::unique_ptr<TcpConnection>> zombies_;
   std::uint16_t next_ephemeral_ = 10000;
+  std::uint32_t next_flow_id_ = 0;
   Stats stats_;
 };
 

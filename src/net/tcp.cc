@@ -61,7 +61,7 @@ void TcpConnection::teardown() {
     bound_ = false;
   }
   if (listening_) {
-    stack_.tcp_unlisten(key_.laddr, key_.lport);
+    stack_.tcp_unlisten(key_.laddr, key_.lport, this);
     listening_ = false;
   }
 }

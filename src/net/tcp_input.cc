@@ -99,7 +99,7 @@ sim::Task<void> TcpConnection::input_locked(KernCtx ctx, Mbuf* pkt,
         co_return;
       }
       // Complete the tuple and move to the full-connection demux.
-      stack_.tcp_unlisten(key_.laddr, key_.lport);
+      stack_.tcp_unlisten(key_.laddr, key_.lport, this);
       listening_ = false;
       key_.laddr = ih.dst;
       key_.faddr = ih.src;

@@ -214,6 +214,7 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
   h->append(hb);
   h->next = data;
   h->pkthdr.len = static_cast<int>(hlen + len);
+  h->pkthdr.flow = flow_id_;
 
   // Single-copy bookkeeping: when this packet's data is M_UIO, arrange for
   // the send buffer to learn the outboard location once the SDMA completes.

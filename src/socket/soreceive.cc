@@ -107,7 +107,7 @@ sim::Task<std::size_t> Socket::deliver_bytes(ProcCtx& p, KernCtx ctx,
 sim::Task<std::size_t> Socket::recv(ProcCtx& p, mem::Uio dst) {
   assert(proto_ == Proto::kTcp);
   auto& env = stack_.env();
-  KernCtx ctx{p.sys_acct, p.prio};
+  KernCtx ctx{p.sys_acct, p.prio, tp_->flow_id()};
   co_await env.cpu.run(sim::usec(stack_.costs().syscall_us), ctx.acct, ctx.prio);
   ++stats_.reads;
 

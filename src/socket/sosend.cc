@@ -115,7 +115,7 @@ sim::Task<void> Socket::append_copy(ProcCtx& p, KernCtx ctx, const mem::Uio& chu
 sim::Task<std::size_t> Socket::send(ProcCtx& p, mem::Uio data) {
   assert(proto_ == Proto::kTcp);
   auto& env = stack_.env();
-  KernCtx ctx{p.sys_acct, p.prio};
+  KernCtx ctx{p.sys_acct, p.prio, tp_->flow_id()};
   co_await env.cpu.run(sim::usec(stack_.costs().syscall_us), ctx.acct, ctx.prio);
   ++stats_.writes;
 

@@ -291,7 +291,7 @@ TEST_F(CabFixture, RecvDropsWhenMemoryExhausted) {
     std::memcpy(tx.nm().bytes(*h, 0, total).data(), pkt.data(), total);
     const Handle hh = *h;
     tx.mdma_xmit().post(
-        MdmaXmit::Request{hh, total, [&tx, hh] { tx.nm().release(hh); }});
+        MdmaXmit::Request{hh, total, 0, [&tx, hh] { tx.nm().release(hh); }});
     simu.run();  // sequential sends: the sender's buffer recycles each time
   }
   EXPECT_EQ(delivered, 2);  // 8 pages hold two 4-page packets

@@ -1,0 +1,138 @@
+// Many-flow soak: 256 concurrent flows pushed through the worst-case
+// impaired wire (loss × corrupt × dup × reorder together), plus a
+// corrupt-only cell where the end-to-end accounting identity is exact.
+// Teardown hygiene is part of the contract: after the flows quiesce, every
+// host's mbuf pool must be back to its pre-run in-use level and every CAB's
+// network memory must be fully free.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/flow_matrix.h"
+#include "core/netstat.h"
+#include "net/ip.h"
+
+namespace nectar {
+namespace {
+
+using apps::FlowMatrixConfig;
+using apps::FlowMatrixResult;
+using core::MultiTestbed;
+using core::MultiTestbedOptions;
+
+constexpr std::size_t kFlows = 256;
+
+MultiTestbedOptions soak_opts() {
+  MultiTestbedOptions mo;
+  mo.num_pairs = 8;
+  mo.arb = cab::ArbPolicy::kRoundRobin;
+  // Provision the CABs for 32 flows per pair, same reasoning as the
+  // flow_scaling bench: request slots and outboard memory scale with the
+  // multiplex, and post() refusal is a driver error, not backpressure.
+  mo.params.cab.sdma.queue_depth = 512;
+  mo.params.cab.memory_bytes = 16u << 20;
+  return mo;
+}
+
+struct SoakBaseline {
+  std::vector<std::int64_t> mbufs_in_use;
+};
+
+SoakBaseline baseline(const MultiTestbed& tb) {
+  SoakBaseline b;
+  for (const auto& h : tb.clients) b.mbufs_in_use.push_back(h->pool().in_use());
+  for (const auto& h : tb.servers) b.mbufs_in_use.push_back(h->pool().in_use());
+  return b;
+}
+
+void expect_clean_teardown(MultiTestbed& tb, const SoakBaseline& b) {
+  // Drain TIME_WAIT, delayed ACKs, zombie connections and any in-flight DMA.
+  tb.sim.run_until(tb.sim.now() + 120 * sim::kSecond);
+  std::size_t i = 0;
+  for (const auto& h : tb.clients) {
+    EXPECT_EQ(h->pool().in_use(), b.mbufs_in_use[i++]) << h->name();
+  }
+  for (const auto& h : tb.servers) {
+    EXPECT_EQ(h->pool().in_use(), b.mbufs_in_use[i++]) << h->name();
+  }
+  for (auto* cd : tb.cab_clients) {
+    EXPECT_EQ(cd->device().nm().free_bytes(), cd->device().nm().total_bytes());
+    EXPECT_GT(cd->device().nm().max_used_bytes(), 0u);  // it was actually used
+  }
+  for (auto* cd : tb.cab_servers) {
+    EXPECT_EQ(cd->device().nm().free_bytes(), cd->device().nm().total_bytes());
+  }
+}
+
+TEST(FlowSoak, TwoFiftySixFlowsSurviveTheCombinedWorstCaseWire) {
+  MultiTestbedOptions mo = soak_opts();
+  mo.loss_rate = 0.01;
+  mo.corrupt_rate = 0.01;
+  mo.dup_rate = 0.02;
+  mo.reorder_rate = 0.02;
+  mo.reorder_hold = sim::usec(200.0);
+  MultiTestbed tb(mo);
+  const SoakBaseline b = baseline(tb);
+
+  FlowMatrixConfig cfg;
+  cfg.num_flows = kFlows;
+  cfg.bytes_per_flow = 32 * 1024;
+  cfg.verify_data = true;
+  cfg.deadline = 1200 * sim::kSecond;
+  const FlowMatrixResult r = apps::run_flow_matrix(tb, cfg);
+
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.total_bytes, kFlows * cfg.bytes_per_flow);
+  std::uint64_t rexmt = 0;
+  for (const auto& f : r.flows) {
+    EXPECT_TRUE(f.completed) << "flow " << f.flow;
+    EXPECT_EQ(f.bytes, cfg.bytes_per_flow) << "flow " << f.flow;
+    EXPECT_EQ(f.data_errors, 0u) << "flow " << f.flow;
+    rexmt += f.tx_tcp.rexmt_segs;
+  }
+  // The wire really was hostile: something was lost and repaired.
+  EXPECT_GT(rexmt, 0u);
+  expect_clean_teardown(tb, b);
+}
+
+TEST(FlowSoak, CorruptionAccountingIdentityAcrossAllFlows) {
+  // Corruption is the only impairment and the wire never drops frames, so
+  // every injected flip must be detected and dropped exactly once: at an IP
+  // header check, a TCP checksum (either endpoint), or the hardened demux.
+  MultiTestbedOptions mo = soak_opts();
+  mo.corrupt_rate = 0.01;
+  MultiTestbed tb(mo);
+  const SoakBaseline b = baseline(tb);
+
+  FlowMatrixConfig cfg;
+  cfg.num_flows = kFlows;
+  cfg.bytes_per_flow = 32 * 1024;
+  cfg.verify_data = true;
+  cfg.deadline = 1200 * sim::kSecond;
+  const FlowMatrixResult r = apps::run_flow_matrix(tb, cfg);
+
+  ASSERT_TRUE(r.completed);
+  for (const auto& f : r.flows) {
+    EXPECT_EQ(f.data_errors, 0u) << "flow " << f.flow;
+  }
+
+  ASSERT_NE(tb.corrupt, nullptr);
+  EXPECT_GT(tb.corrupt->corrupted(), 0u);
+  std::uint64_t drops = 0;
+  for (std::size_t i = 0; i < tb.num_pairs(); ++i) {
+    for (core::Host* h : {tb.clients[i].get(), tb.servers[i].get()}) {
+      drops += h->stack().ip().stats().bad_checksum;
+      drops += h->stack().ip().stats().bad_header;
+      drops += h->stack().stats().bad_checksum;
+    }
+  }
+  for (const auto& f : r.flows) {
+    drops += f.tx_tcp.bad_checksum;
+    drops += f.rx_tcp.bad_checksum;
+  }
+  EXPECT_EQ(tb.corrupt->corrupted(), drops);
+  expect_clean_teardown(tb, b);
+}
+
+}  // namespace
+}  // namespace nectar
