@@ -25,14 +25,18 @@ build-release/bench/wallclock --quick --json \
     build-release/BENCH_wallclock_smoke.json
 build-release/bench/flow_scaling --quick --json \
     build-release/BENCH_flow_scaling_smoke.json
+build-release/bench/fault_recovery --quick --json \
+    build-release/BENCH_fault_recovery_smoke.json
 
-# ASan/UBSan lane over the many-flow suite: connect/close churn through the
-# demux hash table, the CAB arbitration queues and the listener backlog is
-# exactly where lifetime and aliasing bugs would hide.
+# ASan/UBSan lane over the many-flow and fault suites: connect/close churn
+# through the demux hash table, the CAB arbitration queues and the listener
+# backlog is exactly where lifetime and aliasing bugs would hide — and the
+# fault injector's reset/abort/retry paths free and re-post DMA jobs, the
+# other classic source of use-after-free.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling'
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery'
 
 echo "ci: all configs green"

@@ -47,11 +47,16 @@ class ArbQueue {
   [[nodiscard]] std::size_t flows_queued() const noexcept { return flows_.size(); }
 
   void push(R r) {
-    flows_[r.flow].push_back(Item{next_seq_++, std::move(r)});
+    const std::uint32_t flow = r.flow;
+    auto& fq = flows_[flow];
+    fq.push_back(Item{next_seq_++, std::move(r)});
     ++size_;
     ++stats_.pushes;
     stats_.max_depth = std::max(stats_.max_depth, size_);
     stats_.max_flows = std::max<std::uint64_t>(stats_.max_flows, flows_.size());
+    FlowStats& fs = flow_stats_[flow];
+    ++fs.pushes;
+    fs.max_depth = std::max<std::uint64_t>(fs.max_depth, fq.size());
   }
 
   // Remove and return the next request under the current policy. Precondition:
@@ -61,6 +66,7 @@ class ArbQueue {
     R r = std::move(it->second.front().req);
     it->second.pop_front();
     last_flow_ = it->first;
+    ++flow_stats_[it->first].pops;
     if (it->second.empty()) flows_.erase(it);
     --size_;
     ++stats_.pops;
@@ -74,6 +80,23 @@ class ArbQueue {
     std::uint64_t max_flows = 0;  // high-water of flows queued at once
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Per-flow service accounting, keyed by flow id (deterministic order).
+  // Entries persist after a flow drains so post-run stats cover every flow
+  // that ever queued here.
+  struct FlowStats {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t max_depth = 0;  // high-water of this flow's own queue
+  };
+  [[nodiscard]] const std::map<std::uint32_t, FlowStats>& flow_stats() const noexcept {
+    return flow_stats_;
+  }
+  // Requests of `flow` queued right now.
+  [[nodiscard]] std::size_t flow_depth(std::uint32_t flow) const noexcept {
+    auto it = flows_.find(flow);
+    return it == flows_.end() ? 0 : it->second.size();
+  }
 
  private:
   struct Item {
@@ -105,6 +128,7 @@ class ArbQueue {
   std::uint64_t next_seq_ = 0;
   std::uint32_t last_flow_ = 0;
   Stats stats_;
+  std::map<std::uint32_t, FlowStats> flow_stats_;
 };
 
 }  // namespace nectar::cab

@@ -45,8 +45,25 @@ class CabDevice final : public mbuf::OutboardOwner {
   void outboard_retain(std::uint32_t handle) override { nm_.retain(handle); }
   void outboard_release(std::uint32_t handle) override { nm_.release(handle); }
 
+  // --- fault injection / reset ----------------------------------------------
+
+  // Firmware stall: the on-board control program wedges and every engine
+  // stops serving requests. Ending the stall (the fault window closing)
+  // clears only the status bit the driver's watchdog reads — the engines
+  // stay wedged until the driver resets the board (CabDriver::reset).
+  void set_fw_stalled(bool s) {
+    fw_stalled_ = s;
+    if (s) {
+      sdma_.set_stalled(true);
+      mdma_xmit_.set_stalled(true);
+      mdma_recv_.set_stalled(true);
+    }
+  }
+  [[nodiscard]] bool fw_stalled() const noexcept { return fw_stalled_; }
+
  private:
   hippi::Addr addr_;
+  bool fw_stalled_ = false;
   NetworkMemory nm_;
   SdmaEngine sdma_;
   MdmaXmit mdma_xmit_;

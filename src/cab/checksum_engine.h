@@ -25,24 +25,44 @@ namespace nectar::cab {
 class ChecksumEngine {
  public:
   // Sum `data` starting at word offset `skip_words` (bytes before that are
-  // ignored). Returns the partial (unfolded) ones-complement sum.
+  // ignored). Returns the partial (unfolded) ones-complement sum. A failed
+  // unit produces a deterministically wrong sum — the summation datapath is
+  // broken, but the unit's parity check notices, so DMA requests that depend
+  // on a fresh sum report an error instead of silently shipping garbage
+  // (SdmaEngine::execute).
   std::uint32_t sum_from(std::span<const std::byte> data, std::uint16_t skip_words) {
     const std::size_t skip = static_cast<std::size_t>(skip_words) * 4;
     if (skip >= data.size()) return 0;
     bytes_summed_ += data.size() - skip;
-    return checksum::ones_sum(data.subspan(skip));
+    const std::uint32_t sum = checksum::ones_sum(data.subspan(skip));
+    if (failed_) {
+      ++bad_sums_;
+      return ~sum;
+    }
+    return sum;
   }
 
   // Combine a header seed (folded partial sum, as stored by the host in the
-  // checksum field) with a body sum and produce the finished checksum.
+  // checksum field) with a body sum and produce the finished checksum. The
+  // combine path is a separate register adder: it keeps working while the
+  // summation datapath is failed, which is what lets header-rewrite
+  // retransmissions (saved body sums) drain during degraded mode.
   static std::uint16_t finish_with_seed(std::uint16_t seed, std::uint32_t body_sum) {
     return checksum::finish(static_cast<std::uint32_t>(seed) + body_sum);
   }
 
+  // Fault injection: mark the summation datapath failed / repaired. The
+  // driver's recovery probe reads failed() as the unit's self-test result.
+  void set_failed(bool f) noexcept { failed_ = f; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
   [[nodiscard]] std::uint64_t bytes_summed() const noexcept { return bytes_summed_; }
+  [[nodiscard]] std::uint64_t bad_sums() const noexcept { return bad_sums_; }
 
  private:
   std::uint64_t bytes_summed_ = 0;
+  std::uint64_t bad_sums_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace nectar::cab

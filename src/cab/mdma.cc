@@ -11,7 +11,7 @@ void MdmaXmit::post(Request r) {
 }
 
 void MdmaXmit::kick() {
-  if (busy_ || q_.empty()) return;
+  if (busy_ || stalled_ || q_.empty()) return;
   busy_ = true;
   Request r = q_.pop();
 
@@ -20,6 +20,9 @@ void MdmaXmit::kick() {
       sim::transfer_time(static_cast<std::int64_t>(r.len), cfg_.line_rate_bps);
   stats_.busy_time += t;
 
+  const bool fail = inject_errors_ > 0;
+  if (fail) --inject_errors_;
+
   // Snapshot the bytes at transmit time (a retransmission may rewrite the
   // header while an earlier copy is still "on the wire").
   auto pkt = std::make_shared<hippi::Packet>();
@@ -27,17 +30,44 @@ void MdmaXmit::kick() {
   pkt->bytes.assign(src.begin(), src.end());
 
   auto done = std::make_shared<std::function<void()>>(std::move(r.on_complete));
-  sim_.after(t, [this, pkt, done] {
-    ++stats_.packets;
-    stats_.bytes += pkt->size();
-    fabric_->submit(std::move(*pkt));
+  const std::uint64_t epoch = epoch_;
+  sim_.after(t, [this, pkt, done, fail, epoch] {
+    if (epoch != epoch_) {
+      // Aborted mid-serialization by a reset: the frame is cut short on the
+      // wire. Unwind references; abort_all already reset engine state.
+      ++stats_.aborted;
+      if (*done) (*done)();
+      return;
+    }
+    if (fail) {
+      ++stats_.errors;
+    } else {
+      ++stats_.packets;
+      stats_.bytes += pkt->size();
+      fabric_->submit(std::move(*pkt));
+    }
     busy_ = false;
     if (*done) (*done)();
     kick();
   });
 }
 
+void MdmaXmit::abort_all() {
+  ++epoch_;
+  busy_ = false;
+  std::vector<Request> dropped;
+  while (!q_.empty()) dropped.push_back(q_.pop());
+  for (auto& r : dropped) {
+    ++stats_.aborted;
+    if (r.on_complete) r.on_complete();
+  }
+}
+
 void MdmaRecv::hippi_receive(hippi::Packet&& p) {
+  if (stalled_) {
+    ++stats_.drops_stalled;
+    return;
+  }
   const std::size_t len = p.bytes.size();
   auto h = nm_.alloc(len);
   if (!h) {
@@ -73,7 +103,15 @@ void MdmaRecv::hippi_receive(hippi::Packet&& p) {
   req.interrupt_on_done = true;
   const Handle handle = *h;
   const bool release_after = fits;
-  req.on_complete = [this, desc, handle, release_after](const SdmaRequest&) {
+  req.on_complete = [this, desc, handle, release_after](const SdmaRequest& done) {
+    if (done.failed) {
+      // The head never reached host memory; the host is never notified, so
+      // the packet is lost end-to-end. Release the outboard buffer in both
+      // cases — a residual handle with no descriptor would leak forever.
+      ++stats_.drops_autodma_failed;
+      nm_.release(handle);
+      return;
+    }
     if (release_after) nm_.release(handle);
     if (deliver_) deliver_(std::move(*desc));
   };

@@ -50,11 +50,31 @@ class MdmaXmit {
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
     sim::Duration busy_time = 0;
+    std::uint64_t errors = 0;   // injected media errors (packet never sent)
+    std::uint64_t aborted = 0;  // requests dropped by abort_all (reset)
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
   [[nodiscard]] const ArbQueue<Request>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
+
+  // --- fault injection / reset ----------------------------------------------
+
+  // Stall: stop starting transmits; an in-flight packet still serializes.
+  void set_stalled(bool s) {
+    stalled_ = s;
+    if (!s) kick();
+  }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
+  // The next `n` transmits fail at the media: completion fires (refcounts
+  // must still drop) but nothing reaches the fabric — a wire loss, from the
+  // transport's point of view.
+  void inject_errors(std::uint32_t n) noexcept { inject_errors_ += n; }
+
+  // Adaptor reset: drop everything queued and disown the in-flight transmit.
+  // Completions fire so buffer references unwind; no packet hits the wire.
+  void abort_all();
 
  private:
   void kick();
@@ -64,6 +84,9 @@ class MdmaXmit {
   hippi::Fabric* fabric_;
   MdmaConfig cfg_;
   bool busy_ = false;
+  bool stalled_ = false;
+  std::uint32_t inject_errors_ = 0;
+  std::uint64_t epoch_ = 0;
   ArbQueue<Request> q_;
   Stats stats_;
 };
@@ -92,10 +115,17 @@ class MdmaRecv final : public hippi::Endpoint {
 
   void hippi_receive(hippi::Packet&& p) override;
 
+  // Stall: a wedged receive engine cannot terminate the attachment, so
+  // arriving packets are dropped on the floor (counted) until unstalled.
+  void set_stalled(bool s) noexcept { stalled_ = s; }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
   struct Stats {
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
     std::uint64_t drops_no_memory = 0;
+    std::uint64_t drops_stalled = 0;   // engine wedged by a fault
+    std::uint64_t drops_autodma_failed = 0;  // head SDMA failed; packet lost
     std::uint64_t fully_autodma = 0;  // packets that fit in the window
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -105,6 +135,7 @@ class MdmaRecv final : public hippi::Endpoint {
   NetworkMemory& nm_;
   SdmaEngine& sdma_;
   MdmaConfig cfg_;
+  bool stalled_ = false;
   std::uint32_t autodma_words_ = 176;  // paper's value
   std::uint16_t rx_skip_words_ = 20;   // HIPPI + IP headers
   std::function<void(RecvDesc&&)> deliver_;

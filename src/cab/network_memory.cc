@@ -19,7 +19,7 @@ std::optional<Handle> NetworkMemory::alloc(std::size_t len) {
   if (len == 0) throw std::invalid_argument("NetworkMemory::alloc: zero length");
   const std::size_t npages = (len + page_size_ - 1) / page_size_;
   const std::size_t total = page_used_.size();
-  if (npages > free_pages_) {
+  if (force_exhausted_ || npages > free_pages_) {
     ++alloc_failures_;
     return std::nullopt;
   }
@@ -99,6 +99,29 @@ std::span<const std::byte> NetworkMemory::bytes(Handle h, std::size_t off,
   if (off + len > s.npages * page_size_)
     throw std::out_of_range("NetworkMemory::bytes: beyond packet buffer");
   return {store_.data() + s.first_page * page_size_ + off, len};
+}
+
+std::size_t NetworkMemory::leak_pages(std::size_t npages) {
+  std::size_t taken = 0;
+  for (std::size_t p = 0; p < page_used_.size() && taken < npages; ++p) {
+    if (page_used_[p]) continue;
+    page_used_[p] = true;
+    --free_pages_;
+    leaked_.push_back(p);
+    ++taken;
+  }
+  max_used_pages_ = std::max(max_used_pages_, page_used_.size() - free_pages_);
+  return taken;
+}
+
+std::size_t NetworkMemory::reclaim_leaked() {
+  const std::size_t n = leaked_.size();
+  for (const std::size_t p : leaked_) {
+    page_used_[p] = false;
+    ++free_pages_;
+  }
+  leaked_.clear();
+  return n;
 }
 
 std::size_t NetworkMemory::packet_len(Handle h) const { return slot(h).len; }

@@ -42,6 +42,20 @@ class NetworkMemory {
   void set_body_sum(Handle h, std::uint32_t sum);
   [[nodiscard]] std::optional<std::uint32_t> body_sum(Handle h) const;
 
+  // --- fault injection -------------------------------------------------------
+
+  // Forced exhaustion: every alloc fails (counted) until cleared, as if the
+  // free-page accounting had wedged.
+  void set_force_exhausted(bool f) noexcept { force_exhausted_ = f; }
+  [[nodiscard]] bool force_exhausted() const noexcept { return force_exhausted_; }
+
+  // Leak `npages` pages: they are marked used but belong to no packet, so
+  // only reclaim_leaked() — the adaptor reset path — gets them back. Returns
+  // how many pages were actually taken (free memory may run out first).
+  std::size_t leak_pages(std::size_t npages);
+  std::size_t reclaim_leaked();
+  [[nodiscard]] std::size_t leaked_pages() const noexcept { return leaked_.size(); }
+
   [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
   [[nodiscard]] std::size_t total_bytes() const noexcept { return store_.size(); }
   [[nodiscard]] std::size_t free_bytes() const noexcept { return free_pages_ * page_size_; }
@@ -81,6 +95,8 @@ class NetworkMemory {
   std::size_t next_fit_ = 0;  // rotating first-fit cursor
   std::size_t max_used_pages_ = 0;
   std::size_t max_live_ = 0;
+  bool force_exhausted_ = false;
+  std::vector<std::size_t> leaked_;  // page indices held by the leak fault
 };
 
 }  // namespace nectar::cab

@@ -23,7 +23,7 @@ bool SdmaEngine::post(SdmaRequest r) {
 }
 
 void SdmaEngine::kick() {
-  if (busy_ || q_.empty()) return;
+  if (busy_ || stalled_ || q_.empty()) return;
   busy_ = true;
   SdmaRequest r = q_.pop();
 
@@ -35,7 +35,18 @@ void SdmaEngine::kick() {
   stats_.busy_time += t;
 
   auto shared = std::make_shared<SdmaRequest>(std::move(r));
-  sim_.after(t, [this, shared] {
+  const std::uint64_t epoch = epoch_;
+  sim_.after(t, [this, shared, epoch] {
+    if (epoch != epoch_) {
+      // abort_all ran while this transfer was on the bus: the engine has been
+      // reinitialized, so report failure and leave busy_/queue state alone —
+      // abort_all already reset them.
+      shared->failed = true;
+      ++stats_.requests;
+      ++stats_.aborted;
+      if (shared->on_complete) shared->on_complete(*shared);
+      return;
+    }
     execute(*shared);
     busy_ = false;
     if (shared->on_complete) shared->on_complete(*shared);
@@ -43,8 +54,36 @@ void SdmaEngine::kick() {
   });
 }
 
+void SdmaEngine::abort_all() {
+  ++epoch_;  // disowns the in-flight transfer, if any
+  busy_ = false;
+  // Drain first: a failure callback may post a fresh request, which belongs
+  // to the new epoch and must not be swept up in this abort.
+  std::vector<SdmaRequest> dropped;
+  while (!q_.empty()) dropped.push_back(q_.pop());
+  for (auto& r : dropped) {
+    r.failed = true;
+    ++stats_.requests;
+    ++stats_.aborted;
+    if (r.on_complete) r.on_complete(r);
+  }
+}
+
 void SdmaEngine::execute(SdmaRequest& r) {
   ++stats_.requests;
+  if (inject_errors_ > 0) {
+    --inject_errors_;
+    r.failed = true;
+    ++stats_.errors;
+    return;
+  }
+  // A failed checksum unit aborts (parity check) any transfer that needs a
+  // fresh body sum; header rewrites only use the combine adder and proceed.
+  if (r.csum_enable && !r.header_rewrite && csum_.failed()) {
+    r.failed = true;
+    ++stats_.errors;
+    return;
+  }
   std::size_t total = 0;
   for (const auto& seg : r.segs) total += seg.bytes.size();
 

@@ -53,6 +53,10 @@ struct SdmaRequest {
   bool interrupt_on_done = false;  // paper: only the last SDMA of a write
   std::uint32_t flow = 0;          // owning transport flow (0 = unattributed)
   std::uint64_t id = 0;            // assigned by the engine
+  // Set by the engine before on_complete when the transfer did not happen:
+  // an injected transfer error, a checksum-unit parity abort, or an abort_all
+  // during adaptor reset. No bytes moved and no checksum field was written.
+  bool failed = false;
   std::function<void(const SdmaRequest&)> on_complete;
 };
 
@@ -77,15 +81,35 @@ class SdmaEngine {
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
 
   struct Stats {
-    std::uint64_t requests = 0;
+    std::uint64_t requests = 0;  // completions, failed ones included
     std::uint64_t bytes_to_cab = 0;
     std::uint64_t bytes_from_cab = 0;
     sim::Duration busy_time = 0;
+    std::uint64_t errors = 0;    // injected transfer / checksum-parity errors
+    std::uint64_t aborted = 0;   // requests failed by abort_all (reset)
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] ChecksumEngine& checksum() noexcept { return csum_; }
   [[nodiscard]] const ArbQueue<SdmaRequest>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
+
+  // --- fault injection / reset ----------------------------------------------
+
+  // Stall: the engine stops starting new requests (an in-flight transfer
+  // still completes — it was already on the bus). Unstalling kicks the queue.
+  void set_stalled(bool s) {
+    stalled_ = s;
+    if (!s) kick();
+  }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+
+  // The next `n` requests that reach the engine head fail (transfer error).
+  void inject_errors(std::uint32_t n) noexcept { inject_errors_ += n; }
+
+  // Adaptor reset: fail everything queued and disown the in-flight transfer
+  // (its completion still fires, with failed set). Network memory contents
+  // are untouched — reset reinitializes the engines, not the packet store.
+  void abort_all();
 
  private:
   void kick();
@@ -96,6 +120,9 @@ class SdmaEngine {
   SdmaConfig cfg_;
   ChecksumEngine csum_;
   bool busy_ = false;
+  bool stalled_ = false;
+  std::uint32_t inject_errors_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped by abort_all; stale completions fail
   std::uint64_t next_id_ = 1;
   ArbQueue<SdmaRequest> q_;
   Stats stats_;

@@ -148,6 +148,16 @@ Json tcp_stats_json(const net::TcpConnection::Stats& s) {
   return j;
 }
 
+Json fault_injector_json(const fault::FaultInjector& inj) {
+  Json j = Json::object();
+  j.set("injections", inj.injections());
+  j.set("active_windows", inj.active_windows());
+  Json by = Json::object();
+  for (const auto& [name, count] : inj.counters()) by.set(name, count);
+  j.set("applied", std::move(by));
+  return j;
+}
+
 Json impairments_json(const std::vector<hippi::ImpairedFabric*>& impairments) {
   Json arr = Json::array();
   for (const hippi::ImpairedFabric* f : impairments) {
@@ -213,7 +223,8 @@ Json Netstat::json() const {
             static_cast<std::uint64_t>(dev.nm().max_live_packets()));
       c.set("nm_alloc_failures", dev.nm().alloc_failures());
       // DMA arbitration: how deep the per-engine request queues ran and how
-      // many flows were backlogged at once.
+      // many flows were backlogged at once, with a per-flow breakdown
+      // (std::map keeps flow order, so the dump stays deterministic).
       const auto arb_json = [](const auto& arb) {
         Json a = Json::object();
         a.set("policy", cab::arb_policy_name(arb.policy()));
@@ -222,10 +233,65 @@ Json Netstat::json() const {
         a.set("max_depth", arb.stats().max_depth);
         a.set("max_flows", arb.stats().max_flows);
         a.set("queued_now", static_cast<std::uint64_t>(arb.size()));
+        Json flows = Json::array();
+        for (const auto& [flow, fs] : arb.flow_stats()) {
+          Json f = Json::object();
+          f.set("flow", static_cast<std::uint64_t>(flow));
+          f.set("pushes", fs.pushes);
+          f.set("pops", fs.pops);
+          f.set("max_depth", fs.max_depth);
+          f.set("queued_now", static_cast<std::uint64_t>(arb.flow_depth(flow)));
+          flows.push_back(std::move(f));
+        }
+        a.set("flows", std::move(flows));
         return a;
       };
       c.set("sdma_arb", arb_json(dev.sdma().arb()));
       c.set("mdma_tx_arb", arb_json(dev.mdma_xmit().arb()));
+      // Adaptor fault state: what injected faults did to the hardware model.
+      Json jf = Json::object();
+      jf.set("sdma_errors", sd.errors);
+      jf.set("sdma_aborted", sd.aborted);
+      jf.set("sdma_stalled", dev.sdma().stalled());
+      jf.set("mdma_tx_errors", mx.errors);
+      jf.set("mdma_tx_aborted", mx.aborted);
+      jf.set("mdma_tx_stalled", dev.mdma_xmit().stalled());
+      jf.set("mdma_rx_drops_stalled", mr.drops_stalled);
+      jf.set("mdma_rx_drops_autodma_failed", mr.drops_autodma_failed);
+      jf.set("checksum_failed", dev.sdma().checksum().failed());
+      jf.set("checksum_bad_sums", dev.sdma().checksum().bad_sums());
+      jf.set("nm_force_exhausted", dev.nm().force_exhausted());
+      jf.set("nm_leaked_pages", static_cast<std::uint64_t>(dev.nm().leaked_pages()));
+      jf.set("fw_stalled", dev.fw_stalled());
+      c.set("fault", std::move(jf));
+      // Driver recovery: watchdog, reset state machine, degraded datapath.
+      if (cab->recovery_enabled()) {
+        const auto& r = cab->rec_stats;
+        Json jr = Json::object();
+        jr.set("state", cab->resetting() ? "resetting" : "up");
+        jr.set("degraded_csum",
+               (cab->degrade_reasons() & drivers::CabDriver::kDegradeCsum) != 0);
+        jr.set("degraded_nomem",
+               (cab->degrade_reasons() & drivers::CabDriver::kDegradeNoMem) != 0);
+        jr.set("watchdog_fires", r.watchdog_fires);
+        jr.set("resets", r.resets);
+        jr.set("reset_failures", r.reset_failures);
+        jr.set("reset_completes", r.reset_completes);
+        jr.set("degrade_enter_csum", r.degrade_enter_csum);
+        jr.set("degrade_exit_csum", r.degrade_exit_csum);
+        jr.set("degrade_enter_nomem", r.degrade_enter_nomem);
+        jr.set("degrade_exit_nomem", r.degrade_exit_nomem);
+        jr.set("tx_dropped_resetting", r.tx_dropped_resetting);
+        jr.set("tx_dma_failed", r.tx_dma_failed);
+        jr.set("rx_bounced", r.rx_bounced);
+        jr.set("rx_bounce_failed", r.rx_bounce_failed);
+        jr.set("copy_in_sw_csum", r.copy_in_sw_csum);
+        jr.set("copy_in_retries", r.copy_in_retries);
+        jr.set("copyout_retries", r.copyout_retries);
+        jr.set("copyouts_failed", r.copyouts_failed);
+        jr.set("leaked_reclaimed", r.leaked_reclaimed);
+        c.set("recovery", std::move(jr));
+      }
       j.set("cab", std::move(c));
     }
     ifs.push_back(std::move(j));

@@ -9,6 +9,7 @@
 
 #include "core/host.h"
 #include "core/json.h"
+#include "fault/fault.h"
 #include "hippi/impairment.h"
 #include "net/tcp.h"
 
@@ -45,6 +46,9 @@ class Netstat {
 // One JSON object for a TCP connection's counters (shared by Netstat and the
 // ttcp-based benches, which hold Stats snapshots rather than live hosts).
 [[nodiscard]] Json tcp_stats_json(const net::TcpConnection::Stats& s);
+
+// Injection log of a FaultInjector: totals plus per-"target.kind" counts.
+[[nodiscard]] Json fault_injector_json(const fault::FaultInjector& inj);
 
 // One JSON object per impairment: {"kind": ..., <counter>: <value>, ...}.
 [[nodiscard]] Json impairments_json(

@@ -1,5 +1,8 @@
 #include "core/packet_trace.h"
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "net/headers.h"
@@ -19,6 +22,11 @@ void PacketTrace::submit(hippi::Packet&& p) {
         p.bytes.size() >= hippi::kHeaderSize + net::kIpHdrLen) {
       std::span<const std::byte> ip{p.bytes.data() + hippi::kHeaderSize,
                                     p.bytes.size() - hippi::kHeaderSize};
+      e.ip_len = ip.size();
+      if (snaplen_ > 0) {
+        const std::size_t take = std::min(snaplen_, ip.size());
+        e.captured.assign(ip.begin(), ip.begin() + static_cast<std::ptrdiff_t>(take));
+      }
       const net::IpHeader ih = net::read_ip_header(ip);
       e.proto = ih.proto;
       e.ip_id = ih.id;
@@ -74,6 +82,47 @@ std::string PacketTrace::Entry::to_string() const {
   if (fragment) os << " frag(id=" << ip_id << ")";
   os << " [" << len << "B]";
   return os.str();
+}
+
+namespace {
+// Little-endian writer for the pcap structs: the classic format has no
+// fixed byte order, and little-endian matches the 0xa1b2c3d4 magic we emit.
+void put_u16(std::ofstream& os, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  os.write(b, 2);
+}
+void put_u32(std::ofstream& os, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff),
+               static_cast<char>((v >> 24) & 0xff)};
+  os.write(b, 4);
+}
+}  // namespace
+
+bool PacketTrace::write_pcap(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;  // microsecond timestamps
+  constexpr std::uint32_t kLinktypeRaw = 101;       // packets begin at the IP header
+  put_u32(os, kMagicUsec);
+  put_u16(os, 2);  // version major
+  put_u16(os, 4);  // version minor
+  put_u32(os, 0);  // thiszone
+  put_u32(os, 0);  // sigfigs
+  put_u32(os, static_cast<std::uint32_t>(snaplen_ > 0 ? snaplen_ : 65535));
+  put_u32(os, kLinktypeRaw);
+  for (const Entry& e : log_) {
+    if (e.captured.empty()) continue;  // non-IP, or logged before enable_capture
+    const auto us = static_cast<std::uint64_t>(sim::to_usec(e.when));
+    put_u32(os, static_cast<std::uint32_t>(us / 1000000));
+    put_u32(os, static_cast<std::uint32_t>(us % 1000000));
+    put_u32(os, static_cast<std::uint32_t>(e.captured.size()));
+    put_u32(os, static_cast<std::uint32_t>(e.ip_len));
+    os.write(reinterpret_cast<const char*>(e.captured.data()),
+             static_cast<std::streamsize>(e.captured.size()));
+  }
+  os.flush();
+  return static_cast<bool>(os);
 }
 
 std::string PacketTrace::dump(std::size_t n) const {

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "hippi/framing.h"
 #include "sim/event_queue.h"
@@ -41,6 +42,8 @@ class PacketTrace final : public hippi::Fabric {
     bool fragment = false;
     std::size_t len = 0;        // frame length
     std::size_t payload = 0;    // transport payload bytes
+    std::size_t ip_len = 0;     // bytes past the HIPPI header (0 if not IP)
+    std::vector<std::byte> captured;  // first min(snaplen, ip_len) IP bytes
 
     [[nodiscard]] std::string to_string() const;
   };
@@ -52,10 +55,24 @@ class PacketTrace final : public hippi::Fabric {
   // Render the last `n` entries (0 = all retained).
   [[nodiscard]] std::string dump(std::size_t n = 0) const;
 
+  // Keep the first `snaplen` bytes of each IP datagram (HIPPI framing header
+  // stripped) so the retained entries can be exported as a pcap file.
+  void enable_capture(std::size_t snaplen = 256) { snaplen_ = snaplen; }
+  [[nodiscard]] std::size_t snaplen() const noexcept { return snaplen_; }
+
+  // Write the retained IP entries as a classic pcap file (LINKTYPE_RAW:
+  // packets start at the IP header, which tcpdump/Wireshark decode directly;
+  // the HIPPI framing header has no standard linktype and is stripped).
+  // Timestamps are sim-time in microsecond resolution. Requires
+  // enable_capture before the traffic of interest; returns false on I/O
+  // error. Entries recorded before capture was enabled are skipped.
+  bool write_pcap(const std::string& path) const;
+
  private:
   sim::Simulator& sim_;
   hippi::Fabric& inner_;
   std::size_t max_entries_;
+  std::size_t snaplen_ = 0;  // 0 = capture disabled
   std::deque<Entry> log_;
   std::size_t seen_ = 0;
 };

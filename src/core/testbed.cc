@@ -57,7 +57,7 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
                                                  opts.loss_seed);
     outer = lossy.get();
   }
-  if (!opts.partition_windows.empty()) {
+  if (!opts.partition_windows.empty() || opts.with_partition) {
     partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
     for (const auto& [start, end] : opts.partition_windows)
       partition->add_window(start, end);

@@ -39,6 +39,9 @@ struct TestbedOptions {
   std::size_t rate_limit_burst = 64 * 1024;
   // Blackhole windows [start, end) applied by a PartitionFabric.
   std::vector<std::pair<sim::Time, sim::Time>> partition_windows;
+  // Create the PartitionFabric even with no windows, so a FaultInjector can
+  // flap the link at runtime (fault::FaultKind::kLinkFlap).
+  bool with_partition = false;
   bool with_ethernet = false;
   double ether_bandwidth_bps = 10e6 / 8.0;  // classic 10 Mbit/s Ethernet
 };

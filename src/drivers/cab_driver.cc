@@ -22,6 +22,18 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
   auto& env = stack()->env();
   co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
                        ctx.prio);
+  if (recovery_enabled_) {
+    arm_watchdog();
+    if (state_ == AdaptorState::kResetting) {
+      // The board is mid-reset: drop fast, like a driver whose tx ring is
+      // torn down. The transport retransmits once the adaptor is back.
+      ++rec_stats.tx_dropped_resetting;
+      ++if_stats.oerrors;
+      unpin_uio(pkt);
+      env.pool.free_chain(pkt);
+      co_return;
+    }
+  }
 
   // Classify the data portion.
   bool has_wcab = false;
@@ -101,7 +113,18 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
   const std::size_t dstart = data_start;
   const std::uint32_t flow = m0->pkthdr.flow;
   req.on_complete = [this, dev, h, chain, total, dstart,
-                     flow](const cab::SdmaRequest&) {
+                     flow](const cab::SdmaRequest& done) {
+    if (done.failed) {
+      // Nothing went outboard: unpin the writer's pages, drop the packet
+      // (the transport retransmits), release the buffer we allocated.
+      ++rec_stats.tx_dma_failed;
+      ++if_stats.oerrors;
+      unpin_uio(chain);
+      chain->pool().free_chain(chain);
+      dev->nm().release(h);
+      note_dma_failure();
+      return;
+    }
     if (chain->pkthdr.on_outboarded) {
       mbuf::Wcab w;
       w.owner = dev;
@@ -199,7 +222,17 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   dev_.outboard_retain(h);  // keep alive through SDMA + MDMA
   Mbuf* chain = m0;
   const std::uint32_t flow = m0->pkthdr.flow;
-  req.on_complete = [dev, h, chain, total, flow](const cab::SdmaRequest&) {
+  req.on_complete = [this, dev, h, chain, total, flow](const cab::SdmaRequest& done) {
+    if (done.failed) {
+      // Header rewrite failed (reset/injected error): the outboard data is
+      // intact, so the next RTO retransmission simply tries again.
+      ++rec_stats.tx_dma_failed;
+      ++if_stats.oerrors;
+      chain->pool().free_chain(chain);  // drops the packet's own WCAB reference
+      dev->nm().release(h);             // the transmit-path retain above
+      note_dma_failure();
+      return;
+    }
     chain->pool().free_chain(chain);  // drops the packet's own WCAB reference
     cab::MdmaXmit::Request mr;
     mr.handle = h;
@@ -223,6 +256,7 @@ sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
   auto& env = stack()->env();
   co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
                        ctx.prio);
+  if (recovery_enabled_) arm_watchdog();
   if (!data.word_aligned())
     throw std::logic_error("CabDriver::copy_in: misaligned user data");
 
@@ -237,32 +271,65 @@ sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
   }
   if (!handle) throw std::runtime_error("CabDriver::copy_in: outboard memory stuck");
 
-  cab::SdmaRequest req;
-  req.dir = cab::SdmaRequest::Dir::kToCab;
-  req.handle = *handle;
-  req.cab_off = header_space;
-  req.flow = ctx.flow;
+  auto job = std::make_shared<CopyinJob>();
+  job->req.dir = cab::SdmaRequest::Dir::kToCab;
+  job->req.handle = *handle;
+  job->req.cab_off = header_space;
+  job->req.flow = ctx.flow;
   for (const auto& v : data.iov)
-    req.segs.push_back(cab::SdmaSeg{v.base, data.space->write_view(v.base, v.len)});
-  req.csum_enable = true;
-  req.body_sum_only = true;
-  req.skip_words = 0;
+    job->req.segs.push_back(
+        cab::SdmaSeg{v.base, data.space->write_view(v.base, v.len)});
+  job->req.csum_enable = true;
+  job->req.body_sum_only = true;
+  job->req.skip_words = 0;
+  job->done = std::move(done);
+  job->handle = *handle;
+  job->data_off = static_cast<std::uint32_t>(header_space);
+  job->data_len = static_cast<std::uint32_t>(len);
+  submit_copyin(std::move(job));
+}
 
-  cab::CabDevice* dev = &dev_;
-  const cab::Handle h = *handle;
-  const auto hs = static_cast<std::uint32_t>(header_space);
-  const auto dl = static_cast<std::uint32_t>(len);
-  auto cb = std::make_shared<std::function<void(mbuf::Wcab)>>(std::move(done));
-  req.on_complete = [dev, h, hs, dl, cb](const cab::SdmaRequest&) {
-    mbuf::Wcab w;
-    w.owner = dev;
-    w.handle = h;
-    w.data_off = hs;
-    w.valid = dl;
-    (*cb)(w);
+void CabDriver::submit_copyin(std::shared_ptr<CopyinJob> job) {
+  cab::SdmaRequest r = job->req;  // keep the master copy for reposting
+  r.on_complete = [this, job](const cab::SdmaRequest& done) {
+    if (!done.failed) {
+      if (!job->req.csum_enable) {
+        // The data is outboard but the engine could not sum it: compute the
+        // body sum in software from the (still pinned) host pages, so WCAB
+        // header-rewrite transmissions keep working.
+        std::uint32_t sum = 0;
+        std::size_t off = 0;
+        for (const auto& seg : job->req.segs) {
+          sum = checksum::combine(sum, checksum::ones_sum(seg.bytes), off);
+          off += seg.bytes.size();
+        }
+        dev_.nm().set_body_sum(job->handle, sum);
+        ++rec_stats.copy_in_sw_csum;
+      }
+      mbuf::Wcab w;
+      w.owner = &dev_;
+      w.handle = job->handle;
+      w.data_off = job->data_off;
+      w.valid = job->data_len;
+      job->done(w);
+      return;
+    }
+    note_dma_failure();
+    if (job->req.csum_enable && dev_.sdma().checksum().failed()) {
+      // Parity abort: restage without the engine's checksum path.
+      job->req.csum_enable = false;
+      job->req.body_sum_only = false;
+    }
+    ++rec_stats.copy_in_retries;
+    stack()->env().sim.after(rc_.dma_retry_delay,
+                             [this, job] { submit_copyin(job); });
   };
-  if (!dev_.sdma().post(std::move(req)))
-    throw std::runtime_error("CabDriver::copy_in: SDMA queue exhausted");
+  if (!dev_.sdma().post(std::move(r))) {
+    // Command queue full: space frees as the engine drains (or recovers).
+    ++rec_stats.copy_in_retries;
+    stack()->env().sim.after(rc_.dma_retry_delay,
+                             [this, job] { submit_copyin(job); });
+  }
 }
 
 void CabDriver::handle_recv(cab::RecvDesc&& desc) {
@@ -274,18 +341,57 @@ sim::Task<void> CabDriver::recv_intr(cab::RecvDesc desc) {
   auto& env = stack()->env();
   KernCtx ctx{env.intr_acct, sim::Priority::Interrupt};
   co_await env.cpu.run(sim::usec(stack()->costs().intr_us), ctx.acct, ctx.prio);
+  if (recovery_enabled_) arm_watchdog();
 
   ++if_stats.ipackets;
   if_stats.ibytes += desc.total_len;
+
+  // With a failed checksum unit the hardware sum is garbage; deliver packets
+  // as plain host data and let the transport run its software checksum.
+  const bool csum_degraded = (degraded_ & kDegradeCsum) != 0;
 
   // Wrap the auto-DMAed head (already host-resident; wrapping is free).
   Mbuf* head = env.pool.get_ext(desc.head.size(), /*pkthdr=*/true);
   head->append(std::span<const std::byte>{desc.head.data(), desc.head.size()});
   head->pkthdr.len = static_cast<int>(desc.total_len);
   head->pkthdr.rx_hw_sum = desc.hw_sum;
-  head->pkthdr.rx_hw_sum_valid = true;
+  head->pkthdr.rx_hw_sum_valid = !csum_degraded;
 
-  if (desc.handle) {
+  if (desc.handle && csum_degraded) {
+    // Degraded mode caught a packet with outboard residue (arrived before the
+    // autodma window grew): bounce the residue into host memory so the
+    // software checksum can read the whole packet, then drop the outboard
+    // buffer. This is the host bounce-buffer path of the paper's baseline.
+    const std::size_t resid_len = desc.total_len - desc.head.size();
+    std::vector<std::byte> resid(resid_len);
+    cab::SdmaRequest req;
+    req.dir = cab::SdmaRequest::Dir::kFromCab;
+    req.handle = *desc.handle;
+    req.cab_off = desc.head.size();
+    req.segs.push_back(cab::SdmaSeg{0, std::span<std::byte>(resid)});
+    bool failed = false;
+    mbuf::DmaSync bounce_sync(env.sim);
+    bounce_sync.add();
+    req.on_complete = [&failed, &bounce_sync](const cab::SdmaRequest& done) {
+      failed = done.failed;
+      bounce_sync.done();
+    };
+    if (!dev_.sdma().post(std::move(req)))
+      failed = true;
+    else
+      co_await bounce_sync.drain();
+    dev_.nm().release(*desc.handle);
+    if (failed) {
+      ++rec_stats.rx_bounce_failed;
+      env.pool.free_chain(head);
+      co_return;
+    }
+    ++rec_stats.rx_bounced;
+    ++drv_stats.rx_small;  // delivered fully host-resident
+    Mbuf* rm = env.pool.get_ext(resid.size(), /*pkthdr=*/false);
+    rm->append(std::span<const std::byte>{resid.data(), resid.size()});
+    head->next = rm;
+  } else if (desc.handle) {
     ++drv_stats.rx_wcab;
     mbuf::Wcab w;
     w.owner = &dev_;
@@ -316,28 +422,25 @@ sim::Task<void> CabDriver::copy_out(KernCtx ctx, const mbuf::Wcab& w,
   auto& env = stack()->env();
   co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
                        ctx.prio);
+  if (recovery_enabled_) arm_watchdog();
   ++drv_stats.copyouts;
 
-  cab::SdmaRequest req;
-  req.dir = cab::SdmaRequest::Dir::kFromCab;
-  req.handle = w.handle;
-  req.cab_off = w.data_off + wcab_off;
-  req.flow = ctx.flow;
+  auto job = std::make_shared<CopyJob>();
+  job->req.dir = cab::SdmaRequest::Dir::kFromCab;
+  job->req.handle = w.handle;
+  job->req.cab_off = w.data_off + wcab_off;
+  job->req.flow = ctx.flow;
   for (const auto& v : dst.iov) {
-    req.segs.push_back(cab::SdmaSeg{v.base, dst.space->write_view(v.base, v.len)});
+    job->req.segs.push_back(
+        cab::SdmaSeg{v.base, dst.space->write_view(v.base, v.len)});
   }
   // Keep the outboard buffer alive until the DMA executes — the caller is
   // free to drop its mbuf reference immediately.
   dev_.outboard_retain(w.handle);
-  cab::CabDevice* dev = &dev_;
-  const cab::Handle h = w.handle;
+  job->handle = w.handle;
+  job->sync = sync;
   if (sync != nullptr) sync->add();
-  req.on_complete = [sync, dev, h](const cab::SdmaRequest&) {
-    dev->outboard_release(h);
-    if (sync != nullptr) sync->done();
-  };
-  if (!dev_.sdma().post(std::move(req)))
-    throw std::runtime_error("CabDriver: SDMA queue exhausted on copy_out");
+  submit_copyout(std::move(job));
 }
 
 sim::Task<void> CabDriver::copy_out_raw(KernCtx ctx, const mbuf::Wcab& w,
@@ -346,24 +449,228 @@ sim::Task<void> CabDriver::copy_out_raw(KernCtx ctx, const mbuf::Wcab& w,
   auto& env = stack()->env();
   co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
                        ctx.prio);
+  if (recovery_enabled_) arm_watchdog();
   ++drv_stats.copyouts;
 
-  cab::SdmaRequest req;
-  req.dir = cab::SdmaRequest::Dir::kFromCab;
-  req.handle = w.handle;
-  req.cab_off = w.data_off + wcab_off;
-  req.flow = ctx.flow;
-  req.segs.push_back(cab::SdmaSeg{0, dst});
+  auto job = std::make_shared<CopyJob>();
+  job->req.dir = cab::SdmaRequest::Dir::kFromCab;
+  job->req.handle = w.handle;
+  job->req.cab_off = w.data_off + wcab_off;
+  job->req.flow = ctx.flow;
+  job->req.segs.push_back(cab::SdmaSeg{0, dst});
   dev_.outboard_retain(w.handle);
-  cab::CabDevice* dev = &dev_;
-  const cab::Handle h = w.handle;
+  job->handle = w.handle;
+  job->sync = sync;
   if (sync != nullptr) sync->add();
-  req.on_complete = [sync, dev, h](const cab::SdmaRequest&) {
-    dev->outboard_release(h);
-    if (sync != nullptr) sync->done();
+  submit_copyout(std::move(job));
+}
+
+// --- fault recovery & graceful degradation ----------------------------------
+
+void CabDriver::unpin_uio(Mbuf* chain) {
+  for (Mbuf* m = chain; m != nullptr; m = m->next) {
+    if (m->type() == mbuf::MbufType::kUio && m->uw_hdr().sync != nullptr)
+      m->uw_hdr().sync->done(m->len());
+  }
+}
+
+void CabDriver::enable_recovery(const RecoveryConfig& rc) {
+  rc_ = rc;
+  recovery_enabled_ = true;
+  healthy_caps_ = caps();
+  healthy_autodma_words_ = dev_.mdma_recv().autodma_words();
+  wd_last_alloc_failures_ = dev_.nm().alloc_failures();
+  arm_watchdog();
+}
+
+void CabDriver::notify_fault() {
+  if (!recovery_enabled_) return;
+  check_health();
+  arm_watchdog();
+}
+
+void CabDriver::arm_watchdog() {
+  if (!recovery_enabled_ || wd_armed_ || state_ == AdaptorState::kResetting)
+    return;
+  wd_armed_ = true;
+  wd_timer_ = stack()->env().sim.timer_after(rc_.watchdog_period,
+                                             [this] { watchdog_fire(); });
+}
+
+void CabDriver::watchdog_fire() {
+  wd_armed_ = false;
+  ++rec_stats.watchdog_fires;
+  if (state_ == AdaptorState::kResetting) return;  // the reset timer owns this
+
+  // Status-register read: a stalled control program needs a board reset.
+  if (dev_.fw_stalled()) {
+    start_reset();
+    return;
+  }
+
+  // No-progress check: an engine with queued work whose completion counters
+  // did not move over a whole period is wedged even if the status looks fine.
+  const auto& ss = dev_.sdma().stats();
+  const auto& ms = dev_.mdma_xmit().stats();
+  const std::uint64_t mdma_done = ms.packets + ms.errors + ms.aborted;
+  const bool sdma_busy = !dev_.sdma().idle();
+  const bool mdma_busy = !dev_.mdma_xmit().idle();
+  if (wd_progress_valid_ && ((sdma_busy && ss.requests == wd_last_sdma_reqs_) ||
+                             (mdma_busy && mdma_done == wd_last_mdma_pkts_))) {
+    start_reset();
+    return;
+  }
+  wd_last_sdma_reqs_ = ss.requests;
+  wd_last_mdma_pkts_ = mdma_done;
+  wd_progress_valid_ = sdma_busy || mdma_busy;
+
+  // Memory-pressure heuristic: allocation failures with most of the pool gone
+  // and no exhaustion fault asserted smells like a firmware buffer leak; a
+  // reset reclaims whatever no live packet owns.
+  const std::uint64_t af = dev_.nm().alloc_failures();
+  if (af > wd_last_alloc_failures_ && !dev_.nm().force_exhausted() &&
+      dev_.nm().free_bytes() * 8 < dev_.nm().total_bytes()) {
+    wd_last_alloc_failures_ = af;
+    start_reset();
+    return;
+  }
+  wd_last_alloc_failures_ = af;
+
+  check_health();
+
+  // Stay armed while anything needs watching; otherwise self-disarm so an
+  // idle simulation can drain its event queue.
+  if (degraded_ != 0 || sdma_busy || mdma_busy ||
+      dev_.nm().force_exhausted() || dev_.sdma().checksum().failed())
+    arm_watchdog();
+}
+
+void CabDriver::check_health() {
+  if (!recovery_enabled_ || state_ == AdaptorState::kResetting) return;
+  if (dev_.fw_stalled()) {
+    start_reset();
+    return;
+  }
+  if (dev_.sdma().checksum().failed())
+    enter_degraded(kDegradeCsum);
+  else
+    exit_degraded(kDegradeCsum);
+  if (dev_.nm().force_exhausted())
+    enter_degraded(kDegradeNoMem);
+  else
+    exit_degraded(kDegradeNoMem);
+}
+
+void CabDriver::start_reset() {
+  if (state_ == AdaptorState::kResetting) return;
+  state_ = AdaptorState::kResetting;
+  reset_attempts_ = 0;
+  wd_timer_.cancel();
+  wd_armed_ = false;
+  ++rec_stats.resets;
+  // Quiesce, then fail out everything in flight. Network memory contents and
+  // refcounts survive — a reset reinitializes the engines, not the packet
+  // store — so outboard WCAB data stays valid for retransmission.
+  dev_.sdma().set_stalled(true);
+  dev_.mdma_xmit().set_stalled(true);
+  dev_.mdma_recv().set_stalled(true);
+  dev_.sdma().abort_all();
+  dev_.mdma_xmit().abort_all();
+  stack()->env().sim.after(rc_.reset_duration, [this] { finish_reset(); });
+}
+
+void CabDriver::finish_reset() {
+  if (dev_.fw_stalled()) {
+    // The board did not come back: retry with exponential backoff, bounded at
+    // the cap (so a long outage retries steadily instead of ever-slower).
+    ++rec_stats.reset_failures;
+    ++reset_attempts_;
+    sim::Duration backoff = rc_.backoff_initial;
+    for (int i = 1; i < reset_attempts_ && backoff < rc_.backoff_cap; ++i)
+      backoff *= 2;
+    if (backoff > rc_.backoff_cap) backoff = rc_.backoff_cap;
+    ++rec_stats.resets;
+    stack()->env().sim.after(backoff, [this] {
+      dev_.sdma().abort_all();
+      dev_.mdma_xmit().abort_all();
+      stack()->env().sim.after(rc_.reset_duration, [this] { finish_reset(); });
+    });
+    return;
+  }
+  // Board is back: unwedge the engines, reclaim leaked pages, re-evaluate
+  // degraded modes (a persistent checksum/memory fault keeps us degraded).
+  dev_.sdma().set_stalled(false);
+  dev_.mdma_xmit().set_stalled(false);
+  dev_.mdma_recv().set_stalled(false);
+  rec_stats.leaked_reclaimed += dev_.nm().reclaim_leaked();
+  state_ = AdaptorState::kUp;
+  reset_attempts_ = 0;
+  ++rec_stats.reset_completes;
+  check_health();
+  arm_watchdog();
+}
+
+void CabDriver::enter_degraded(unsigned reason) {
+  if ((degraded_ & reason) != 0) return;
+  degraded_ |= reason;
+  if ((reason & kDegradeCsum) != 0) {
+    ++rec_stats.degrade_enter_csum;
+    // Grow the autodma window past the MTU: packets arrive fully
+    // host-resident, so the software checksum (and the application) never
+    // needs outboard reads.
+    healthy_autodma_words_ = dev_.mdma_recv().autodma_words();
+    dev_.mdma_recv().set_autodma_words(
+        static_cast<std::uint32_t>(rc_.degraded_autodma_bytes / 4));
+  }
+  if ((reason & kDegradeNoMem) != 0) ++rec_stats.degrade_enter_nomem;
+  apply_caps();
+}
+
+void CabDriver::exit_degraded(unsigned reason) {
+  if ((degraded_ & reason) == 0) return;
+  degraded_ &= ~reason;
+  if ((reason & kDegradeCsum) != 0) {
+    ++rec_stats.degrade_exit_csum;
+    dev_.mdma_recv().set_autodma_words(healthy_autodma_words_);
+  }
+  if ((reason & kDegradeNoMem) != 0) ++rec_stats.degrade_exit_nomem;
+  apply_caps();
+}
+
+void CabDriver::apply_caps() {
+  unsigned c = healthy_caps_;
+  // Either degradation routes new writes through the host bounce path: no
+  // new pinned user pages, and checksums move to the software loop.
+  if (degraded_ != 0) c &= ~(net::kCapSingleCopy | net::kCapHwChecksum);
+  set_caps(c);
+}
+
+void CabDriver::submit_copyout(std::shared_ptr<CopyJob> job) {
+  cab::SdmaRequest r = job->req;  // keep the master copy for reposting
+  r.on_complete = [this, job](const cab::SdmaRequest& done) {
+    if (!done.failed) {
+      dev_.outboard_release(job->handle);
+      if (job->sync != nullptr) job->sync->done();
+      return;
+    }
+    note_dma_failure();
+    retry_copyout(job);
   };
-  if (!dev_.sdma().post(std::move(req)))
-    throw std::runtime_error("CabDriver: SDMA queue exhausted on copy_out_raw");
+  if (!dev_.sdma().post(std::move(r))) retry_copyout(job);
+}
+
+void CabDriver::retry_copyout(std::shared_ptr<CopyJob> job) {
+  if (++job->attempts > rc_.dma_retry_limit) {
+    // Give up loudly: the reader's wait must not hang forever, but the bytes
+    // never arrived — the counter is the alarm.
+    ++rec_stats.copyouts_failed;
+    dev_.outboard_release(job->handle);
+    if (job->sync != nullptr) job->sync->done();
+    return;
+  }
+  ++rec_stats.copyout_retries;
+  stack()->env().sim.after(rc_.dma_retry_delay,
+                           [this, job] { submit_copyout(job); });
 }
 
 }  // namespace nectar::drivers

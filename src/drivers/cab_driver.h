@@ -19,6 +19,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "cab/cab_device.h"
@@ -26,6 +27,20 @@
 #include "net/netstack.h"
 
 namespace nectar::drivers {
+
+// Recovery tuning: how the driver watches the adaptor and how hard it tries
+// to bring it back (all deterministic — no wall clock, no randomness).
+struct RecoveryConfig {
+  sim::Duration watchdog_period = sim::msec(10);
+  sim::Duration reset_duration = sim::msec(5);    // board reinit time
+  sim::Duration backoff_initial = sim::msec(10);  // first retry after a failed reset
+  sim::Duration backoff_cap = sim::msec(160);     // exponential backoff ceiling
+  sim::Duration dma_retry_delay = sim::usec(500); // copy-in/out repost spacing
+  int dma_retry_limit = 20000;                    // per copy-out job
+  // Degraded receive window: autodma covers this many bytes so packets arrive
+  // fully host-resident and the software checksum can read them.
+  std::size_t degraded_autodma_bytes = 64 * 1024;
+};
 
 class CabDriver final : public net::Ifnet {
  public:
@@ -75,6 +90,51 @@ class CabDriver final : public net::Ifnet {
   };
   DrvStats drv_stats;
 
+  // --- fault recovery & graceful degradation --------------------------------
+  //
+  // Opt-in (enable_recovery): a watchdog probes adaptor health, a reset state
+  // machine un-wedges a stalled board with bounded exponential backoff, and
+  // degraded modes reroute traffic to the host bounce path (copy + software
+  // checksum — the paper's host-checksum baseline as a live failover) while
+  // the checksum unit or network memory is unusable.
+
+  enum class AdaptorState { kUp, kResetting };
+  enum DegradeReason : unsigned {
+    kDegradeCsum = 0x1,   // checksum unit failed: sw checksum, rx bounce
+    kDegradeNoMem = 0x2,  // outboard memory unusable: stop pinning user data
+  };
+
+  struct RecoveryStats {
+    std::uint64_t watchdog_fires = 0;
+    std::uint64_t resets = 0;            // reset attempts started
+    std::uint64_t reset_failures = 0;    // board still wedged after a reset
+    std::uint64_t reset_completes = 0;
+    std::uint64_t degrade_enter_csum = 0;
+    std::uint64_t degrade_exit_csum = 0;
+    std::uint64_t degrade_enter_nomem = 0;
+    std::uint64_t degrade_exit_nomem = 0;
+    std::uint64_t tx_dropped_resetting = 0;  // output() during a reset
+    std::uint64_t tx_dma_failed = 0;         // fresh/rewrite SDMA failures
+    std::uint64_t rx_bounced = 0;            // residue bounced to host memory
+    std::uint64_t rx_bounce_failed = 0;      // bounce DMA failed; packet lost
+    std::uint64_t copy_in_sw_csum = 0;       // staged with a software body sum
+    std::uint64_t copy_in_retries = 0;
+    std::uint64_t copyout_retries = 0;
+    std::uint64_t copyouts_failed = 0;       // gave up; bytes never arrived
+    std::uint64_t leaked_reclaimed = 0;      // pages recovered by reset
+  };
+  RecoveryStats rec_stats;
+
+  void enable_recovery(const RecoveryConfig& rc = {});
+  [[nodiscard]] bool recovery_enabled() const noexcept { return recovery_enabled_; }
+  [[nodiscard]] bool resetting() const noexcept {
+    return state_ == AdaptorState::kResetting;
+  }
+  [[nodiscard]] unsigned degrade_reasons() const noexcept { return degraded_; }
+  // The error interrupt: fault hardware (or the injector standing in for it)
+  // notifies the driver that something is wrong; the driver probes and reacts.
+  void notify_fault();
+
  private:
   void handle_recv(cab::RecvDesc&& desc);
   sim::Task<void> recv_intr(cab::RecvDesc desc);
@@ -82,8 +142,60 @@ class CabDriver final : public net::Ifnet {
   sim::Task<void> output_rewrite(net::KernCtx ctx, mbuf::Mbuf* pkt,
                                  net::IpAddr next_hop);
 
+  // Recovery internals.
+  void arm_watchdog();
+  void watchdog_fire();
+  void check_health();
+  void start_reset();
+  void finish_reset();
+  void enter_degraded(unsigned reason);
+  void exit_degraded(unsigned reason);
+  void apply_caps();
+  void note_dma_failure() {
+    if (recovery_enabled_) check_health();
+  }
+  // Unpin any M_UIO data in `chain` so a writer blocked on its DmaSync drain
+  // wakes up even though the data never went outboard.
+  static void unpin_uio(mbuf::Mbuf* chain);
+  // Failure-retrying copy-out submission (shared by copy_out/copy_out_raw).
+  struct CopyJob {
+    cab::SdmaRequest req;
+    mbuf::DmaSync* sync = nullptr;
+    cab::Handle handle = 0;
+    int attempts = 0;
+  };
+  void submit_copyout(std::shared_ptr<CopyJob> job);
+  void retry_copyout(std::shared_ptr<CopyJob> job);
+  // Failure-retrying copy-in submission, with software-body-sum fallback when
+  // the checksum unit is down.
+  struct CopyinJob {
+    cab::SdmaRequest req;
+    std::function<void(mbuf::Wcab)> done;
+    cab::Handle handle = 0;
+    std::uint32_t data_off = 0;
+    std::uint32_t data_len = 0;
+    int attempts = 0;
+  };
+  void submit_copyin(std::shared_ptr<CopyinJob> job);
+
   cab::CabDevice& dev_;
   std::unordered_map<net::IpAddr, hippi::Addr> neighbors_;
+
+  // Recovery state.
+  bool recovery_enabled_ = false;
+  RecoveryConfig rc_;
+  AdaptorState state_ = AdaptorState::kUp;
+  unsigned degraded_ = 0;          // DegradeReason bitmask
+  unsigned healthy_caps_ = 0;
+  std::uint32_t healthy_autodma_words_ = 0;
+  int reset_attempts_ = 0;         // consecutive failures this outage
+  bool wd_armed_ = false;
+  sim::TimerHandle wd_timer_;
+  // No-progress detection: engine counters at the previous watchdog fire.
+  std::uint64_t wd_last_sdma_reqs_ = 0;
+  std::uint64_t wd_last_mdma_pkts_ = 0;
+  std::uint64_t wd_last_alloc_failures_ = 0;
+  bool wd_progress_valid_ = false;
 };
 
 }  // namespace nectar::drivers

@@ -1,0 +1,157 @@
+#include "fault/fault.h"
+
+#include <stdexcept>
+
+namespace nectar::fault {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kSdmaError: return "sdma_error";
+    case FaultKind::kSdmaStall: return "sdma_stall";
+    case FaultKind::kMdmaError: return "mdma_error";
+    case FaultKind::kMdmaStall: return "mdma_stall";
+    case FaultKind::kChecksumFail: return "checksum_fail";
+    case FaultKind::kNetmemExhaust: return "netmem_exhaust";
+    case FaultKind::kNetmemLeak: return "netmem_leak";
+    case FaultKind::kFirmwareStall: return "firmware_stall";
+    case FaultKind::kLinkFlap: return "link_flap";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::is_window_kind(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kSdmaStall:
+    case FaultKind::kMdmaStall:
+    case FaultKind::kChecksumFail:
+    case FaultKind::kNetmemExhaust:
+    case FaultKind::kFirmwareStall:
+    case FaultKind::kLinkFlap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void FaultInjector::validate(const FaultSpec& s) const {
+  if (s.kind == FaultKind::kLinkFlap) {
+    if (links_.find(s.target) == links_.end())
+      throw std::invalid_argument("fault: unknown link target '" + s.target + "'");
+  } else if (adaptors_.find(s.target) == adaptors_.end()) {
+    throw std::invalid_argument("fault: unknown adaptor target '" + s.target + "'");
+  }
+  if (is_window_kind(s.kind) && s.duration <= 0)
+    throw std::invalid_argument(std::string("fault: window kind '") +
+                                fault_kind_name(s.kind) + "' needs duration > 0");
+  if (s.kind == FaultKind::kNetmemLeak && s.leak_pages == 0)
+    throw std::invalid_argument("fault: netmem_leak needs leak_pages > 0");
+  if (s.repeats > 0 && s.period <= 0)
+    throw std::invalid_argument("fault: recurring fault needs period > 0");
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const auto& s : plan.faults) validate(s);
+  // One rng for the whole plan, consumed in a fixed order (spec-major,
+  // occurrence-minor): identical seed + plan => identical schedule.
+  hippi::ImpairmentRng rng(plan.seed);
+  const sim::Time now = sim_.now();
+  for (const auto& s : plan.faults) {
+    for (std::uint32_t k = 0; k <= s.repeats; ++k) {
+      sim::Time t = s.at + static_cast<sim::Duration>(k) * s.period;
+      if (k > 0 && s.jitter > 0.0) {
+        const auto span = static_cast<std::uint64_t>(s.jitter * static_cast<double>(s.period));
+        if (span > 0) t += static_cast<sim::Duration>(rng.below(span));
+      }
+      if (t < now) t = now;
+      // Copy the spec into the event: the plan may not outlive arming.
+      sim_.at(t, [this, s] { apply(s); });
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultSpec& s) {
+  ++injections_;
+  ++applied_[s.target + "." + fault_kind_name(s.kind)];
+
+  if (s.kind == FaultKind::kLinkFlap) {
+    hippi::PartitionFabric* link = links_.at(s.target);
+    link->set_down(true);
+    ++active_;
+    sim_.after(s.duration, [this, s] { end_window(s); });
+    return;
+  }
+
+  drivers::CabDriver* drv = adaptors_.at(s.target);
+  cab::CabDevice& dev = drv->device();
+  switch (s.kind) {
+    case FaultKind::kSdmaError:
+      dev.sdma().inject_errors(s.count);
+      break;
+    case FaultKind::kSdmaStall:
+      dev.sdma().set_stalled(true);
+      break;
+    case FaultKind::kMdmaError:
+      dev.mdma_xmit().inject_errors(s.count);
+      break;
+    case FaultKind::kMdmaStall:
+      dev.mdma_xmit().set_stalled(true);
+      break;
+    case FaultKind::kChecksumFail:
+      dev.sdma().checksum().set_failed(true);
+      break;
+    case FaultKind::kNetmemExhaust:
+      dev.nm().set_force_exhausted(true);
+      break;
+    case FaultKind::kNetmemLeak:
+      dev.nm().leak_pages(s.leak_pages);
+      break;
+    case FaultKind::kFirmwareStall:
+      dev.set_fw_stalled(true);
+      break;
+    case FaultKind::kLinkFlap:
+      break;  // handled above
+  }
+  if (is_window_kind(s.kind)) {
+    ++active_;
+    sim_.after(s.duration, [this, s] { end_window(s); });
+  }
+  // The error interrupt: the board reports trouble even when the host is
+  // idle; without it a disarmed watchdog would never notice a quiet fault.
+  drv->notify_fault();
+}
+
+void FaultInjector::end_window(const FaultSpec& s) {
+  --active_;
+  if (s.kind == FaultKind::kLinkFlap) {
+    links_.at(s.target)->set_down(false);
+    return;
+  }
+  drivers::CabDriver* drv = adaptors_.at(s.target);
+  cab::CabDevice& dev = drv->device();
+  switch (s.kind) {
+    case FaultKind::kSdmaStall:
+      dev.sdma().set_stalled(false);
+      break;
+    case FaultKind::kMdmaStall:
+      dev.mdma_xmit().set_stalled(false);
+      break;
+    case FaultKind::kChecksumFail:
+      dev.sdma().checksum().set_failed(false);
+      break;
+    case FaultKind::kNetmemExhaust:
+      dev.nm().set_force_exhausted(false);
+      break;
+    case FaultKind::kFirmwareStall:
+      // Clears the stall condition only: the engines it wedged stay wedged
+      // until the driver's reset brings the board back up (§ recovery).
+      dev.set_fw_stalled(false);
+      break;
+    default:
+      break;
+  }
+  // Recovery probes on the way out too, so degraded modes exit at a
+  // deterministic time instead of waiting for the next watchdog tick.
+  drv->notify_fault();
+}
+
+}  // namespace nectar::fault

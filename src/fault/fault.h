@@ -1,0 +1,107 @@
+// Adaptor fault injection: seeded, scheduleable faults against named
+// components, with the driver's recovery machinery as the system under test.
+//
+// The wire impairments (hippi/impairment.h) model a hostile *network*; this
+// subsystem models a failing *adaptor*: DMA engines that error or stall, a
+// checksum unit whose summation datapath breaks, network memory that runs
+// out or leaks, a firmware stall that wedges the whole board until the
+// driver resets it, and — reusing PartitionFabric — link flaps.
+//
+// A FaultPlan is a list of FaultSpecs plus a seed. Arming the plan schedules
+// every injection as ordinary simulator events; the same seed and plan
+// always produce the same injection times and therefore (the simulator being
+// deterministic) the same fault.* / recovery.* counters and goodput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "drivers/cab_driver.h"
+#include "hippi/impairment.h"
+
+namespace nectar::fault {
+
+enum class FaultKind {
+  kSdmaError,      // next `count` SDMA requests fail (transfer error)
+  kSdmaStall,      // SDMA engine serves nothing for `duration`
+  kMdmaError,      // next `count` media transmits fail (wire loss)
+  kMdmaStall,      // MDMA transmit engine stalls for `duration`
+  kChecksumFail,   // checksum summation datapath broken for `duration`
+  kNetmemExhaust,  // every outboard allocation fails for `duration`
+  kNetmemLeak,     // `leak_pages` pages vanish until a driver reset
+  kFirmwareStall,  // whole board wedges; clearing needs a driver reset
+  kLinkFlap,       // link target: blackhole for `duration`
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k) noexcept;
+
+// One fault, addressed to a registered component by name. `at` is the first
+// injection; `period`/`repeats` make it recurring; `jitter` (fraction of
+// period) perturbs recurrences with the plan's seeded rng — deterministically.
+struct FaultSpec {
+  std::string target;
+  FaultKind kind = FaultKind::kSdmaError;
+  sim::Time at = 0;
+  sim::Duration duration = 0;    // window kinds: how long the fault holds
+  std::uint32_t count = 1;       // error kinds: how many requests fail
+  std::size_t leak_pages = 0;    // kNetmemLeak
+  sim::Duration period = 0;      // 0 = one-shot
+  std::uint32_t repeats = 0;     // recurrences after the first injection
+  double jitter = 0.0;           // in [0,1): fraction of period
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+
+  FaultPlan& add(FaultSpec s) {
+    faults.push_back(std::move(s));
+    return *this;
+  }
+};
+
+// Applies a FaultPlan to registered components. Adaptor faults poke the CAB
+// hardware model and then raise the driver's error interrupt (notify_fault)
+// so recovery reacts at a deterministic time; link faults toggle a
+// PartitionFabric and are the transport's problem.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulator& sim) : sim_(sim) {}
+
+  void register_adaptor(std::string name, drivers::CabDriver& drv) {
+    adaptors_[std::move(name)] = &drv;
+  }
+  void register_link(std::string name, hippi::PartitionFabric& link) {
+    links_[std::move(name)] = &link;
+  }
+
+  // Schedule every injection in the plan. Unknown targets throw immediately
+  // (a misaddressed fault that silently does nothing would make a scenario
+  // vacuously pass). Window kinds require duration > 0.
+  void arm(const FaultPlan& plan);
+
+  // "target.kind" -> times applied, in deterministic (sorted) order.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return applied_;
+  }
+  [[nodiscard]] std::uint64_t injections() const noexcept { return injections_; }
+  // Injections whose window has not ended yet (gauge).
+  [[nodiscard]] std::uint64_t active_windows() const noexcept { return active_; }
+
+ private:
+  void validate(const FaultSpec& s) const;
+  void apply(const FaultSpec& s);
+  void end_window(const FaultSpec& s);
+  [[nodiscard]] static bool is_window_kind(FaultKind k) noexcept;
+
+  sim::Simulator& sim_;
+  std::map<std::string, drivers::CabDriver*> adaptors_;
+  std::map<std::string, hippi::PartitionFabric*> links_;
+  std::map<std::string, std::uint64_t> applied_;
+  std::uint64_t injections_ = 0;
+  std::uint64_t active_ = 0;
+};
+
+}  // namespace nectar::fault

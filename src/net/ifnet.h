@@ -132,6 +132,12 @@ class Ifnet {
  protected:
   NetStack* stack_ = nullptr;
 
+  // Drivers may change capabilities at runtime (graceful degradation: a CAB
+  // with a failed checksum unit or exhausted network memory drops back to the
+  // host bounce path). Protocol code re-checks caps() per write / per
+  // segment, so a change takes effect on the next packet.
+  void set_caps(unsigned caps) noexcept { caps_ = caps; }
+
  private:
   std::string name_;
   IpAddr addr_;

@@ -52,8 +52,12 @@ sim::Task<void> TcpConnection::output(KernCtx ctx) {
       // never coalesces separate writes' descriptors (§7.1): descriptor
       // segments are cut at mbuf boundaries (one UIO descriptor == one
       // write chunk; one WCAB mbuf == one outboard packet, which header-
-      // rewrite retransmission requires).
-      if (len > 0 && route_if_->single_copy()) {
+      // rewrite retransmission requires). The cut is applied whenever the
+      // buffer holds data, not only while the route reports single-copy:
+      // graceful degradation can drop the capability while descriptors
+      // staged earlier still sit in the send buffer, and those keep their
+      // packet boundaries no matter what the interface says today.
+      if (len > 0) {
         len = sb.homogeneous_run(nxt_pos, len);
         const auto t = sb.type_at(nxt_pos);
         if (t == mbuf::MbufType::kUio) {
@@ -163,10 +167,15 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
   const std::size_t hlen = kTcpHdrLen + tcp_options_len(th);
   const auto seg_len = static_cast<std::uint16_t>(hlen + len);
 
+  // Descriptor data always travels the hw path: the host cannot read outboard
+  // bytes to checksum them. That holds even if the interface has dropped
+  // kCapHwChecksum since the data was pinned (degraded mode) — WCAB
+  // retransmits use the saved body sum through the engine's combine adder,
+  // which keeps working, and UIO segments report a DMA error and retry.
   const bool data_is_descriptor = data != nullptr && data->is_descriptor();
-  const bool hw = route_if_ != nullptr && (route_if_->caps() & kCapHwChecksum) &&
-                  (par_.csum_offload || data_is_descriptor);
-  assert(!data_is_descriptor || hw);  // descriptors only travel hw paths
+  const bool hw = data_is_descriptor ||
+                  (route_if_ != nullptr && (route_if_->caps() & kCapHwChecksum) &&
+                   par_.csum_offload);
 
   Mbuf* h = env.pool.get_hdr();
   // Header at the end of the mbuf: leading space serves the IP and link

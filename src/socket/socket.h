@@ -175,6 +175,20 @@ class Socket final : public net::TcpCallbacks, public net::UdpSocketIface {
   std::vector<mem::Uio> pinned_tx_;  // exact ranges pinned by staging (released
                                      // symmetrically when the write completes)
   std::size_t staged_tx_ = 0;  // bytes staged outboard but not yet in snd_
+
+  // Staging DMAs can complete out of submission order (a transfer error makes
+  // the driver re-post one packet while its successors sail through). The
+  // send buffer is a byte stream, so completions are parked here and appended
+  // strictly in staging order.
+  struct StagedSlot {
+    std::size_t plen = 0;
+    bool ready = false;
+    mbuf::Wcab w{};
+  };
+  std::deque<StagedSlot> stage_q_;
+  std::uint64_t stage_base_ = 0;  // id of stage_q_.front()
+  void stage_complete(std::uint64_t id, mbuf::Wcab w);
+
   SockStats stats_;
 };
 

@@ -51,20 +51,40 @@ sim::Task<void> Socket::append_single_copy(ProcCtx& p, KernCtx ctx,
 
     staged_tx_ += plen;
     tx_sync_.add(static_cast<int>(plen));
+    const std::uint64_t id = stage_base_ + stage_q_.size();
+    stage_q_.push_back(StagedSlot{plen, false, {}});
     Socket* self = this;
     co_await drv->copy_in(ctx, std::move(pdata), header_space,
-                          [self, plen](mbuf::Wcab w) {
-                            auto& e = self->stack_.env();
-                            mbuf::UioWcabHdr hdr;
-                            hdr.sync = &self->tx_sync_;
-                            Mbuf* wm = e.pool.get_wcab(w, plen, hdr, false);
-                            self->snd_.append(wm);
-                            self->staged_tx_ -= plen;
-                            self->tx_sync_.done(static_cast<int>(plen));
-                            // End-of-DMA context: hand the new packet to TCP.
-                            net::KernCtx ictx{e.intr_acct, sim::Priority::Kernel};
-                            sim::spawn(self->tp_->send_ready(ictx));
-                          });
+                          [self, id](mbuf::Wcab w) { self->stage_complete(id, w); });
+  }
+}
+
+// Staging SDMA completion. Completions can arrive out of staging order (the
+// driver retries a failed transfer behind packets posted after it), but the
+// send buffer is a byte stream: park the WCAB in its slot and append only the
+// in-order prefix.
+void Socket::stage_complete(std::uint64_t id, mbuf::Wcab w) {
+  auto& e = stack_.env();
+  StagedSlot& slot = stage_q_[static_cast<std::size_t>(id - stage_base_)];
+  slot.ready = true;
+  slot.w = w;
+  bool appended = false;
+  while (!stage_q_.empty() && stage_q_.front().ready) {
+    StagedSlot s = stage_q_.front();
+    stage_q_.pop_front();
+    ++stage_base_;
+    mbuf::UioWcabHdr hdr;
+    hdr.sync = &tx_sync_;
+    Mbuf* wm = e.pool.get_wcab(s.w, s.plen, hdr, false);
+    snd_.append(wm);
+    staged_tx_ -= s.plen;
+    tx_sync_.done(static_cast<int>(s.plen));
+    appended = true;
+  }
+  if (appended) {
+    // End-of-DMA context: hand the new packet(s) to TCP.
+    net::KernCtx ictx{e.intr_acct, sim::Priority::Kernel};
+    sim::spawn(tp_->send_ready(ictx));
   }
 }
 
@@ -164,7 +184,17 @@ sim::Task<std::size_t> Socket::send(ProcCtx& p, mem::Uio data) {
     co_await env.cpu.run(sim::usec(stack_.costs().sosend_chunk_us), ctx.acct,
                          ctx.prio);
     mem::Uio chunk = data.slice(done, chunk_len);
-    if (sc) {
+    // The interface can lose single-copy capability mid-write (graceful
+    // degradation drops kCapSingleCopy while the adaptor is unhealthy), so
+    // re-check per chunk: a chunk that finds the capability gone rides the
+    // traditional copy path, while `sc` still runs the tail drain/unpin for
+    // whatever earlier chunks staged outboard.
+    bool sc_chunk = sc;
+    if (sc_chunk) {
+      auto route = stack_.routes().lookup(tp_->key().faddr);
+      if (!route || !route->ifp->single_copy()) sc_chunk = false;
+    }
+    if (sc_chunk) {
       co_await append_single_copy(p, ctx, chunk);
     } else {
       Mbuf* chain = nullptr;

@@ -1,0 +1,363 @@
+// Fault-injection & graceful-degradation suite: every single-fault scenario
+// must end with a byte-exact ttcp transfer; the reset state machine must
+// un-wedge a firmware-stalled board while TCP's RTO machinery rides through
+// the outage; forced resets must not leak outboard pages, mbufs, or pinned
+// user memory; and the whole thing must be deterministic — same seed + same
+// FaultPlan ⇒ identical fault.*/recovery.* counters and identical goodput.
+#include <gtest/gtest.h>
+
+#include "apps/ttcp.h"
+#include "core/netstat.h"
+#include "core/testbed.h"
+#include "fault/fault.h"
+
+namespace nectar {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+
+// --- plan validation --------------------------------------------------------
+
+TEST(FaultPlan, ValidationRejectsBadSpecs) {
+  core::Testbed tb(core::TestbedOptions{});
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+
+  FaultPlan unknown;
+  unknown.add({.target = "nonesuch", .kind = FaultKind::kSdmaError, .at = 0});
+  EXPECT_THROW(inj.arm(unknown), std::invalid_argument);
+
+  FaultPlan no_duration;
+  no_duration.add({.target = "cab_a", .kind = FaultKind::kChecksumFail, .at = 0});
+  EXPECT_THROW(inj.arm(no_duration), std::invalid_argument);
+
+  FaultPlan no_pages;
+  no_pages.add({.target = "cab_a", .kind = FaultKind::kNetmemLeak, .at = 0});
+  EXPECT_THROW(inj.arm(no_pages), std::invalid_argument);
+
+  FaultPlan no_period;
+  no_period.add({.target = "cab_a", .kind = FaultKind::kSdmaError, .repeats = 3});
+  EXPECT_THROW(inj.arm(no_period), std::invalid_argument);
+
+  // Nothing was scheduled by the failed arms.
+  tb.sim.run();
+  EXPECT_EQ(inj.injections(), 0u);
+}
+
+TEST(FaultPlan, RecurringFaultAppliesEveryOccurrence) {
+  core::Testbed tb(core::TestbedOptions{});
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.add({.target = "cab_a",
+            .kind = FaultKind::kSdmaError,
+            .at = sim::msec(1),
+            .count = 1,
+            .period = sim::msec(1),
+            .repeats = 4,
+            .jitter = 0.5});
+  inj.arm(plan);
+  tb.sim.run();
+  EXPECT_EQ(inj.injections(), 5u);
+  EXPECT_EQ(inj.counters().at("cab_a.sdma_error"), 5u);
+  EXPECT_EQ(inj.active_windows(), 0u);
+}
+
+// --- single-fault scenarios: ttcp must stay byte-exact ----------------------
+
+struct ScenarioRun {
+  apps::TtcpResult r;
+  std::string netstat_a;
+  std::string netstat_b;
+  std::string injector;
+};
+
+ScenarioRun run_scenario(const FaultPlan& plan, std::size_t total_bytes = 256 * 1024) {
+  core::TestbedOptions opts;
+  opts.with_partition = true;  // give kLinkFlap something to flap
+  core::Testbed tb(opts);
+  tb.cab_a->enable_recovery();
+  tb.cab_b->enable_recovery();
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+  inj.register_adaptor("cab_b", *tb.cab_b);
+  inj.register_link("link", *tb.partition);
+  inj.arm(plan);
+
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = total_bytes;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  ScenarioRun out;
+  out.r = apps::run_ttcp(tb, cfg);
+  tb.sim.run();  // drain trailing completions, resets, watchdog disarm
+  out.netstat_a = core::Netstat(*tb.a).to_json();
+  out.netstat_b = core::Netstat(*tb.b).to_json();
+  out.injector = core::fault_injector_json(inj).dump(2);
+
+  // Teardown hygiene, regardless of scenario: every outboard packet buffer
+  // released, nothing left force-wedged, no user pages still pinned by a
+  // request that died mid-flight.
+  EXPECT_EQ(tb.cab_a->device().nm().live_packets(), 0u);
+  EXPECT_EQ(tb.cab_b->device().nm().live_packets(), 0u);
+  EXPECT_FALSE(tb.cab_a->resetting());
+  EXPECT_FALSE(tb.cab_b->resetting());
+  EXPECT_EQ(tb.a->vm().pinned_pages(), 0u);
+  EXPECT_EQ(tb.b->vm().pinned_pages(), 0u);
+  return out;
+}
+
+void expect_byte_exact(const ScenarioRun& s, std::size_t total = 256 * 1024) {
+  ASSERT_TRUE(s.r.completed);
+  EXPECT_EQ(s.r.bytes, total);
+  EXPECT_EQ(s.r.data_errors, 0u);
+}
+
+FaultSpec at_ms(FaultKind k, double ms, const char* target = "cab_a") {
+  FaultSpec s;
+  s.target = target;
+  s.kind = k;
+  s.at = sim::msec(ms);
+  return s;
+}
+
+TEST(FaultScenario, SdmaErrorBurstOnSender) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kSdmaError, 1.0);
+  s.count = 8;
+  plan.add(s);
+  const auto run = run_scenario(plan);
+  expect_byte_exact(run);
+}
+
+TEST(FaultScenario, SdmaStallWindowOnSender) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kSdmaStall, 1.0);
+  s.duration = sim::msec(4);
+  plan.add(s);
+  const auto run = run_scenario(plan);
+  expect_byte_exact(run);
+}
+
+TEST(FaultScenario, MdmaErrorBurstLosesPacketsTcpRecovers) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kMdmaError, 1.0);
+  s.count = 4;
+  plan.add(s);
+  const auto run = run_scenario(plan);
+  expect_byte_exact(run);
+  // A failed media transmit is a lost packet: someone had to retransmit.
+  EXPECT_GT(run.r.sender_tcp.rexmt_segs + run.r.sender_tcp.rexmt_timeouts, 0u);
+}
+
+TEST(FaultScenario, MdmaStallWindowOnSender) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kMdmaStall, 1.0);
+  s.duration = sim::msec(4);
+  plan.add(s);
+  const auto run = run_scenario(plan);
+  expect_byte_exact(run);
+}
+
+TEST(FaultScenario, ChecksumFailureDegradesSenderThenRecovers) {
+  core::TestbedOptions opts;
+  core::Testbed tb(opts);
+  tb.cab_a->enable_recovery();
+  tb.cab_b->enable_recovery();
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kChecksumFail, 1.0);
+  s.duration = sim::msec(10);
+  plan.add(s);
+  inj.arm(plan);
+
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 1024 * 1024;  // long enough to straddle the window
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  tb.sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 1024u * 1024u);
+  EXPECT_EQ(r.data_errors, 0u);
+  // The driver noticed, degraded to the host bounce path, and came back.
+  EXPECT_EQ(tb.cab_a->rec_stats.degrade_enter_csum, 1u);
+  EXPECT_EQ(tb.cab_a->rec_stats.degrade_exit_csum, 1u);
+  EXPECT_EQ(tb.cab_a->degrade_reasons(), 0u);
+  // Degraded-mode segments carried software checksums.
+  EXPECT_GT(r.sender_tcp.sw_csum_tx, 0u);
+  EXPECT_EQ(tb.cab_a->device().nm().live_packets(), 0u);
+}
+
+TEST(FaultScenario, ChecksumFailureOnReceiverBouncesResidue) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kChecksumFail, 1.0, "cab_b");
+  s.duration = sim::msec(10);
+  plan.add(s);
+  const auto run = run_scenario(plan, 1024 * 1024);
+  expect_byte_exact(run, 1024 * 1024);
+  // Receive-side degradation: hardware sums are untrusted, so payloads were
+  // verified in software (bounced residue or widened auto-DMA).
+  EXPECT_GT(run.r.receiver_tcp.sw_csum_rx, 0u);
+}
+
+TEST(FaultScenario, NetmemExhaustionFallsBackToBouncePath) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kNetmemExhaust, 1.0);
+  s.duration = sim::msec(10);
+  plan.add(s);
+  const auto run = run_scenario(plan, 1024 * 1024);
+  expect_byte_exact(run, 1024 * 1024);
+}
+
+TEST(FaultScenario, NetmemLeakIsReclaimedByReset) {
+  core::Testbed tb(core::TestbedOptions{});
+  tb.cab_a->enable_recovery();
+  tb.cab_b->enable_recovery();
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+  FaultPlan plan;
+  // 4 MB network memory = 1024 pages; losing 1000 leaves too little to run,
+  // so allocations start failing and the watchdog's leak heuristic resets.
+  auto s = at_ms(FaultKind::kNetmemLeak, 1.0);
+  s.leak_pages = 1000;
+  plan.add(s);
+  inj.arm(plan);
+
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 1024 * 1024;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  tb.sim.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 1024u * 1024u);
+  EXPECT_EQ(r.data_errors, 0u);
+  EXPECT_GT(tb.cab_a->rec_stats.leaked_reclaimed, 0u);
+  EXPECT_EQ(tb.cab_a->device().nm().leaked_pages(), 0u);
+  EXPECT_EQ(tb.cab_a->device().nm().live_packets(), 0u);
+}
+
+TEST(FaultScenario, LinkFlapRidesOnRetransmission) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.target = "link";
+  s.kind = FaultKind::kLinkFlap;
+  s.at = sim::msec(2);
+  s.duration = sim::msec(20);
+  plan.add(s);
+  const auto run = run_scenario(plan, 512 * 1024);
+  expect_byte_exact(run, 512 * 1024);
+  EXPECT_GT(run.r.sender_tcp.rexmt_segs + run.r.sender_tcp.rexmt_timeouts, 0u);
+}
+
+// --- the tentpole interaction: RTO backoff x adaptor reset ------------------
+
+TEST(FaultRecovery, FirmwareStallResetAndRtoBackoffCompleteByteExact) {
+  core::Testbed tb(core::TestbedOptions{});
+  tb.cab_a->enable_recovery();
+  tb.cab_b->enable_recovery();
+  FaultInjector inj(tb.sim);
+  inj.register_adaptor("cab_a", *tb.cab_a);
+  FaultPlan plan;
+  // The stall window outlives the first reset attempt (5 ms board reinit),
+  // so the state machine has to back off and retry before it wins.
+  auto s = at_ms(FaultKind::kFirmwareStall, 2.0);
+  s.duration = sim::msec(30);
+  plan.add(s);
+  // Guarantee the outage is lossy: the first transmits after the board comes
+  // back fail, so TCP's retransmission machinery must span the reset.
+  auto loss = at_ms(FaultKind::kMdmaError, 2.0);
+  loss.count = 4;
+  plan.add(loss);
+  inj.arm(plan);
+
+  apps::TtcpConfig cfg;
+  cfg.total_bytes = 1024 * 1024;
+  cfg.write_size = 16 * 1024;
+  cfg.verify_data = true;
+  const auto r = apps::run_ttcp(tb, cfg);
+  tb.sim.run();
+
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 1024u * 1024u);
+  EXPECT_EQ(r.data_errors, 0u);
+  const auto& rs = tb.cab_a->rec_stats;
+  EXPECT_GE(rs.resets, 2u);           // first attempt fails inside the window
+  EXPECT_GE(rs.reset_failures, 1u);
+  EXPECT_GE(rs.reset_completes, 1u);
+  EXPECT_FALSE(tb.cab_a->resetting());
+  // TCP lived through the outage the paper's way: timeout, back off, resend.
+  EXPECT_GT(r.sender_tcp.rexmt_timeouts + r.sender_tcp.rexmt_segs, 0u);
+  // Nothing wedged or leaked across the resets.
+  EXPECT_EQ(tb.cab_a->device().nm().live_packets(), 0u);
+  EXPECT_EQ(tb.a->vm().pinned_pages(), 0u);
+  EXPECT_EQ(tb.b->vm().pinned_pages(), 0u);
+}
+
+// --- determinism: same seed + same plan => identical counters & goodput -----
+
+ScenarioRun mixed_fault_run() {
+  FaultPlan plan;
+  plan.seed = 1234;
+  auto sdma = at_ms(FaultKind::kSdmaError, 1.0);
+  sdma.count = 2;
+  sdma.period = sim::msec(2);
+  sdma.repeats = 3;
+  sdma.jitter = 0.5;
+  plan.add(sdma);
+  auto csum = at_ms(FaultKind::kChecksumFail, 3.0);
+  csum.duration = sim::msec(6);
+  plan.add(csum);
+  auto fw = at_ms(FaultKind::kFirmwareStall, 12.0, "cab_b");
+  fw.duration = sim::msec(8);
+  plan.add(fw);
+  FaultSpec flap;
+  flap.target = "link";
+  flap.kind = FaultKind::kLinkFlap;
+  flap.at = sim::msec(25);
+  flap.duration = sim::msec(10);
+  plan.add(flap);
+  return run_scenario(plan, 512 * 1024);
+}
+
+TEST(FaultDeterminism, SameSeedSamePlanIsBitIdentical) {
+  const ScenarioRun first = mixed_fault_run();
+  const ScenarioRun second = mixed_fault_run();
+  expect_byte_exact(first, 512 * 1024);
+  // Identical goodput...
+  EXPECT_EQ(first.r.bytes, second.r.bytes);
+  EXPECT_EQ(first.r.elapsed, second.r.elapsed);
+  EXPECT_EQ(first.r.throughput_mbps, second.r.throughput_mbps);
+  // ...and identical fault.* / recovery.* counters, compared as the exported
+  // JSON text so any new counter is automatically covered.
+  EXPECT_EQ(first.netstat_a, second.netstat_a);
+  EXPECT_EQ(first.netstat_b, second.netstat_b);
+  EXPECT_EQ(first.injector, second.injector);
+}
+
+// --- exporter shape ---------------------------------------------------------
+
+TEST(FaultExport, NetstatCarriesFaultAndRecoverySections) {
+  FaultPlan plan;
+  auto s = at_ms(FaultKind::kSdmaError, 1.0);
+  s.count = 3;
+  plan.add(s);
+  const auto run = run_scenario(plan);
+  expect_byte_exact(run);
+  // fault.* appears for every CAB; recovery.* because recovery is enabled.
+  EXPECT_NE(run.netstat_a.find("\"fault\""), std::string::npos);
+  EXPECT_NE(run.netstat_a.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(run.netstat_a.find("\"sdma_errors\": 3"), std::string::npos);
+  // Satellite: per-flow arbiter stats rode along.
+  EXPECT_NE(run.netstat_a.find("\"flows\""), std::string::npos);
+  EXPECT_NE(run.injector.find("cab_a.sdma_error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nectar

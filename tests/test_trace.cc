@@ -2,6 +2,9 @@
 // detail and passes traffic through unchanged.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+
 #include "apps/ttcp.h"
 #include "core/packet_trace.h"
 
@@ -92,6 +95,58 @@ TEST(PacketTrace, RingBufferBounded) {
   }
   EXPECT_EQ(trace.entries().size(), 8u);
   EXPECT_EQ(trace.total_seen(), 20u);
+}
+
+TEST(PacketTrace, PcapExportIsWellFormed) {
+  core::TestbedOptions opts;
+  opts.trace_packets = true;
+  core::Testbed tb(opts);
+  ASSERT_NE(tb.trace, nullptr);
+  tb.trace->enable_capture(/*snaplen=*/96);
+  apps::TtcpConfig cfg;
+  cfg.write_size = 16 * 1024;
+  cfg.total_bytes = 64 * 1024;
+  cfg.verify_data = true;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+
+  const std::string path = ::testing::TempDir() + "nectar_trace.pcap";
+  ASSERT_TRUE(tb.trace->write_pcap(path));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<unsigned char> buf{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  auto u32 = [&buf](std::size_t off) {
+    return static_cast<std::uint32_t>(buf[off]) |
+           (static_cast<std::uint32_t>(buf[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(buf[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(buf[off + 3]) << 24);
+  };
+  ASSERT_GE(buf.size(), 24u);
+  EXPECT_EQ(u32(0), 0xa1b2c3d4u);  // usec-resolution magic, little-endian
+  EXPECT_EQ(u32(20), 101u);        // LINKTYPE_RAW: records start at the IP header
+  EXPECT_EQ(u32(16), 96u);         // snaplen
+
+  // Walk the records: each must parse, start with IP version 4, and respect
+  // the snaplen; the count must match the retained IP entries.
+  std::size_t off = 24, records = 0;
+  while (off < buf.size()) {
+    ASSERT_LE(off + 16, buf.size());
+    const std::uint32_t incl = u32(off + 8);
+    const std::uint32_t orig = u32(off + 12);
+    ASSERT_LE(off + 16 + incl, buf.size());
+    EXPECT_LE(incl, 96u);
+    EXPECT_GE(orig, incl);
+    EXPECT_EQ(buf[off + 16] >> 4, 4);  // IPv4
+    off += 16 + incl;
+    ++records;
+  }
+  std::size_t expected = 0;
+  for (const auto& e : tb.trace->entries())
+    if (!e.captured.empty()) ++expected;
+  EXPECT_EQ(records, expected);
+  EXPECT_GT(records, 0u);
 }
 
 }  // namespace
