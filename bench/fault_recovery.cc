@@ -173,6 +173,7 @@ int main(int argc, char** argv) {
 
   core::Json out = core::Json::object();
   out.set("bench", "fault_recovery");
+  out.set("schema_version", 1);
   out.set("total_bytes", static_cast<std::uint64_t>(total));
   core::Json jcells = core::Json::array();
 

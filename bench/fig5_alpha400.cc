@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   if (json) {
     core::Json root = core::Json::object();
     root.set("bench", "fig5_alpha400");
+    root.set("schema_version", 1);
     root.set("model", params.model);
     root.set("quick", quick);
     root.set("bytes_per_point", static_cast<std::uint64_t>(bytes));

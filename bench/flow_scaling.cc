@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
 
   core::Json out = core::Json::object();
   out.set("bench", "flow_scaling");
+  out.set("schema_version", 1);
   out.set("quick", quick);
   core::Json jcells = core::Json::array();
   bool all_ok = true;

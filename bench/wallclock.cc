@@ -26,6 +26,7 @@
 #include "net/netstack.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
+#include "telemetry/telemetry.h"
 
 // --- heap allocation counter -------------------------------------------------
 // Single-threaded bench: a plain counter is fine. Every operator-new in the
@@ -329,8 +330,10 @@ struct TtcpBenchResult {
   std::uint64_t bytes = 0;
 };
 
-TtcpBenchResult bench_ttcp(bool quick) {
-  core::Testbed tb;
+TtcpBenchResult bench_ttcp(bool quick, bool telemetry = false) {
+  core::TestbedOptions opts;
+  opts.telemetry = telemetry;
+  core::Testbed tb(opts);
   apps::TtcpConfig cfg;
   cfg.total_bytes = quick ? 4 * 1024 * 1024 : 32 * 1024 * 1024;
   cfg.write_size = 64 * 1024;
@@ -338,12 +341,72 @@ TtcpBenchResult bench_ttcp(bool quick) {
   const auto res = apps::run_ttcp(tb, cfg);
   TtcpBenchResult r;
   r.wall_s = elapsed_s(t0);
+  if (tb.tel) tb.tel->stop_ticker();
   r.sim_mbps = res.throughput_mbps;
   r.bytes = res.bytes;
   r.sim_mbps_per_wall_s = res.throughput_mbps / r.wall_s;
   r.events_per_sec =
       static_cast<double>(tb.sim.events_processed()) / r.wall_s;
   if (!res.completed) std::fprintf(stderr, "warning: ttcp did not complete\n");
+  return r;
+}
+
+// --- telemetry overhead ------------------------------------------------------
+// The disabled cost is the contract: every datapath hook is one null-pointer
+// test, so a telemetry-less run must be indistinguishable from a build
+// without the hooks. Measure the guard itself, the enabled span/record
+// primitives, and the end-to-end ttcp delta with the registry live.
+
+struct TelemetryBenchResult {
+  double disabled_guard_ns = 0;  // the hook's cost when telemetry is off
+  double span_pair_ns = 0;       // span_begin + span_end, enabled
+  double hist_record_ns = 0;     // LogHistogram::record
+  double ttcp_enabled_wall_s = 0;
+  double ttcp_enabled_overhead_pct = 0;  // vs the disabled ttcp run
+};
+
+TelemetryBenchResult bench_telemetry(bool quick, const TtcpBenchResult& off) {
+  TelemetryBenchResult r;
+  const std::uint64_t iters = quick ? 2'000'000 : 20'000'000;
+  {
+    // volatile: the compiler must reload the (always-null) pointer and keep
+    // the branch, exactly like HostEnv::telemetry on the disabled path.
+    telemetry::Telemetry* volatile tel = nullptr;
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (tel != nullptr) sink += i;
+    }
+    keep(static_cast<std::uint32_t>(sink));
+    r.disabled_guard_ns = elapsed_s(t0) * 1e9 / static_cast<double>(iters);
+  }
+  {
+    sim::Simulator s;
+    telemetry::Telemetry tel(s);
+    tel.set_max_events(0);  // measure the span table + histogram, not the log
+    const int pid = tel.register_process("bench");
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      tel.span_begin(telemetry::Stage::kSosend, pid, i, 1);
+      (void)tel.span_end(telemetry::Stage::kSosend, i);
+    }
+    r.span_pair_ns = elapsed_s(t0) * 1e9 / static_cast<double>(iters);
+  }
+  {
+    telemetry::LogHistogram h;
+    std::uint64_t v = 0x9e3779b97f4a7c15ull;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      v ^= v << 13;
+      v ^= v >> 7;
+      h.record(v >> 40);
+    }
+    keep(static_cast<std::uint32_t>(h.count()));
+    r.hist_record_ns = elapsed_s(t0) * 1e9 / static_cast<double>(iters);
+  }
+  const auto on = bench_ttcp(quick, /*telemetry=*/true);
+  r.ttcp_enabled_wall_s = on.wall_s;
+  r.ttcp_enabled_overhead_pct = (on.wall_s / off.wall_s - 1.0) * 100.0;
   return r;
 }
 
@@ -404,9 +467,17 @@ int main(int argc, char** argv) {
   std::printf("ttcp            : %7.1f sim-Mb/s in %.2f wall-s -> %8.1f sim-Mb/s per wall-s (%0.f ev/s)\n",
               tt.sim_mbps, tt.wall_s, tt.sim_mbps_per_wall_s, tt.events_per_sec);
 
+  const auto tel = bench_telemetry(quick, tt);
+  std::printf("telemetry off   : %7.2f ns/hook (null guard)\n",
+              tel.disabled_guard_ns);
+  std::printf("telemetry on    : %7.1f ns/span pair, %5.1f ns/hist record, ttcp %+.1f%% wall\n",
+              tel.span_pair_ns, tel.hist_record_ns,
+              tel.ttcp_enabled_overhead_pct);
+
   if (json) {
     core::Json root = core::Json::object();
     root.set("bench", "wallclock");
+    root.set("schema_version", 1);
     root.set("quick", quick);
     core::Json ev = core::Json::object();
     ev.set("plain_events_per_sec", plain.events_per_sec);
@@ -449,6 +520,13 @@ int main(int argc, char** argv) {
     jt.set("events_per_sec", tt.events_per_sec);
     jt.set("bytes", tt.bytes);
     root.set("ttcp", std::move(jt));
+    core::Json jtel = core::Json::object();
+    jtel.set("disabled_guard_ns", tel.disabled_guard_ns);
+    jtel.set("span_pair_ns", tel.span_pair_ns);
+    jtel.set("hist_record_ns", tel.hist_record_ns);
+    jtel.set("ttcp_enabled_wall_s", tel.ttcp_enabled_wall_s);
+    jtel.set("ttcp_enabled_overhead_pct", tel.ttcp_enabled_overhead_pct);
+    root.set("telemetry", std::move(jtel));
     if (!core::write_json_file(json_path, root)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -45,6 +45,14 @@ class CabDevice final : public mbuf::OutboardOwner {
   void outboard_retain(std::uint32_t handle) override { nm_.retain(handle); }
   void outboard_release(std::uint32_t handle) override { nm_.release(handle); }
 
+  // Opt-in span tracing across every engine on the board.
+  void set_telemetry(telemetry::Telemetry* tel, int pid) {
+    nm_.set_telemetry(tel, pid);
+    sdma_.set_telemetry(tel, pid);
+    mdma_xmit_.set_telemetry(tel, pid);
+    mdma_recv_.set_telemetry(tel, pid);
+  }
+
   // --- fault injection / reset ----------------------------------------------
 
   // Firmware stall: the on-board control program wedges and every engine

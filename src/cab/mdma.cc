@@ -3,9 +3,20 @@
 #include <cstring>
 #include <memory>
 
+#include "telemetry/telemetry.h"
+
 namespace nectar::cab {
 
+void MdmaXmit::set_telemetry(telemetry::Telemetry* tel, int pid) {
+  tel_ = tel;
+  tel_pid_ = pid;
+  tel_ns_ = tel ? tel->alloc_key_namespace() : 0;
+}
+
 void MdmaXmit::post(Request r) {
+  r.id = next_id_++;
+  if (tel_ != nullptr)
+    tel_->span_begin(telemetry::Stage::kMdmaQueue, tel_pid_, tkey(r.id), r.flow);
   q_.push(std::move(r));
   kick();
 }
@@ -14,6 +25,10 @@ void MdmaXmit::kick() {
   if (busy_ || stalled_ || q_.empty()) return;
   busy_ = true;
   Request r = q_.pop();
+  if (tel_ != nullptr) {
+    tel_->span_end(telemetry::Stage::kMdmaQueue, tkey(r.id));
+    tel_->span_begin(telemetry::Stage::kMdmaXfer, tel_pid_, tkey(r.id), r.flow);
+  }
 
   const sim::Duration t =
       cfg_.setup +
@@ -31,11 +46,13 @@ void MdmaXmit::kick() {
 
   auto done = std::make_shared<std::function<void()>>(std::move(r.on_complete));
   const std::uint64_t epoch = epoch_;
-  sim_.after(t, [this, pkt, done, fail, epoch] {
+  const std::uint64_t rid = r.id;
+  sim_.after(t, [this, pkt, done, fail, epoch, rid] {
     if (epoch != epoch_) {
       // Aborted mid-serialization by a reset: the frame is cut short on the
       // wire. Unwind references; abort_all already reset engine state.
       ++stats_.aborted;
+      if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kMdmaXfer, tkey(rid));
       if (*done) (*done)();
       return;
     }
@@ -47,6 +64,7 @@ void MdmaXmit::kick() {
       fabric_->submit(std::move(*pkt));
     }
     busy_ = false;
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kMdmaXfer, tkey(rid));
     if (*done) (*done)();
     kick();
   });
@@ -59,8 +77,15 @@ void MdmaXmit::abort_all() {
   while (!q_.empty()) dropped.push_back(q_.pop());
   for (auto& r : dropped) {
     ++stats_.aborted;
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kMdmaQueue, tkey(r.id));
     if (r.on_complete) r.on_complete();
   }
+}
+
+void MdmaRecv::set_telemetry(telemetry::Telemetry* tel, int pid) {
+  tel_ = tel;
+  tel_pid_ = pid;
+  tel_ns_ = tel ? tel->alloc_key_namespace() : 0;
 }
 
 void MdmaRecv::hippi_receive(hippi::Packet&& p) {
@@ -76,6 +101,11 @@ void MdmaRecv::hippi_receive(hippi::Packet&& p) {
   }
   ++stats_.packets;
   stats_.bytes += len;
+  std::uint64_t span_key = 0;
+  if (tel_ != nullptr) {
+    span_key = tel_ns_ | (++tel_seq_ & ((1ull << 40) - 1));
+    tel_->span_begin(telemetry::Stage::kRecvDma, tel_pid_, span_key);
+  }
 
   // Data lands in network memory as it comes off the media; the checksum is
   // computed during that transfer (so it is available with the packet).
@@ -103,7 +133,9 @@ void MdmaRecv::hippi_receive(hippi::Packet&& p) {
   req.interrupt_on_done = true;
   const Handle handle = *h;
   const bool release_after = fits;
-  req.on_complete = [this, desc, handle, release_after](const SdmaRequest& done) {
+  req.on_complete = [this, desc, handle, release_after,
+                     span_key](const SdmaRequest& done) {
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kRecvDma, span_key);
     if (done.failed) {
       // The head never reached host memory; the host is never notified, so
       // the packet is lost end-to-end. Release the outboard buffer in both
@@ -119,6 +151,7 @@ void MdmaRecv::hippi_receive(hippi::Packet&& p) {
   // host has wedged the queue, drop the packet (as real hardware would).
   if (!sdma_.post(std::move(req))) {
     ++stats_.drops_no_memory;
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kRecvDma, span_key);
     nm_.release(*h);
   }
 }

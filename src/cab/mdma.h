@@ -42,6 +42,7 @@ class MdmaXmit {
     std::size_t len = 0;  // bytes to transmit from offset 0
     std::uint32_t flow = 0;  // owning transport flow (0 = unattributed)
     std::function<void()> on_complete;
+    std::uint64_t id = 0;  // assigned by the engine (last: not brace-initialized)
   };
 
   void post(Request r);
@@ -57,6 +58,10 @@ class MdmaXmit {
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
   [[nodiscard]] const ArbQueue<Request>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
+
+  // Opt-in span tracing: queue wait (mdma_queue) and serialization time
+  // (mdma_xfer) per transmit.
+  void set_telemetry(telemetry::Telemetry* tel, int pid);
 
   // --- fault injection / reset ----------------------------------------------
 
@@ -78,6 +83,9 @@ class MdmaXmit {
 
  private:
   void kick();
+  [[nodiscard]] std::uint64_t tkey(std::uint64_t id) const noexcept {
+    return tel_ns_ | (id & ((1ull << 40) - 1));
+  }
 
   sim::Simulator& sim_;
   NetworkMemory& nm_;
@@ -87,6 +95,10 @@ class MdmaXmit {
   bool stalled_ = false;
   std::uint32_t inject_errors_ = 0;
   std::uint64_t epoch_ = 0;
+  std::uint64_t next_id_ = 1;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  std::uint64_t tel_ns_ = 0;
   ArbQueue<Request> q_;
   Stats stats_;
 };
@@ -113,6 +125,9 @@ class MdmaRecv final : public hippi::Endpoint {
 
   void set_deliver(std::function<void(RecvDesc&&)> fn) { deliver_ = std::move(fn); }
 
+  // Opt-in span tracing: recv_dma spans cover frame-landed -> host notified.
+  void set_telemetry(telemetry::Telemetry* tel, int pid);
+
   void hippi_receive(hippi::Packet&& p) override;
 
   // Stall: a wedged receive engine cannot terminate the attachment, so
@@ -135,6 +150,10 @@ class MdmaRecv final : public hippi::Endpoint {
   NetworkMemory& nm_;
   SdmaEngine& sdma_;
   MdmaConfig cfg_;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  std::uint64_t tel_ns_ = 0;
+  std::uint64_t tel_seq_ = 0;
   bool stalled_ = false;
   std::uint32_t autodma_words_ = 176;  // paper's value
   std::uint16_t rx_skip_words_ = 20;   // HIPPI + IP headers

@@ -17,6 +17,10 @@
 #include <span>
 #include <vector>
 
+namespace nectar::telemetry {
+class Telemetry;
+}
+
 namespace nectar::cab {
 
 using Handle = std::uint32_t;
@@ -71,6 +75,11 @@ class NetworkMemory {
   }
   [[nodiscard]] std::size_t max_live_packets() const noexcept { return max_live_; }
 
+  // Opt-in span tracing: outboard residency (alloc -> last ref released) per
+  // packet buffer. Handles recycle, so spans are keyed by an allocation
+  // sequence number, not the handle.
+  void set_telemetry(telemetry::Telemetry* tel, int pid);
+
  private:
   struct Slot {
     std::size_t first_page = 0;
@@ -79,6 +88,7 @@ class NetworkMemory {
     int refs = 0;
     std::optional<std::uint32_t> body_sum;
     bool live = false;
+    std::uint64_t tel_key = 0;
   };
 
   const Slot& slot(Handle h) const;
@@ -95,6 +105,10 @@ class NetworkMemory {
   std::size_t next_fit_ = 0;  // rotating first-fit cursor
   std::size_t max_used_pages_ = 0;
   std::size_t max_live_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  std::uint64_t tel_ns_ = 0;
+  std::uint64_t tel_seq_ = 0;
   bool force_exhausted_ = false;
   std::vector<std::size_t> leaked_;  // page indices held by the leak fault
 };

@@ -4,8 +4,15 @@
 #include <stdexcept>
 
 #include "checksum/wire.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::cab {
+
+void SdmaEngine::set_telemetry(telemetry::Telemetry* tel, int pid) {
+  tel_ = tel;
+  tel_pid_ = pid;
+  tel_ns_ = tel ? tel->alloc_key_namespace() : 0;
+}
 
 bool SdmaEngine::post(SdmaRequest r) {
   if (queue_space() == 0) return false;
@@ -17,6 +24,8 @@ bool SdmaEngine::post(SdmaRequest r) {
       throw std::logic_error("SdmaEngine: empty segment");
   }
   r.id = next_id_++;
+  if (tel_ != nullptr)
+    tel_->span_begin(telemetry::Stage::kSdmaQueue, tel_pid_, tkey(r.id), r.flow);
   q_.push(std::move(r));
   kick();
   return true;
@@ -26,6 +35,10 @@ void SdmaEngine::kick() {
   if (busy_ || stalled_ || q_.empty()) return;
   busy_ = true;
   SdmaRequest r = q_.pop();
+  if (tel_ != nullptr) {
+    tel_->span_end(telemetry::Stage::kSdmaQueue, tkey(r.id));
+    tel_->span_begin(telemetry::Stage::kSdmaXfer, tel_pid_, tkey(r.id), r.flow);
+  }
 
   std::size_t total = 0;
   for (const auto& seg : r.segs) total += seg.bytes.size();
@@ -44,11 +57,13 @@ void SdmaEngine::kick() {
       shared->failed = true;
       ++stats_.requests;
       ++stats_.aborted;
+      if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kSdmaXfer, tkey(shared->id));
       if (shared->on_complete) shared->on_complete(*shared);
       return;
     }
     execute(*shared);
     busy_ = false;
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kSdmaXfer, tkey(shared->id));
     if (shared->on_complete) shared->on_complete(*shared);
     kick();
   });
@@ -65,6 +80,7 @@ void SdmaEngine::abort_all() {
     r.failed = true;
     ++stats_.requests;
     ++stats_.aborted;
+    if (tel_ != nullptr) tel_->span_end(telemetry::Stage::kSdmaQueue, tkey(r.id));
     if (r.on_complete) r.on_complete(r);
   }
 }

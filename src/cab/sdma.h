@@ -25,6 +25,10 @@
 #include "mem/address_space.h"
 #include "sim/event_queue.h"
 
+namespace nectar::telemetry {
+class Telemetry;
+}
+
 namespace nectar::cab {
 
 struct SdmaSeg {
@@ -93,6 +97,10 @@ class SdmaEngine {
   [[nodiscard]] const ArbQueue<SdmaRequest>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
 
+  // Opt-in span tracing: queue wait (sdma_queue) and bus time (sdma_xfer)
+  // per request, keyed by request id under a private key namespace.
+  void set_telemetry(telemetry::Telemetry* tel, int pid);
+
   // --- fault injection / reset ----------------------------------------------
 
   // Stall: the engine stops starting new requests (an in-flight transfer
@@ -114,11 +122,17 @@ class SdmaEngine {
  private:
   void kick();
   void execute(SdmaRequest& r);
+  [[nodiscard]] std::uint64_t tkey(std::uint64_t id) const noexcept {
+    return tel_ns_ | (id & ((1ull << 40) - 1));
+  }
 
   sim::Simulator& sim_;
   NetworkMemory& nm_;
   SdmaConfig cfg_;
   ChecksumEngine csum_;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  std::uint64_t tel_ns_ = 0;
   bool busy_ = false;
   bool stalled_ = false;
   std::uint32_t inject_errors_ = 0;

@@ -21,6 +21,10 @@ drivers::CabDriver& Host::attach_cab(hippi::Fabric& fabric, hippi::Addr haddr,
   auto dev = std::make_unique<cab::CabDevice>(sim_, fabric, haddr, params_.cab);
   auto drv = std::make_unique<drivers::CabDriver>(
       "cab" + std::to_string(cabs_.size()), ip, *dev, mtu);
+  if (tel_ != nullptr) {
+    dev->set_telemetry(tel_, tel_pid_);
+    register_cab_gauges(*dev, cabs_.size());
+  }
   cabs_.push_back(std::move(dev));
   auto& ref = *drv;
   stack_->add_ifnet(drv.get());
@@ -52,11 +56,58 @@ Host::Process& Host::create_process(const std::string& pname) {
                                       mem::AddressSpace(name_ + "." + pname),
                                       cpu_.make_account(pname + ".user"),
                                       cpu_.make_account(pname + ".sys")});
+  if (tel_ != nullptr) register_cpu_gauges(tel_accts_done_);
   return *processes_.back();
 }
 
 sim::Duration Host::comm_busy(const Process& p) const {
   return cpu_.busy(p.user_acct) + cpu_.busy(p.sys_acct) + cpu_.busy(intr_acct_);
+}
+
+void Host::register_cpu_gauges(sim::AccountId first) {
+  for (sim::AccountId i = first; i < cpu_.num_accounts(); ++i) {
+    tel_->register_gauge(
+        name_ + ".cpu." + cpu_.account_name(i) + ".busy_us", tel_pid_,
+        [this, i] { return sim::to_usec(cpu_.busy(i)); });
+  }
+  tel_accts_done_ = cpu_.num_accounts();
+}
+
+void Host::register_cab_gauges(cab::CabDevice& dev, std::size_t index) {
+  const std::string prefix = name_ + ".cab" + std::to_string(index);
+  cab::CabDevice* d = &dev;
+  tel_->register_gauge(prefix + ".nm_used_bytes", tel_pid_, [d] {
+    return static_cast<double>(d->nm().used_bytes());
+  });
+  tel_->register_gauge(prefix + ".nm_live_packets", tel_pid_, [d] {
+    return static_cast<double>(d->nm().live_packets());
+  });
+  tel_->register_gauge(prefix + ".sdma_qdepth", tel_pid_, [d] {
+    return static_cast<double>(d->sdma().arb().size());
+  });
+  tel_->register_gauge(prefix + ".mdma_qdepth", tel_pid_, [d] {
+    return static_cast<double>(d->mdma_xmit().arb().size());
+  });
+}
+
+void Host::set_telemetry(telemetry::Telemetry* t) {
+  tel_ = t;
+  if (t == nullptr) {
+    stack_->env().telemetry = nullptr;
+    stack_->env().tel_pid = 0;
+    return;
+  }
+  tel_pid_ = t->register_process(name_);
+  stack_->env().telemetry = t;
+  stack_->env().tel_pid = tel_pid_;
+  for (std::size_t i = 0; i < cabs_.size(); ++i) {
+    cabs_[i]->set_telemetry(t, tel_pid_);
+    register_cab_gauges(*cabs_[i], i);
+  }
+  register_cpu_gauges(0);
+  tel_->register_gauge(name_ + ".mbuf_in_use", tel_pid_, [this] {
+    return static_cast<double>(pool_.in_use());
+  });
 }
 
 }  // namespace nectar::core

@@ -11,6 +11,7 @@
 #include "drivers/loopback.h"
 #include "mem/user_buffer.h"
 #include "socket/socket.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::core {
 
@@ -57,7 +58,20 @@ class Host {
   [[nodiscard]] sim::Duration comm_busy(const Process& p) const;
   [[nodiscard]] sim::Duration total_busy() const { return cpu_.total_busy(); }
 
+  // --- telemetry -------------------------------------------------------------
+
+  // Opt-in: register this host as a trace process, thread the registry
+  // through the stack env and every attached CAB engine, and publish gauges
+  // (per-account CPU busy time, outboard occupancy, DMA queue depths, mbuf
+  // pool usage). Devices/processes created later are wired as they appear.
+  void set_telemetry(telemetry::Telemetry* t);
+  [[nodiscard]] telemetry::Telemetry* telemetry() noexcept { return tel_; }
+  [[nodiscard]] int tel_pid() const noexcept { return tel_pid_; }
+
  private:
+  void register_cpu_gauges(sim::AccountId first);
+  void register_cab_gauges(cab::CabDevice& dev, std::size_t index);
+
   std::string name_;
   HostParams params_;
   sim::Simulator& sim_;
@@ -72,6 +86,9 @@ class Host {
   std::vector<std::unique_ptr<cab::CabDevice>> cabs_;
   // unique_ptr because Process embeds an immovable AddressSpace.
   std::vector<std::unique_ptr<Process>> processes_;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  sim::AccountId tel_accts_done_ = 0;  // CPU accounts already published as gauges
 };
 
 }  // namespace nectar::core

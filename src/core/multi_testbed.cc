@@ -70,11 +70,17 @@ MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
   hp.cab.sdma.arb = opts.arb;
   hp.cab.mdma.arb = opts.arb;
 
+  if (opts.telemetry) tel = std::make_unique<telemetry::Telemetry>(sim);
+
   for (std::size_t i = 0; i < opts.num_pairs; ++i) {
     clients.push_back(std::make_unique<Host>(
         sim, hp, "client" + std::to_string(i)));
     servers.push_back(std::make_unique<Host>(
         sim, hp, "server" + std::to_string(i)));
+    if (tel) {
+      clients[i]->set_telemetry(tel.get());
+      servers[i]->set_telemetry(tel.get());
+    }
     const auto ha_c = static_cast<hippi::Addr>(kHaClientBase + i);
     const auto ha_s = static_cast<hippi::Addr>(kHaServerBase + i);
     cab_clients.push_back(&clients[i]->attach_cab(fabric(), ha_c, client_ip(i)));
@@ -93,6 +99,13 @@ MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
       cab_servers[i]->add_neighbor(client_ip(j),
                                    static_cast<hippi::Addr>(kHaClientBase + j));
     }
+  }
+  if (tel) {
+    const int sim_pid = tel->register_process("sim");
+    tel->register_gauge("sim.pending_events", sim_pid, [this] {
+      return static_cast<double>(sim.pending());
+    });
+    tel->start_ticker(opts.telemetry_tick);
   }
 }
 

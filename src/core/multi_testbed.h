@@ -43,6 +43,10 @@ struct MultiTestbedOptions {
   double rate_limit_bps = 0.0;
   std::size_t rate_limit_burst = 64 * 1024;
   std::vector<std::pair<sim::Time, sim::Time>> partition_windows;
+  // Opt-in observability: one shared telemetry::Telemetry registry across all
+  // hosts (every client/server is its own trace process).
+  bool telemetry = false;
+  sim::Duration telemetry_tick = sim::usec(100.0);
 };
 
 class MultiTestbed {
@@ -68,6 +72,7 @@ class MultiTestbed {
   std::unique_ptr<hippi::LossyFabric> lossy;
   std::unique_ptr<hippi::PartitionFabric> partition;
   std::unique_ptr<hippi::RateLimitFabric> rate_limit;
+  std::unique_ptr<telemetry::Telemetry> tel;  // when opts.telemetry
 
   std::vector<std::unique_ptr<Host>> clients;
   std::vector<std::unique_ptr<Host>> servers;

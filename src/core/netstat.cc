@@ -172,6 +172,7 @@ Json impairments_json(const std::vector<hippi::ImpairedFabric*>& impairments) {
 Json Netstat::json() const {
   Host& host = host_;
   Json root = Json::object();
+  root.set("schema_version", 1);
   root.set("host", host.name());
   root.set("model", host.params().model);
   root.set("time_s", sim::to_seconds(host.sim().now()));

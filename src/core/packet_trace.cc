@@ -55,7 +55,10 @@ void PacketTrace::submit(hippi::Packet&& p) {
   }
   ++seen_;
   log_.push_back(e);
-  if (log_.size() > max_entries_) log_.pop_front();
+  if (log_.size() > max_entries_) {
+    log_.pop_front();
+    ++dropped_;
+  }
   inner_.submit(std::move(p));
 }
 
@@ -127,6 +130,8 @@ bool PacketTrace::write_pcap(const std::string& path) const {
 
 std::string PacketTrace::dump(std::size_t n) const {
   std::ostringstream os;
+  if (dropped_ > 0)
+    os << "[" << dropped_ << " earlier entries evicted from the ring]\n";
   const std::size_t start = (n == 0 || n >= log_.size()) ? 0 : log_.size() - n;
   for (std::size_t i = start; i < log_.size(); ++i) {
     os << log_[i].to_string() << '\n';

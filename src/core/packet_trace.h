@@ -50,6 +50,8 @@ class PacketTrace final : public hippi::Fabric {
 
   [[nodiscard]] const std::deque<Entry>& entries() const noexcept { return log_; }
   [[nodiscard]] std::size_t total_seen() const noexcept { return seen_; }
+  // Entries evicted from the retention ring (seen but no longer dumpable).
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
   void clear() { log_.clear(); }
 
   // Render the last `n` entries (0 = all retained).
@@ -65,7 +67,9 @@ class PacketTrace final : public hippi::Fabric {
   // the HIPPI framing header has no standard linktype and is stripped).
   // Timestamps are sim-time in microsecond resolution. Requires
   // enable_capture before the traffic of interest; returns false on I/O
-  // error. Entries recorded before capture was enabled are skipped.
+  // error. Entries recorded before capture was enabled are skipped, as are
+  // any evicted from the retention ring — check dropped() when a capture
+  // looks short.
   bool write_pcap(const std::string& path) const;
 
  private:
@@ -75,6 +79,7 @@ class PacketTrace final : public hippi::Fabric {
   std::size_t snaplen_ = 0;  // 0 = capture disabled
   std::deque<Entry> log_;
   std::size_t seen_ = 0;
+  std::size_t dropped_ = 0;  // ring evictions
 };
 
 }  // namespace nectar::core

@@ -75,6 +75,18 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
   a = std::make_unique<Host>(sim, opts.params_a, "hostA");
   b = std::make_unique<Host>(sim, opts.params_b, "hostB");
 
+  if (opts.telemetry) {
+    tel = std::make_unique<telemetry::Telemetry>(sim);
+    a->set_telemetry(tel.get());
+    b->set_telemetry(tel.get());
+    const int wire_pid = tel->register_process("wire");
+    if (wire) wire->set_telemetry(tel.get(), wire_pid);
+    tel->register_gauge("sim.pending_events", wire_pid, [this] {
+      return static_cast<double>(sim.pending());
+    });
+    tel->start_ticker(opts.telemetry_tick);
+  }
+
   cab_a = &a->attach_cab(fabric(), kHaA, kIpA);
   cab_b = &b->attach_cab(fabric(), kHaB, kIpB);
   cab_a->add_neighbor(kIpB, kHaB);

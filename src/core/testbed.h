@@ -44,6 +44,10 @@ struct TestbedOptions {
   bool with_partition = false;
   bool with_ethernet = false;
   double ether_bandwidth_bps = 10e6 / 8.0;  // classic 10 Mbit/s Ethernet
+  // Opt-in observability: create a telemetry::Telemetry registry, wire it
+  // through both hosts and the wire, and sample gauges every telemetry_tick.
+  bool telemetry = false;
+  sim::Duration telemetry_tick = sim::usec(100.0);
 };
 
 class Testbed {
@@ -73,6 +77,8 @@ class Testbed {
   std::unique_ptr<hippi::RateLimitFabric> rate_limit; // when rate_limit_bps > 0
   std::unique_ptr<PacketTrace> trace;            // when trace_packets
   std::unique_ptr<drivers::EtherSegment> ether;
+
+  std::unique_ptr<telemetry::Telemetry> tel;  // when opts.telemetry
 
   std::unique_ptr<Host> a;
   std::unique_ptr<Host> b;

@@ -1,6 +1,7 @@
 #include "drivers/cab_driver.h"
 
 #include "net/ip.h"
+#include "telemetry/telemetry.h"
 
 #include <cassert>
 #include <cstdio>
@@ -272,6 +273,11 @@ sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
   if (!handle) throw std::runtime_error("CabDriver::copy_in: outboard memory stuck");
 
   auto job = std::make_shared<CopyinJob>();
+  if (auto* tel = env.telemetry) {
+    job->tel_key = tel->next_key();
+    tel->span_begin(telemetry::Stage::kDriverStage, env.tel_pid, job->tel_key,
+                    ctx.flow);
+  }
   job->req.dir = cab::SdmaRequest::Dir::kToCab;
   job->req.handle = *handle;
   job->req.cab_off = header_space;
@@ -311,6 +317,10 @@ void CabDriver::submit_copyin(std::shared_ptr<CopyinJob> job) {
       w.handle = job->handle;
       w.data_off = job->data_off;
       w.valid = job->data_len;
+      if (job->tel_key != 0) {
+        if (auto* tel = stack()->env().telemetry)
+          tel->span_end(telemetry::Stage::kDriverStage, job->tel_key);
+      }
       job->done(w);
       return;
     }

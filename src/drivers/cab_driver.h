@@ -175,6 +175,7 @@ class CabDriver final : public net::Ifnet {
     std::uint32_t data_off = 0;
     std::uint32_t data_len = 0;
     int attempts = 0;
+    std::uint64_t tel_key = 0;  // driver_stage span (0 = telemetry off)
   };
   void submit_copyin(std::shared_ptr<CopyinJob> job);
 

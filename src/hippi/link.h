@@ -11,6 +11,10 @@
 #include "hippi/impairment.h"
 #include "sim/event_queue.h"
 
+namespace nectar::telemetry {
+class Telemetry;
+}
+
 namespace nectar::hippi {
 
 class DirectWire final : public Fabric {
@@ -27,12 +31,19 @@ class DirectWire final : public Fabric {
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
+  // Opt-in span tracing: link_transit spans (submit -> remote receive), one
+  // per delivered frame.
+  void set_telemetry(telemetry::Telemetry* tel, int pid);
+
  private:
   sim::Simulator& sim_;
   sim::Duration propagation_;
   std::unordered_map<Addr, Endpoint*> eps_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
+  int tel_pid_ = 0;
+  std::uint64_t tel_ns_ = 0;
 };
 
 }  // namespace nectar::hippi

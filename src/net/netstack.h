@@ -17,6 +17,10 @@
 #include "net/ifnet.h"
 #include "net/route.h"
 
+namespace nectar::telemetry {
+class Telemetry;
+}
+
 namespace nectar::net {
 
 class Ip;
@@ -33,6 +37,10 @@ struct HostEnv {
   mem::PinCache& pin_cache;
   StackCosts costs;
   sim::AccountId intr_acct = 0;  // CPU account for interrupt-context work
+  // Opt-in observability (core/testbed wires it); null when disabled, and
+  // every instrumentation site guards on that.
+  telemetry::Telemetry* telemetry = nullptr;
+  int tel_pid = 0;  // this host's trace pid
 };
 
 // Four-tuple connection key (host byte-order addresses).

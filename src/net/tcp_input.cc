@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "net/tcp.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::net {
 
@@ -249,7 +250,10 @@ sim::Task<void> TcpConnection::process_ack(KernCtx ctx, const TcpHeader& th) {
   if (seq_gt(snd_una_, snd_nxt_)) snd_nxt_ = snd_una_;
 
   if (rtt_timing_ && seq_geq(th.ack, rtt_seq_)) {
-    update_rtt(stack_.env().sim.now() - rtt_start_);
+    const sim::Duration measured = stack_.env().sim.now() - rtt_start_;
+    update_rtt(measured);
+    if (auto* tel = stack_.env().telemetry)
+      tel->record_flow("rtt_ns", flow_id_, static_cast<std::uint64_t>(measured));
     rtt_timing_ = false;
   }
   rexmt_backoff_ = 0;
@@ -290,6 +294,19 @@ sim::Task<void> TcpConnection::accept_data(KernCtx ctx, Mbuf* pkt,
                                            const TcpHeader& th,
                                            std::size_t data_len, bool fin) {
   auto& env = stack_.env();
+  // Close the sender's one-way segment span (keyed by the untrimmed th.seq).
+  // A duplicate delivery finds no open span — an orphan end, counted by the
+  // registry, never an error.
+  if (data_len > 0) {
+    if (auto* tel = env.telemetry) {
+      if (auto d = tel->span_end(
+              telemetry::Stage::kSegment,
+              telemetry::segment_key(key_.laddr, key_.lport, key_.faddr,
+                                     key_.fport, th.seq)))
+        tel->record_flow("seg_latency_ns", flow_id_,
+                         static_cast<std::uint64_t>(*d));
+    }
+  }
   if (state_ == TcpState::kClosed) {  // orphaned while suspended
     env.pool.free_chain(pkt);
     co_return;

@@ -4,6 +4,7 @@
 
 #include "net/ip.h"
 #include "net/tcp.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::net {
 
@@ -146,6 +147,17 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
   if (state_ == TcpState::kClosed && !(flags & kTcpRst)) co_return;
   if (len > 0 && seq_lt(seq, snd_una_)) co_return;
   ++stats_.segs_out;
+  // One-way segment span: both endpoints derive the same key from the
+  // canonicalized 4-tuple plus seq, so the receiver's accept_data closes it.
+  // A retransmission re-begins the span (counted) — it then measures the
+  // delivered copy.
+  if (len > 0) {
+    if (auto* tel = env.telemetry)
+      tel->span_begin(telemetry::Stage::kSegment, env.tel_pid,
+                      telemetry::segment_key(key_.laddr, key_.lport, key_.faddr,
+                                             key_.fport, seq),
+                      flow_id_);
+  }
 
   Mbuf* data = nullptr;
   if (len > 0) data = cb_->snd().copy_range(seq_to_pos(seq), len);

@@ -184,6 +184,7 @@ class Socket final : public net::TcpCallbacks, public net::UdpSocketIface {
     std::size_t plen = 0;
     bool ready = false;
     mbuf::Wcab w{};
+    std::uint64_t tel_key = 0;  // sosend span (0 = telemetry off)
   };
   std::deque<StagedSlot> stage_q_;
   std::uint64_t stage_base_ = 0;  // id of stage_q_.front()

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "socket/socket.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::socket {
 
@@ -117,6 +118,14 @@ sim::Task<std::size_t> Socket::recv(ProcCtx& p, mem::Uio dst) {
   }
 
   const std::size_t take = std::min(dst.total_len(), rcv_.cc());
+  // soreceive span: data available -> bytes in place in the user buffer
+  // (copy-out DMA drain and unpin included; the blocking wait above is not).
+  std::uint64_t tel_key = 0;
+  if (auto* tel = env.telemetry) {
+    tel_key = tel->next_key();
+    tel->span_begin(telemetry::Stage::kSoreceive, env.tel_pid, tel_key,
+                    tp_->flow_id());
+  }
   co_await env.cpu.run(sim::usec(stack_.costs().soreceive_chunk_us), ctx.acct,
                        ctx.prio);
   const std::size_t got = co_await deliver_bytes(p, ctx, rcv_, dst, take);
@@ -140,6 +149,10 @@ sim::Task<std::size_t> Socket::recv(ProcCtx& p, mem::Uio dst) {
     }
   }
   pinned_rx_.clear();
+  if (tel_key != 0) {
+    if (auto* tel = env.telemetry)
+      tel->span_end(telemetry::Stage::kSoreceive, tel_key);
+  }
 
   stats_.bytes_received += got;
   co_await tp_->window_update(ctx);

@@ -2,6 +2,7 @@
 #include <cassert>
 
 #include "socket/socket.h"
+#include "telemetry/telemetry.h"
 
 namespace nectar::socket {
 
@@ -52,7 +53,15 @@ sim::Task<void> Socket::append_single_copy(ProcCtx& p, KernCtx ctx,
     staged_tx_ += plen;
     tx_sync_.add(static_cast<int>(plen));
     const std::uint64_t id = stage_base_ + stage_q_.size();
-    stage_q_.push_back(StagedSlot{plen, false, {}});
+    // sosend span: staging posted -> WCAB appended to the send buffer (the
+    // in-order prefix rule means a slot can close well after its DMA).
+    std::uint64_t tel_key = 0;
+    if (auto* tel = env.telemetry) {
+      tel_key = tel->next_key();
+      tel->span_begin(telemetry::Stage::kSosend, env.tel_pid, tel_key,
+                      tp_->flow_id());
+    }
+    stage_q_.push_back(StagedSlot{plen, false, {}, tel_key});
     Socket* self = this;
     co_await drv->copy_in(ctx, std::move(pdata), header_space,
                           [self, id](mbuf::Wcab w) { self->stage_complete(id, w); });
@@ -79,6 +88,10 @@ void Socket::stage_complete(std::uint64_t id, mbuf::Wcab w) {
     snd_.append(wm);
     staged_tx_ -= s.plen;
     tx_sync_.done(static_cast<int>(s.plen));
+    if (s.tel_key != 0) {
+      if (auto* tel = e.telemetry)
+        tel->span_end(telemetry::Stage::kSosend, s.tel_key);
+    }
     appended = true;
   }
   if (appended) {

@@ -1,0 +1,55 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+
+namespace nectar::telemetry {
+
+void LogHistogram::merge(const LogHistogram& o) {
+  if (o.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kBuckets, 0);
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void LogHistogram::reset() {
+  counts_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+  // ceil() without floating-point edge cases: bump unless already exact.
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+core::Json LogHistogram::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("count", count_);
+  j.set("sum", sum_);
+  j.set("min", min());
+  j.set("max", max_);
+  j.set("mean", mean());
+  j.set("p50", percentile(50.0));
+  j.set("p90", percentile(90.0));
+  j.set("p99", percentile(99.0));
+  j.set("p999", percentile(99.9));
+  return j;
+}
+
+}  // namespace nectar::telemetry

@@ -1,0 +1,72 @@
+// Datapath stages for span tracing. A span is one packet's (or request's)
+// residence in one stage; the stage enum doubles as the Chrome trace
+// category and the per-stage histogram key, so the set below is the
+// vocabulary of every latency export.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace nectar::telemetry {
+
+enum class Stage : std::uint8_t {
+  kSosend = 0,   // sosend staging: copy_in posted -> WCAB appended to snd buf
+  kSegment,      // tcp_output send_segment -> remote tcp_input accept_data
+  kDriverStage,  // driver copy_in job: created -> staging SDMA delivered a WCAB
+  kSdmaQueue,    // SDMA request: posted -> popped from the arbitration queue
+  kSdmaXfer,     // SDMA request: engine start -> completion (or abort)
+  kMdmaQueue,    // MDMA transmit: posted -> popped from the arbitration queue
+  kMdmaXfer,     // MDMA transmit: engine start -> completion (or abort)
+  kOutboard,     // network-memory residency: alloc -> last reference released
+  kLinkTransit,  // wire propagation: submit -> remote hippi_receive
+  kRecvDma,      // receive staging: frame landed outboard -> delivered to driver
+  kSoreceive,    // soreceive delivery: recv unblocked -> bytes in user buffer
+  kCount,
+};
+
+[[nodiscard]] constexpr const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kSosend: return "sosend";
+    case Stage::kSegment: return "segment";
+    case Stage::kDriverStage: return "driver_stage";
+    case Stage::kSdmaQueue: return "sdma_queue";
+    case Stage::kSdmaXfer: return "sdma_xfer";
+    case Stage::kMdmaQueue: return "mdma_queue";
+    case Stage::kMdmaXfer: return "mdma_xfer";
+    case Stage::kOutboard: return "outboard";
+    case Stage::kLinkTransit: return "link_transit";
+    case Stage::kRecvDma: return "recv_dma";
+    case Stage::kSoreceive: return "soreceive";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+
+// 64-bit finalizer (splitmix64 tail): full-avalanche, cheap, dependency-free.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Span key for one TCP data segment. The sender keys the begin with its own
+// (local, foreign) view of the connection and the receiver keys the end with
+// the mirrored view, so the endpoints are canonicalized (sorted) before
+// hashing — both sides compute the same key for the same segment.
+[[nodiscard]] constexpr std::uint64_t segment_key(std::uint32_t laddr,
+                                                 std::uint16_t lport,
+                                                 std::uint32_t faddr,
+                                                 std::uint16_t fport,
+                                                 std::uint32_t seq) noexcept {
+  std::uint64_t a = (static_cast<std::uint64_t>(laddr) << 16) | lport;
+  std::uint64_t b = (static_cast<std::uint64_t>(faddr) << 16) | fport;
+  if (a > b) std::swap(a, b);
+  return mix64(a * 0x9e3779b97f4a7c15ull ^ b) ^ seq;
+}
+
+}  // namespace nectar::telemetry
