@@ -29,10 +29,13 @@ build-release/bench/fault_recovery --quick --json \
     build-release/BENCH_fault_recovery_smoke.json
 build-release/bench/latency_profile --quick --json \
     build-release/BENCH_latency_smoke.json
+build-release/bench/offload_sweep --quick --json \
+    build-release/BENCH_offload_smoke.json
 
-# Schema validation: every committed benchmark artifact must carry the
-# versioned-schema marker so downstream consumers can detect layout changes.
-for f in BENCH_*.json; do
+# Schema validation: every benchmark artifact — committed or freshly emitted
+# by the smoke runs above — must carry the versioned-schema marker so
+# downstream consumers can detect layout changes.
+for f in BENCH_*.json build-release/BENCH_*.json; do
     [ -e "$f" ] || continue
     grep -q '"schema_version"' "$f" || {
         echo "ci: $f is missing schema_version" >&2
@@ -40,17 +43,19 @@ for f in BENCH_*.json; do
     }
 done
 
-# ASan/UBSan lane over the many-flow, fault and telemetry suites: connect/
-# close churn through the demux hash table, the CAB arbitration queues and
-# the listener backlog is exactly where lifetime and aliasing bugs would hide
-# — the fault injector's reset/abort/retry paths free and re-post DMA jobs,
-# the other classic source of use-after-free — and the telemetry hooks ride
-# every one of those paths (span ends from abort callbacks, gauge closures
-# over engine internals).
+# ASan/UBSan lane over the many-flow, fault, telemetry and offload suites:
+# connect/close churn through the demux hash table, the CAB arbitration
+# queues and the listener backlog is exactly where lifetime and aliasing bugs
+# would hide — the fault injector's reset/abort/retry paths free and re-post
+# DMA jobs, the other classic source of use-after-free — the telemetry hooks
+# ride every one of those paths (span ends from abort callbacks, gauge
+# closures over engine internals), and the TSO/GRO paths juggle multi-MTU
+# descriptors and batched receive chains across the same completion
+# callbacks.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency'
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload'
 
 echo "ci: all configs green"

@@ -33,6 +33,7 @@ class CabDevice final : public mbuf::OutboardOwner {
         sdma_(sim, nm_, cfg.sdma),
         mdma_xmit_(sim, nm_, fabric, cfg.mdma),
         mdma_recv_(sim, nm_, sdma_, cfg.mdma) {
+    mdma_xmit_.set_checksum(&sdma_.checksum());
     fabric.attach(addr, &mdma_recv_);
   }
 

@@ -51,6 +51,16 @@ class ChecksumEngine {
     return checksum::finish(static_cast<std::uint32_t>(seed) + body_sum);
   }
 
+  // Sum a replicated header block during large-segment fan-out. Like the
+  // combine path this is a register-width adder separate from the summation
+  // pipeline, so it keeps producing correct sums while the datapath is failed
+  // — per-segment header checksums stay valid during degraded mode as long as
+  // the body slice sums were saved at staging time.
+  std::uint32_t header_sum(std::span<const std::byte> hdr) {
+    bytes_summed_ += hdr.size();
+    return checksum::ones_sum(hdr);
+  }
+
   // Fault injection: mark the summation datapath failed / repaired. The
   // driver's recovery probe reads failed() as the unit's self-test result.
   void set_failed(bool f) noexcept { failed_ = f; }

@@ -2,7 +2,9 @@
 
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 
+#include "checksum/wire.h"
 #include "telemetry/telemetry.h"
 
 namespace nectar::cab {
@@ -30,6 +32,12 @@ void MdmaXmit::kick() {
     tel_->span_begin(telemetry::Stage::kMdmaXfer, tel_pid_, tkey(r.id), r.flow);
   }
 
+  if (r.tso_seg_payload > 0 && r.len > r.tso_hdr_len &&
+      r.len - r.tso_hdr_len > r.tso_seg_payload) {
+    kick_tso(std::move(r));
+    return;
+  }
+
   const sim::Duration t =
       cfg_.setup +
       sim::transfer_time(static_cast<std::int64_t>(r.len), cfg_.line_rate_bps);
@@ -41,7 +49,7 @@ void MdmaXmit::kick() {
   // Snapshot the bytes at transmit time (a retransmission may rewrite the
   // header while an earlier copy is still "on the wire").
   auto pkt = std::make_shared<hippi::Packet>();
-  auto src = nm_.bytes(r.handle, 0, r.len);
+  auto src = nm_.bytes(r.handle, r.off, r.len);
   pkt->bytes.assign(src.begin(), src.end());
 
   auto done = std::make_shared<std::function<void()>>(std::move(r.on_complete));
@@ -68,6 +76,124 @@ void MdmaXmit::kick() {
     if (*done) (*done)();
     kick();
   });
+}
+
+// Large-segment fan-out. The host posted one multi-MTU packet; the engine
+// cuts its payload into wire segments, replicating the header block per
+// segment with length/sequence fixups and per-segment checksums built from
+// the slice sums the SDMA saved at staging time (ChecksumEngine::combine
+// machinery — no second pass over the data). The whole burst costs one
+// engine setup: that amortization, not the media time, is the offload win.
+void MdmaXmit::kick_tso(Request r) {
+  const std::size_t hl = r.tso_hdr_len;
+  const std::size_t seg_payload = r.tso_seg_payload;
+  const std::size_t payload = r.len - hl;
+  const std::size_t nsegs = (payload + seg_payload - 1) / seg_payload;
+  const std::size_t ip_off = hippi::kHeaderSize;
+  const std::size_t tcp_off = ip_off + 20;
+  if (hl < tcp_off + 20)
+    throw std::logic_error("MdmaXmit: TSO header block too short");
+  const std::size_t thl = hl - tcp_off;  // transport header length
+
+  ++stats_.tso_requests;
+  if (tel_ != nullptr)
+    tel_->span_begin(telemetry::Stage::kTsoFanout, tel_pid_, tkey(r.id), r.flow);
+
+  // Snapshot the super-segment once (same rule as the single-packet path).
+  auto src = nm_.bytes(r.handle, r.off, r.len);
+
+  // Pseudo-header template from the replicated IP header.
+  checksum::PseudoHeader ph;
+  ph.src = wire::load_be32(src.data() + ip_off + 12);
+  ph.dst = wire::load_be32(src.data() + ip_off + 16);
+  ph.proto = std::to_integer<std::uint8_t>(src[ip_off + 9]);
+  const std::uint32_t base_seq = wire::load_be32(src.data() + tcp_off + 4);
+  const std::byte tmpl_flags = src[tcp_off + 13];
+
+  auto done = std::make_shared<std::function<void()>>(std::move(r.on_complete));
+  const std::uint64_t epoch = epoch_;
+  const std::uint64_t rid = r.id;
+  std::size_t cum_bytes = 0;
+  for (std::size_t i = 0; i < nsegs; ++i) {
+    const std::size_t slice = std::min(seg_payload, payload - i * seg_payload);
+    const bool last = i + 1 == nsegs;
+    const std::size_t ip_total = 20 + thl + slice;
+
+    auto pkt = std::make_shared<hippi::Packet>();
+    pkt->bytes.resize(hl + slice);
+    std::byte* b = pkt->bytes.data();
+    std::memcpy(b, src.data(), hl);
+    std::memcpy(b + hl, src.data() + hl + i * seg_payload, slice);
+
+    // Link: the HIPPI length word tracks the IP datagram it carries.
+    wire::store_be32(b + 12, static_cast<std::uint32_t>(ip_total));
+    // IP: per-segment total length, fresh header checksum.
+    wire::store_be16(b + ip_off + 2, static_cast<std::uint16_t>(ip_total));
+    wire::store_be16(b + ip_off + 10, 0);
+    wire::store_be16(b + ip_off + 10,
+                     checksum::finish(checksum::ones_sum(
+                         std::span<const std::byte>(b + ip_off, 20))));
+    // TCP: advance the sequence number, carry FIN/PSH only on the last
+    // segment, recompute the checksum from pseudo + header + saved slice sum.
+    wire::store_be32(b + tcp_off + 4,
+                     base_seq + static_cast<std::uint32_t>(i * seg_payload));
+    if (!last) b[tcp_off + 13] = tmpl_flags & std::byte{0xf6};  // ~(FIN|PSH)
+    wire::store_be16(b + tcp_off + 16, 0);
+    ph.length = static_cast<std::uint16_t>(thl + slice);
+    const std::span<const std::byte> th(b + tcp_off, thl);
+    std::uint32_t sum = checksum::pseudo_sum(ph);
+    sum += csum_ != nullptr ? csum_->header_sum(th) : checksum::ones_sum(th);
+    std::uint32_t body;
+    if (auto saved = nm_.seg_slice_sum(r.handle, r.off + hl + i * seg_payload, slice)) {
+      body = *saved;
+    } else {
+      const std::span<const std::byte> bs(b + hl, slice);
+      // No saved slice sum: a fresh pass through the summation unit (which,
+      // when failed, yields a deterministically bad checksum — the receiver
+      // drops the segment and the transport retries after recovery).
+      body = csum_ != nullptr ? csum_->sum_from(bs, 0) : checksum::ones_sum(bs);
+    }
+    sum = checksum::combine(sum, body, thl);
+    wire::store_be16(b + tcp_off + 16, checksum::finish(sum));
+
+    const bool fail = inject_errors_ > 0;  // per wire segment, like the wire
+    if (fail) --inject_errors_;
+    cum_bytes += hl + slice;
+    const sim::Duration at =
+        cfg_.setup + sim::transfer_time(static_cast<std::int64_t>(cum_bytes),
+                                        cfg_.line_rate_bps);
+    if (last) stats_.busy_time += at;
+    sim_.after(at, [this, pkt, done, fail, epoch, rid, last] {
+      if (epoch != epoch_) {
+        if (last) {
+          ++stats_.aborted;
+          if (tel_ != nullptr) {
+            tel_->span_end(telemetry::Stage::kTsoFanout, tkey(rid));
+            tel_->span_end(telemetry::Stage::kMdmaXfer, tkey(rid));
+          }
+          if (*done) (*done)();
+        }
+        return;
+      }
+      if (fail) {
+        ++stats_.errors;
+      } else {
+        ++stats_.packets;
+        ++stats_.tso_wire_segs;
+        stats_.bytes += pkt->size();
+        fabric_->submit(std::move(*pkt));
+      }
+      if (last) {
+        busy_ = false;
+        if (tel_ != nullptr) {
+          tel_->span_end(telemetry::Stage::kTsoFanout, tkey(rid));
+          tel_->span_end(telemetry::Stage::kMdmaXfer, tkey(rid));
+        }
+        if (*done) (*done)();
+        kick();
+      }
+    });
+  }
 }
 
 void MdmaXmit::abort_all() {

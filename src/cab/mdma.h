@@ -39,13 +39,25 @@ class MdmaXmit {
 
   struct Request {
     Handle handle = 0;
-    std::size_t len = 0;  // bytes to transmit from offset 0
+    std::size_t len = 0;  // bytes to transmit from `off`
     std::uint32_t flow = 0;  // owning transport flow (0 = unattributed)
     std::function<void()> on_complete;
+    std::size_t off = 0;  // first buffer byte to transmit
+    // Large-segment fan-out (TSO): when tso_seg_payload > 0 and the transport
+    // payload (len - tso_hdr_len) exceeds it, the engine cuts the payload into
+    // wire segments of at most tso_seg_payload bytes, replicating the first
+    // tso_hdr_len header bytes per segment with length/sequence/checksum
+    // fixups — one engine setup for the whole burst.
+    std::size_t tso_hdr_len = 0;
+    std::size_t tso_seg_payload = 0;
     std::uint64_t id = 0;  // assigned by the engine (last: not brace-initialized)
   };
 
   void post(Request r);
+
+  // Per-segment checksum fixups during fan-out use the shared checksum unit
+  // (wired by CabDevice); unset, the engine falls back to an ideal adder.
+  void set_checksum(ChecksumEngine* c) noexcept { csum_ = c; }
 
   struct Stats {
     std::uint64_t packets = 0;
@@ -53,6 +65,8 @@ class MdmaXmit {
     sim::Duration busy_time = 0;
     std::uint64_t errors = 0;   // injected media errors (packet never sent)
     std::uint64_t aborted = 0;  // requests dropped by abort_all (reset)
+    std::uint64_t tso_requests = 0;   // multi-segment fan-outs
+    std::uint64_t tso_wire_segs = 0;  // wire packets those produced
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
@@ -83,6 +97,7 @@ class MdmaXmit {
 
  private:
   void kick();
+  void kick_tso(Request r);
   [[nodiscard]] std::uint64_t tkey(std::uint64_t id) const noexcept {
     return tel_ns_ | (id & ((1ull << 40) - 1));
   }
@@ -90,6 +105,7 @@ class MdmaXmit {
   sim::Simulator& sim_;
   NetworkMemory& nm_;
   hippi::Fabric* fabric_;
+  ChecksumEngine* csum_ = nullptr;
   MdmaConfig cfg_;
   bool busy_ = false;
   bool stalled_ = false;

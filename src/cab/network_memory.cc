@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "checksum/internet_checksum.h"
 #include "telemetry/telemetry.h"
 
 namespace nectar::cab {
@@ -144,6 +145,41 @@ int NetworkMemory::refcount(Handle h) const { return slot(h).refs; }
 void NetworkMemory::set_body_sum(Handle h, std::uint32_t sum) { slot(h).body_sum = sum; }
 std::optional<std::uint32_t> NetworkMemory::body_sum(Handle h) const {
   return slot(h).body_sum;
+}
+
+void NetworkMemory::set_seg_sums(Handle h, std::size_t base, std::size_t stride,
+                                 std::size_t len, std::vector<std::uint32_t> sums) {
+  if (stride == 0) throw std::invalid_argument("NetworkMemory::set_seg_sums: zero stride");
+  slot(h).seg_sums = SegSums{base, stride, len, std::move(sums)};
+}
+
+std::optional<std::uint32_t> NetworkMemory::seg_slice_sum(Handle h, std::size_t abs_off,
+                                                          std::size_t len) const {
+  const auto& ss = slot(h).seg_sums;
+  if (!ss || abs_off < ss->base) return std::nullopt;
+  const std::size_t off = abs_off - ss->base;
+  if (off % ss->stride != 0) return std::nullopt;
+  const std::size_t j = off / ss->stride;
+  if (j >= ss->sums.size()) return std::nullopt;
+  const std::size_t slice_len = std::min(ss->stride, ss->len - j * ss->stride);
+  if (len != slice_len) return std::nullopt;
+  return ss->sums[j];
+}
+
+std::optional<std::uint32_t> NetworkMemory::tail_sum(Handle h, std::size_t abs_off) const {
+  const auto& ss = slot(h).seg_sums;
+  if (!ss || abs_off < ss->base) return std::nullopt;
+  const std::size_t off = abs_off - ss->base;
+  if (off % ss->stride != 0) return std::nullopt;
+  const std::size_t j0 = off / ss->stride;
+  if (j0 >= ss->sums.size()) return std::nullopt;
+  std::uint32_t acc = 0;
+  std::size_t rel = 0;  // bytes accumulated so far (for odd-offset swaps)
+  for (std::size_t j = j0; j < ss->sums.size(); ++j) {
+    acc = checksum::combine(acc, ss->sums[j], rel);
+    rel += std::min(ss->stride, ss->len - j * ss->stride);
+  }
+  return acc;
 }
 
 }  // namespace nectar::cab

@@ -46,6 +46,23 @@ class NetworkMemory {
   void set_body_sum(Handle h, std::uint32_t sum);
   [[nodiscard]] std::optional<std::uint32_t> body_sum(Handle h) const;
 
+  // Per-slice body sums for large-segment offload: the staging SDMA saves one
+  // partial sum per `stride`-byte slice of the packet body (the last slice may
+  // be short) so the MDMA fan-out — and header-only tail retransmissions — can
+  // produce per-wire-segment checksums without re-reading the data, even while
+  // the summation datapath is degraded.
+  void set_seg_sums(Handle h, std::size_t base, std::size_t stride,
+                    std::size_t len, std::vector<std::uint32_t> sums);
+  // Sum of the exact slice [abs_off, abs_off+len) — nullopt unless it lands on
+  // a saved slice boundary with a matching length.
+  [[nodiscard]] std::optional<std::uint32_t> seg_slice_sum(Handle h,
+                                                           std::size_t abs_off,
+                                                           std::size_t len) const;
+  // Combined sum of everything from abs_off (a slice boundary) to the end of
+  // the saved region, with the correct odd-offset byte swaps.
+  [[nodiscard]] std::optional<std::uint32_t> tail_sum(Handle h,
+                                                      std::size_t abs_off) const;
+
   // --- fault injection -------------------------------------------------------
 
   // Forced exhaustion: every alloc fails (counted) until cleared, as if the
@@ -81,12 +98,20 @@ class NetworkMemory {
   void set_telemetry(telemetry::Telemetry* tel, int pid);
 
  private:
+  struct SegSums {
+    std::size_t base = 0;    // byte offset of the first slice
+    std::size_t stride = 0;  // slice length (last slice may be shorter)
+    std::size_t len = 0;     // total bytes covered
+    std::vector<std::uint32_t> sums;
+  };
+
   struct Slot {
     std::size_t first_page = 0;
     std::size_t npages = 0;
     std::size_t len = 0;
     int refs = 0;
     std::optional<std::uint32_t> body_sum;
+    std::optional<SegSums> seg_sums;
     bool live = false;
     std::uint64_t tel_key = 0;
   };

@@ -113,25 +113,63 @@ void SdmaEngine::execute(SdmaRequest& r) {
     }
     if (r.csum_enable && r.body_sum_only) {
       // Staging: the packet body flows outboard before its headers exist;
-      // save its checksum for the header SDMA that follows (§4.3).
-      nm_.set_body_sum(r.handle, csum_.sum_from(dst, r.skip_words));
+      // save its checksum for the header SDMA that follows (§4.3). For
+      // large-segment staging also save one sum per stride-size slice so the
+      // MDMA fan-out can checksum each wire segment — same bytes through the
+      // summation unit either way, just checkpointed at slice boundaries.
+      if (r.seg_stride > 0) {
+        std::vector<std::uint32_t> sums;
+        std::uint32_t body = 0;
+        std::size_t off = 0;
+        while (off < dst.size()) {
+          const std::size_t n = std::min<std::size_t>(r.seg_stride, dst.size() - off);
+          const std::uint32_t s = csum_.sum_from(dst.subspan(off, n), 0);
+          body = checksum::combine(body, s, off);
+          sums.push_back(s);
+          off += n;
+        }
+        nm_.set_seg_sums(r.handle, r.cab_off, r.seg_stride, dst.size(), std::move(sums));
+        nm_.set_body_sum(r.handle, body);
+      } else {
+        nm_.set_body_sum(r.handle, csum_.sum_from(dst, r.skip_words));
+      }
       return;
     }
     if (r.csum_enable) {
-      // The request stream begins at cab_off == 0 for checksummed packets
-      // (a fully-formed packet, §2.2), so skip_words counts from the start
-      // of the transfer.
+      // The request stream begins at cab_off == 0 for a fully-formed packet
+      // (§2.2), so skip_words counts from the start of the transfer. A
+      // header rewrite may land mid-buffer (cab_off > 0): a tail
+      // retransmission of a partially-acknowledged super-segment, whose body
+      // sum comes from the saved slice sums rather than the whole-packet sum.
       std::uint32_t body;
       if (r.header_rewrite) {
-        auto saved = nm_.body_sum(r.handle);
-        if (!saved)
-          throw std::logic_error("SdmaEngine: header rewrite without saved body sum");
-        body = *saved;
+        if (r.cab_off == 0) {
+          auto saved = nm_.body_sum(r.handle);
+          if (!saved)
+            throw std::logic_error("SdmaEngine: header rewrite without saved body sum");
+          body = *saved;
+        } else {
+          const std::size_t payload_at = r.cab_off + total;
+          auto tail = nm_.tail_sum(r.handle, payload_at);
+          if (tail) {
+            body = *tail;
+          } else if (!csum_.failed()) {
+            body = csum_.sum_from(
+                nm_.bytes(r.handle, payload_at, nm_.packet_len(r.handle) - payload_at),
+                0);
+          } else {
+            // No saved slice covers this tail and the summation unit is down:
+            // parity abort, the driver re-posts after recovery.
+            r.failed = true;
+            ++stats_.errors;
+            return;
+          }
+        }
       } else {
         body = csum_.sum_from(dst, r.skip_words);
         nm_.set_body_sum(r.handle, body);
       }
-      auto field = nm_.bytes(r.handle, r.csum_offset, 2);
+      auto field = nm_.bytes(r.handle, r.cab_off + r.csum_offset, 2);
       const std::uint16_t seed = wire::load_be16(field.data());
       wire::store_be16(field.data(), ChecksumEngine::finish_with_seed(seed, body));
     }

@@ -53,6 +53,10 @@ struct SdmaRequest {
   // Data staging (copy-in before headers exist): compute and save the body
   // sum over this transfer, but do not touch any checksum field yet.
   bool body_sum_only = false;
+  // Large-segment staging: with body_sum_only, also save one partial sum per
+  // `seg_stride`-byte slice of the transfer so the MDMA fan-out can checksum
+  // each wire segment without re-reading the data (NetworkMemory::SegSums).
+  std::uint16_t seg_stride = 0;
 
   bool interrupt_on_done = false;  // paper: only the last SDMA of a write
   std::uint32_t flow = 0;          // owning transport flow (0 = unattributed)

@@ -85,6 +85,10 @@ MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
     const auto ha_s = static_cast<hippi::Addr>(kHaServerBase + i);
     cab_clients.push_back(&clients[i]->attach_cab(fabric(), ha_c, client_ip(i)));
     cab_servers.push_back(&servers[i]->attach_cab(fabric(), ha_s, server_ip(i)));
+    if (opts.offload) {
+      cab_clients.back()->enable_offload(opts.offload_cfg);
+      cab_servers.back()->enable_offload(opts.offload_cfg);
+    }
     clients[i]->stack().routes().add(net::make_ip(10, 2, 0, 0), 16,
                                      cab_clients[i]);
     servers[i]->stack().routes().add(net::make_ip(10, 1, 0, 0), 16,

@@ -47,6 +47,9 @@ struct MultiTestbedOptions {
   // hosts (every client/server is its own trace process).
   bool telemetry = false;
   sim::Duration telemetry_tick = sim::usec(100.0);
+  // Large-segment offload (TSO/GRO analogue) on every CAB driver.
+  bool offload = false;
+  drivers::OffloadConfig offload_cfg = {};
 };
 
 class MultiTestbed {

@@ -293,6 +293,31 @@ Json Netstat::json() const {
         jr.set("leaked_reclaimed", r.leaked_reclaimed);
         c.set("recovery", std::move(jr));
       }
+      // Large-segment offload: TSO fan-out and receive coalescing. Emitted
+      // only when enabled, so offload-off dumps stay byte-identical.
+      if (cab->offload_enabled()) {
+        const auto& of = cab->off_stats;
+        Json jo = Json::object();
+        jo.set("tso_max", static_cast<std::uint64_t>(cab->offload_config().tso_max));
+        jo.set("gro_budget",
+               static_cast<std::uint64_t>(cab->offload_config().gro_budget));
+        jo.set("tx_super_segs", of.tx_super_segs);
+        jo.set("tx_wire_segs", of.tx_wire_segs);
+        jo.set("tx_tso_bytes", of.tx_tso_bytes);
+        jo.set("tx_fallback_host_seg", of.tx_fallback_host_seg);
+        jo.set("mdma_tso_requests", mx.tso_requests);
+        jo.set("mdma_tso_wire_segs", mx.tso_wire_segs);
+        jo.set("rx_batches", of.rx_batches);
+        jo.set("rx_batched_descs", of.rx_batched_descs);
+        jo.set("rx_merged_segs", of.rx_merged_segs);
+        jo.set("rx_merged_bytes", of.rx_merged_bytes);
+        jo.set("rx_csum_verified", of.rx_csum_verified);
+        jo.set("rx_flush_budget", of.rx_flush_budget);
+        jo.set("rx_flush_timer", of.rx_flush_timer);
+        jo.set("rx_flush_barrier", of.rx_flush_barrier);
+        jo.set("rx_gro_bypass", of.rx_gro_bypass);
+        c.set("offload", std::move(jo));
+      }
       j.set("cab", std::move(c));
     }
     ifs.push_back(std::move(j));

@@ -87,8 +87,13 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
     tel->start_ticker(opts.telemetry_tick);
   }
 
-  cab_a = &a->attach_cab(fabric(), kHaA, kIpA);
-  cab_b = &b->attach_cab(fabric(), kHaB, kIpB);
+  const std::size_t mtu = opts.cab_mtu != 0 ? opts.cab_mtu : 32 * 1024;
+  cab_a = &a->attach_cab(fabric(), kHaA, kIpA, mtu);
+  cab_b = &b->attach_cab(fabric(), kHaB, kIpB, mtu);
+  if (opts.offload) {
+    cab_a->enable_offload(opts.offload_cfg);
+    cab_b->enable_offload(opts.offload_cfg);
+  }
   cab_a->add_neighbor(kIpB, kHaB);
   cab_b->add_neighbor(kIpA, kHaA);
   a->stack().routes().add(net::make_ip(10, 0, 0, 0), 24, cab_a);

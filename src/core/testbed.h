@@ -48,6 +48,11 @@ struct TestbedOptions {
   // through both hosts and the wire, and sample gauges every telemetry_tick.
   bool telemetry = false;
   sim::Duration telemetry_tick = sim::usec(100.0);
+  // Wire MTU of both CAB interfaces (0 = the attach_cab default, 32 KB).
+  std::size_t cab_mtu = 0;
+  // Large-segment offload (TSO/GRO analogue) on both CAB drivers.
+  bool offload = false;
+  drivers::OffloadConfig offload_cfg = {};
 };
 
 class Testbed {

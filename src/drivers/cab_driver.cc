@@ -1,16 +1,73 @@
 #include "drivers/cab_driver.h"
 
+#include "checksum/wire.h"
 #include "net/ip.h"
 #include "telemetry/telemetry.h"
 
 #include <cassert>
 #include <cstdio>
+#include <iterator>
 #include <stdexcept>
 
 namespace nectar::drivers {
 
 using mbuf::Mbuf;
 using net::KernCtx;
+
+namespace {
+
+// Parsed view of a receive descriptor's auto-DMAed head, for the driver's
+// coalescing (GRO) decisions. `tcp` marks a plain unfragmented IPv4 TCP
+// segment whose frame length is self-consistent; only those may merge.
+struct GroSeg {
+  bool tcp = false;
+  bool verified = false;  // hardware checksum checks out for this segment
+  std::uint32_t src = 0, dst = 0;
+  std::uint32_t seq = 0, ack = 0;
+  std::uint16_t sport = 0, dport = 0, win = 0;
+  std::uint8_t flags = 0;
+  std::size_t thl = 0;      // transport header length
+  std::size_t payload = 0;  // transport payload bytes
+};
+
+GroSeg parse_gro(const cab::RecvDesc& d) {
+  GroSeg s;
+  constexpr std::size_t ip_off = hippi::kHeaderSize;
+  constexpr std::size_t tcp_off = ip_off + 20;
+  const std::byte* b = d.head.data();
+  if (d.head.size() < tcp_off + 20) return s;
+  if (wire::load_be16(b + 8) != hippi::kTypeIp) return s;
+  if (std::to_integer<std::uint8_t>(b[ip_off]) != 0x45) return s;  // v4, no options
+  if ((wire::load_be16(b + ip_off + 6) & 0x3fff) != 0) return s;   // no fragments
+  if (std::to_integer<std::uint8_t>(b[ip_off + 9]) != 6) return s;  // TCP only
+  const std::size_t ip_total = wire::load_be16(b + ip_off + 2);
+  if (d.total_len != ip_off + ip_total) return s;  // truncated / padded frame
+  const std::size_t thl =
+      static_cast<std::size_t>(std::to_integer<std::uint8_t>(b[tcp_off + 12]) >> 4) * 4;
+  if (thl < 20 || 20 + thl > ip_total || d.head.size() < tcp_off + thl) return s;
+  s.tcp = true;
+  s.src = wire::load_be32(b + ip_off + 12);
+  s.dst = wire::load_be32(b + ip_off + 16);
+  s.sport = wire::load_be16(b + tcp_off);
+  s.dport = wire::load_be16(b + tcp_off + 2);
+  s.seq = wire::load_be32(b + tcp_off + 4);
+  s.ack = wire::load_be32(b + tcp_off + 8);
+  s.flags = std::to_integer<std::uint8_t>(b[tcp_off + 13]);
+  s.win = wire::load_be16(b + tcp_off + 14);
+  s.thl = thl;
+  s.payload = ip_total - 20 - thl;
+  // The receive engine's sum covers everything past the HIPPI + IP headers
+  // (rx skip = 20 words); folding it against the pseudo-header verifies the
+  // segment without the host ever reading the data.
+  const std::uint32_t pseudo = net::transport_pseudo_sum(
+      s.src, s.dst, 6, static_cast<std::uint16_t>(ip_total - 20));
+  s.verified = checksum::fold(pseudo + d.hw_sum) == 0xffff;
+  return s;
+}
+
+constexpr std::uint8_t kTcpFlagAckOnly = 0x10;
+
+}  // namespace
 
 hippi::Addr CabDriver::resolve(net::IpAddr next_hop) const {
   auto it = neighbors_.find(next_hop);
@@ -106,6 +163,11 @@ sim::Task<void> CabDriver::output(KernCtx ctx, Mbuf* pkt, net::IpAddr next_hop) 
   ++drv_stats.tx_fresh;
   ++if_stats.opackets;
   if_stats.obytes += total;
+  // Degraded windows drop kCapSingleCopy, so traffic that would have been
+  // staged as super-segments arrives here pre-cut by the host: count each
+  // such wire segment as a forced host segmentation.
+  if (offload_enabled_ && oc_.tso_max > 1 && degraded_ != 0)
+    ++off_stats.tx_fallback_host_seg;
 
   const cab::Handle h = *handle;
   cab::CabDevice* dev = &dev_;
@@ -160,9 +222,12 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
                                           net::IpAddr next_hop) {
   (void)ctx;
   auto& env = stack()->env();
-  // Expect: header mbufs (regular) followed by exactly one WCAB mbuf whose
-  // data_off equals the total header length (link + IP + transport). This
-  // invariant is guaranteed by TCP's segment-boundary rule for retransmits.
+  // Expect: header mbufs (regular) followed by exactly one WCAB mbuf. The
+  // outboard payload normally starts right after the header block
+  // (data_off == headers); after a partial acknowledgement of a multi-MTU
+  // super-segment the front of the WCAB has been trimmed, so the headers are
+  // rewritten at `payload_off` and only the tail goes back on the wire.
+  // TCP's segment-boundary rule guarantees the cut never lands mid-header.
   std::size_t hdr_len = 0;
   Mbuf* wm = nullptr;
   for (Mbuf* m = pkt; m != nullptr; m = m->next) {
@@ -180,11 +245,13 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   }
   assert(wm != nullptr);
   const mbuf::Wcab w = wm->wcab();
-  if (w.data_off != hdr_len + hippi::kHeaderSize) {
+  const std::size_t hdr_block = hdr_len + hippi::kHeaderSize;
+  if (w.data_off < hdr_block) {
     std::fprintf(stderr, "CabDriver mismatch: data_off=%u hdr_len=%zu wm_len=%d valid=%u pkthdr_len=%d\n",
                  w.data_off, hdr_len, wm->len(), w.valid, pkt->pkthdr.len);
     throw std::logic_error("CabDriver: retransmit does not match outboard packet");
   }
+  const std::size_t payload_off = w.data_off - hdr_block;
 
   hippi::FrameHeader fh;
   fh.dst = resolve(next_hop);
@@ -194,12 +261,12 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   Mbuf* m0 = mbuf::m_prepend(pkt, static_cast<int>(hippi::kHeaderSize));
   hippi::write_header({m0->data(), hippi::kHeaderSize}, fh);
 
-  const std::size_t total = w.data_off + wm->len();
+  const std::size_t total = hdr_block + static_cast<std::size_t>(wm->len());
 
   cab::SdmaRequest req;
   req.dir = cab::SdmaRequest::Dir::kToCab;
   req.handle = w.handle;
-  req.cab_off = 0;
+  req.cab_off = payload_off;
   req.flow = m0->pkthdr.flow;
   req.header_rewrite = true;
   for (Mbuf* m = m0; m != nullptr; m = m->next) {
@@ -218,12 +285,26 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
   ++if_stats.opackets;
   if_stats.obytes += total;
 
+  // Large-segment offload: the MDMA engine fans the super-segment out into
+  // wire MTUs; the transmit is still one doorbell and one SDMA/MDMA pair.
+  std::size_t tso_seg_payload = 0;
+  if (m0->pkthdr.csum_tx.tso_seg_payload > 0) {
+    tso_seg_payload = m0->pkthdr.csum_tx.tso_seg_payload;
+    const std::size_t payload = static_cast<std::size_t>(wm->len());
+    if (payload > tso_seg_payload) {
+      ++off_stats.tx_super_segs;
+      off_stats.tx_wire_segs += (payload + tso_seg_payload - 1) / tso_seg_payload;
+      off_stats.tx_tso_bytes += payload;
+    }
+  }
+
   const cab::Handle h = w.handle;
   cab::CabDevice* dev = &dev_;
   dev_.outboard_retain(h);  // keep alive through SDMA + MDMA
   Mbuf* chain = m0;
   const std::uint32_t flow = m0->pkthdr.flow;
-  req.on_complete = [this, dev, h, chain, total, flow](const cab::SdmaRequest& done) {
+  req.on_complete = [this, dev, h, chain, total, payload_off, tso_seg_payload,
+                     hdr_block, flow](const cab::SdmaRequest& done) {
     if (done.failed) {
       // Header rewrite failed (reset/injected error): the outboard data is
       // intact, so the next RTO retransmission simply tries again.
@@ -237,8 +318,13 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
     chain->pool().free_chain(chain);  // drops the packet's own WCAB reference
     cab::MdmaXmit::Request mr;
     mr.handle = h;
+    mr.off = payload_off;
     mr.len = total;
     mr.flow = flow;
+    if (tso_seg_payload > 0) {
+      mr.tso_hdr_len = hdr_block;  // link + IP + transport headers
+      mr.tso_seg_payload = tso_seg_payload;
+    }
     mr.on_complete = [dev, h] { dev->nm().release(h); };
     dev->mdma_xmit().post(mr);
   };
@@ -253,13 +339,16 @@ sim::Task<void> CabDriver::output_rewrite(KernCtx ctx, Mbuf* pkt,
 
 sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
                                    std::size_t header_space,
-                                   std::function<void(mbuf::Wcab)> done) {
+                                   std::function<void(mbuf::Wcab)> done,
+                                   std::size_t seg_stride) {
   auto& env = stack()->env();
   co_await env.cpu.run(sim::usec(stack()->costs().driver_issue_us), ctx.acct,
                        ctx.prio);
   if (recovery_enabled_) arm_watchdog();
   if (!data.word_aligned())
     throw std::logic_error("CabDriver::copy_in: misaligned user data");
+  if (offload_enabled_ && oc_.tso_max > 1 && tx_tso_segs() == 1)
+    ++off_stats.tx_fallback_host_seg;  // degraded: host-side segmentation
 
   const std::size_t len = data.total_len();
   std::optional<cab::Handle> handle;
@@ -288,6 +377,7 @@ sim::Task<void> CabDriver::copy_in(KernCtx ctx, mem::Uio data,
   job->req.csum_enable = true;
   job->req.body_sum_only = true;
   job->req.skip_words = 0;
+  job->req.seg_stride = static_cast<std::uint16_t>(seg_stride);
   job->done = std::move(done);
   job->handle = *handle;
   job->data_off = static_cast<std::uint32_t>(header_space);
@@ -302,7 +392,9 @@ void CabDriver::submit_copyin(std::shared_ptr<CopyinJob> job) {
       if (!job->req.csum_enable) {
         // The data is outboard but the engine could not sum it: compute the
         // body sum in software from the (still pinned) host pages, so WCAB
-        // header-rewrite transmissions keep working.
+        // header-rewrite transmissions keep working. Mirror the hardware's
+        // slice checkpoints exactly when this is a multi-MTU staging, so a
+        // later fan-out produces bit-identical per-segment checksums.
         std::uint32_t sum = 0;
         std::size_t off = 0;
         for (const auto& seg : job->req.segs) {
@@ -310,6 +402,31 @@ void CabDriver::submit_copyin(std::shared_ptr<CopyinJob> job) {
           off += seg.bytes.size();
         }
         dev_.nm().set_body_sum(job->handle, sum);
+        if (job->req.seg_stride > 0) {
+          const std::size_t stride = job->req.seg_stride;
+          std::vector<std::uint32_t> slices;
+          std::uint32_t cur = 0;
+          std::size_t cur_len = 0;
+          for (const auto& seg : job->req.segs) {
+            std::size_t p = 0;
+            while (p < seg.bytes.size()) {
+              const std::size_t n =
+                  std::min(seg.bytes.size() - p, stride - cur_len);
+              cur = checksum::combine(
+                  cur, checksum::ones_sum(seg.bytes.subspan(p, n)), cur_len);
+              cur_len += n;
+              p += n;
+              if (cur_len == stride) {
+                slices.push_back(cur);
+                cur = 0;
+                cur_len = 0;
+              }
+            }
+          }
+          if (cur_len > 0) slices.push_back(cur);
+          dev_.nm().set_seg_sums(job->handle, job->data_off, stride, off,
+                                 std::move(slices));
+        }
         ++rec_stats.copy_in_sw_csum;
       }
       mbuf::Wcab w;
@@ -343,6 +460,11 @@ void CabDriver::submit_copyin(std::shared_ptr<CopyinJob> job) {
 }
 
 void CabDriver::handle_recv(cab::RecvDesc&& desc) {
+  if (gro_active()) {
+    gro_enqueue(std::move(desc));
+    return;
+  }
+  if (offload_enabled_) ++off_stats.rx_gro_bypass;
   // Hardware completion context: hand off to an interrupt-priority coroutine.
   sim::spawn(recv_intr(std::move(desc)));
 }
@@ -352,7 +474,11 @@ sim::Task<void> CabDriver::recv_intr(cab::RecvDesc desc) {
   KernCtx ctx{env.intr_acct, sim::Priority::Interrupt};
   co_await env.cpu.run(sim::usec(stack()->costs().intr_us), ctx.acct, ctx.prio);
   if (recovery_enabled_) arm_watchdog();
+  co_await deliver_desc(ctx, std::move(desc));
+}
 
+sim::Task<void> CabDriver::deliver_desc(KernCtx ctx, cab::RecvDesc desc) {
+  auto& env = stack()->env();
   ++if_stats.ipackets;
   if_stats.ibytes += desc.total_len;
 
@@ -422,6 +548,194 @@ sim::Task<void> CabDriver::recv_intr(cab::RecvDesc desc) {
     env.pool.free_chain(head);
     co_return;
   }
+  mbuf::m_adj(head, static_cast<int>(hippi::kHeaderSize));
+  co_await stack()->ip().input(ctx, head, this);
+}
+
+// --- receive coalescing (GRO) ------------------------------------------------
+
+void CabDriver::enable_offload(const OffloadConfig& oc) {
+  oc_ = oc;
+  if (oc_.tso_max < 1) oc_.tso_max = 1;
+  offload_enabled_ = true;
+}
+
+void CabDriver::gro_enqueue(cab::RecvDesc&& desc) {
+  auto& env = stack()->env();
+  GroEntry e;
+  e.desc = std::move(desc);
+  if (auto* tel = env.telemetry) {
+    e.tel_key = tel->next_key();
+    tel->span_begin(telemetry::Stage::kGroHold, env.tel_pid, e.tel_key);
+  }
+  gro_q_.push_back(std::move(e));
+  ++off_stats.rx_batched_descs;
+  if (gro_q_.size() >= oc_.gro_budget) {
+    ++off_stats.rx_flush_budget;
+    gro_flush();
+  } else if (!gro_timer_armed_) {
+    gro_timer_armed_ = true;
+    gro_timer_ = env.sim.timer_after(oc_.gro_flush_window, [this] {
+      gro_timer_armed_ = false;
+      if (gro_q_.empty()) return;
+      ++off_stats.rx_flush_timer;
+      gro_flush();
+    });
+  }
+}
+
+void CabDriver::gro_flush() {
+  if (gro_timer_armed_) {
+    gro_timer_.cancel();
+    gro_timer_armed_ = false;
+  }
+  std::vector<GroEntry> batch(std::make_move_iterator(gro_q_.begin()),
+                              std::make_move_iterator(gro_q_.end()));
+  gro_q_.clear();
+  ++off_stats.rx_batches;
+  gro_pending_.push_back(std::move(batch));
+  if (!gro_draining_) {
+    gro_draining_ = true;
+    sim::spawn(gro_drain());
+  }
+}
+
+sim::Task<void> CabDriver::gro_drain() {
+  while (!gro_pending_.empty()) {
+    std::vector<GroEntry> batch = std::move(gro_pending_.front());
+    gro_pending_.pop_front();
+    co_await recv_batch_intr(std::move(batch));
+  }
+  gro_draining_ = false;
+}
+
+sim::Task<void> CabDriver::recv_batch_intr(std::vector<GroEntry> batch) {
+  auto& env = stack()->env();
+  KernCtx ctx{env.intr_acct, sim::Priority::Interrupt};
+  // The doorbell/interrupt batching win: one interrupt entry/exit + device
+  // ack for the whole batch, instead of one per descriptor.
+  co_await env.cpu.run(sim::usec(stack()->costs().intr_us), ctx.acct, ctx.prio);
+  if (recovery_enabled_) arm_watchdog();
+
+  std::vector<cab::RecvDesc> descs;
+  std::vector<GroSeg> segs;
+  descs.reserve(batch.size());
+  segs.reserve(batch.size());
+  for (auto& e : batch) {
+    if (e.tel_key != 0) {
+      if (auto* tel = env.telemetry)
+        tel->span_end(telemetry::Stage::kGroHold, e.tel_key);
+    }
+    segs.push_back(parse_gro(e.desc));
+    if (segs.back().verified) ++off_stats.rx_csum_verified;
+    descs.push_back(std::move(e.desc));
+  }
+
+  // Walk the batch in arrival order, merging maximal runs of in-sequence
+  // same-flow data segments. A sequence hole (loss/reorder), a failed
+  // per-segment checksum, any flag beyond plain ACK (PSH/FIN/SYN/RST), or an
+  // ack/window change ends the run; the offender is delivered on its own,
+  // exactly as the non-coalescing path would.
+  std::size_t i = 0;
+  while (i < descs.size()) {
+    std::size_t j = i + 1;
+    const GroSeg a = segs[i];
+    if (a.tcp && a.verified && a.payload > 0 && a.flags == kTcpFlagAckOnly) {
+      std::uint32_t next_seq = a.seq + static_cast<std::uint32_t>(a.payload);
+      std::size_t run_payload = a.payload;
+      while (j < descs.size()) {
+        const GroSeg& b = segs[j];
+        if (!(b.tcp && b.verified && b.payload > 0 &&
+              b.flags == kTcpFlagAckOnly && b.src == a.src && b.dst == a.dst &&
+              b.sport == a.sport && b.dport == a.dport && b.thl == a.thl &&
+              b.seq == next_seq && b.ack == a.ack && b.win == a.win &&
+              run_payload + b.payload <= oc_.gro_max_bytes))
+          break;
+        next_seq += static_cast<std::uint32_t>(b.payload);
+        run_payload += b.payload;
+        ++j;
+      }
+      if (j < descs.size()) ++off_stats.rx_flush_barrier;
+      if (j > i + 1) {
+        std::vector<cab::RecvDesc> group(
+            std::make_move_iterator(descs.begin() + static_cast<std::ptrdiff_t>(i)),
+            std::make_move_iterator(descs.begin() + static_cast<std::ptrdiff_t>(j)));
+        off_stats.rx_merged_segs += (j - i) - 1;
+        off_stats.rx_merged_bytes += run_payload - a.payload;
+        co_await deliver_merged(ctx, std::move(group), a.thl, run_payload);
+        i = j;
+        continue;
+      }
+    }
+    co_await deliver_desc(ctx, std::move(descs[i]));
+    ++i;
+  }
+}
+
+// Build one mbuf record out of a run of in-sequence segments: the first
+// segment's headers (IP length rewritten for the merged total, checksum
+// incrementally adjusted per RFC 1624) followed by every segment's payload —
+// host-resident head bytes wrapped for free, outboard residue as M_WCAB.
+sim::Task<void> CabDriver::deliver_merged(KernCtx ctx,
+                                          std::vector<cab::RecvDesc> descs,
+                                          std::size_t thl,
+                                          std::size_t total_payload) {
+  auto& env = stack()->env();
+  constexpr std::size_t ip_off = hippi::kHeaderSize;
+  const std::size_t hdrs = ip_off + 20 + thl;
+
+  cab::RecvDesc& first = descs.front();
+  std::byte* fb = first.head.data();
+  const std::uint16_t old_total = wire::load_be16(fb + ip_off + 2);
+  const auto new_total = static_cast<std::uint16_t>(20 + thl + total_payload);
+  const std::uint16_t old_csum = wire::load_be16(fb + ip_off + 10);
+  wire::store_be16(fb + ip_off + 2, new_total);
+  wire::store_be16(fb + ip_off + 10, checksum::adjust(old_csum, old_total, new_total));
+
+  Mbuf* head = env.pool.get_ext(first.head.size(), /*pkthdr=*/true);
+  head->append(std::span<const std::byte>{first.head.data(), first.head.size()});
+  head->pkthdr.len = static_cast<int>(ip_off + new_total);
+  head->pkthdr.rx_hw_sum = 0;
+  head->pkthdr.rx_hw_sum_valid = false;
+  head->pkthdr.rx_csum_verified = true;  // every segment checked above
+
+  Mbuf* tail = head;
+  auto attach = [&tail](Mbuf* m) {
+    tail->next = m;
+    tail = m;
+  };
+  auto attach_residue = [&](cab::RecvDesc& d) {
+    if (!d.handle) {
+      ++drv_stats.rx_small;
+      return;
+    }
+    ++drv_stats.rx_wcab;
+    mbuf::Wcab w;
+    w.owner = &dev_;
+    w.handle = *d.handle;  // adopts the allocation reference
+    w.data_off = static_cast<std::uint32_t>(d.head.size());
+    w.valid = static_cast<std::uint32_t>(d.total_len - d.head.size());
+    w.checksum_valid = false;
+    mbuf::UioWcabHdr hdr;
+    attach(env.pool.get_wcab(w, d.total_len - d.head.size(), hdr, false));
+  };
+
+  ++if_stats.ipackets;  // wire packets, not records
+  if_stats.ibytes += first.total_len;
+  attach_residue(first);
+  for (std::size_t k = 1; k < descs.size(); ++k) {
+    cab::RecvDesc& d = descs[k];
+    ++if_stats.ipackets;
+    if_stats.ibytes += d.total_len;
+    const std::size_t head_payload = d.head.size() - hdrs;
+    if (head_payload > 0) {
+      Mbuf* dm = env.pool.get_ext(head_payload, /*pkthdr=*/false);
+      dm->append(std::span<const std::byte>{d.head.data() + hdrs, head_payload});
+      attach(dm);
+    }
+    attach_residue(d);
+  }
+
   mbuf::m_adj(head, static_cast<int>(hippi::kHeaderSize));
   co_await stack()->ip().input(ctx, head, this);
 }

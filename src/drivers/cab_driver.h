@@ -42,6 +42,20 @@ struct RecoveryConfig {
   std::size_t degraded_autodma_bytes = 64 * 1024;
 };
 
+// Large-segment offload tuning (opt-in via CabDriver::enable_offload).
+struct OffloadConfig {
+  // Send: wire MTUs the socket layer may stage into one outboard
+  // super-segment; the MDMA engine cuts it at transmit time.
+  std::size_t tso_max = 4;
+  // Receive: completion descriptors held back per coalescing batch (one
+  // interrupt per batch), and how long the first held descriptor may wait.
+  std::size_t gro_budget = 8;
+  sim::Duration gro_flush_window = sim::usec(100);
+  // Merged-record payload cap (must leave room for IP/TCP headers under the
+  // 64 KB IP length limit).
+  std::size_t gro_max_bytes = 60000;
+};
+
 class CabDriver final : public net::Ifnet {
  public:
   CabDriver(std::string name, net::IpAddr addr, cab::CabDevice& dev,
@@ -67,11 +81,22 @@ class CabDriver final : public net::Ifnet {
                                mbuf::DmaSync* sync) override;
 
   sim::Task<void> copy_in(net::KernCtx ctx, mem::Uio data, std::size_t header_space,
-                          std::function<void(mbuf::Wcab)> done) override;
+                          std::function<void(mbuf::Wcab)> done,
+                          std::size_t seg_stride = 0) override;
 
   // HIPPI(60) + IP(20) + TCP(20): the header block every data packet needs.
   [[nodiscard]] std::size_t tx_header_space() const override {
     return hippi::kHeaderSize + 40;
+  }
+
+  // Multi-MTU staging quota: tso_max while the board is healthy, 1 when
+  // offload is off or the driver degraded to the host bounce path (so a
+  // degraded window never mixes hardware- and software-checksummed regions
+  // inside one descriptor).
+  [[nodiscard]] std::size_t tx_tso_segs() const override {
+    if (!offload_enabled_ || degraded_ != 0 || state_ != AdaptorState::kUp)
+      return 1;
+    return oc_.tso_max;
   }
 
   [[nodiscard]] cab::CabDevice& device() noexcept { return dev_; }
@@ -89,6 +114,29 @@ class CabDriver final : public net::Ifnet {
     std::uint64_t copyouts = 0;
   };
   DrvStats drv_stats;
+
+  // --- large-segment offload (TSO/GRO analogue) ------------------------------
+
+  void enable_offload(const OffloadConfig& oc = {});
+  [[nodiscard]] bool offload_enabled() const noexcept { return offload_enabled_; }
+  [[nodiscard]] const OffloadConfig& offload_config() const noexcept { return oc_; }
+
+  struct OffloadStats {
+    std::uint64_t tx_super_segs = 0;     // multi-MTU descriptors transmitted
+    std::uint64_t tx_wire_segs = 0;      // wire segments those fanned out to
+    std::uint64_t tx_tso_bytes = 0;      // payload bytes sent via fan-out
+    std::uint64_t tx_fallback_host_seg = 0;  // stagings forced back to 1 MTU
+    std::uint64_t rx_batches = 0;        // coalescing flushes (one interrupt each)
+    std::uint64_t rx_batched_descs = 0;  // descriptors that went through a batch
+    std::uint64_t rx_merged_segs = 0;    // segments absorbed into a predecessor
+    std::uint64_t rx_merged_bytes = 0;   // payload bytes those carried
+    std::uint64_t rx_csum_verified = 0;  // per-segment hw checksums verified
+    std::uint64_t rx_flush_budget = 0;   // flushes triggered by the budget
+    std::uint64_t rx_flush_timer = 0;    // flushes triggered by the hold timer
+    std::uint64_t rx_flush_barrier = 0;  // merge runs cut by a hole/flag/corruption
+    std::uint64_t rx_gro_bypass = 0;     // descs delivered directly (degraded)
+  };
+  OffloadStats off_stats;
 
   // --- fault recovery & graceful degradation --------------------------------
   //
@@ -138,6 +186,23 @@ class CabDriver final : public net::Ifnet {
  private:
   void handle_recv(cab::RecvDesc&& desc);
   sim::Task<void> recv_intr(cab::RecvDesc desc);
+  sim::Task<void> deliver_desc(net::KernCtx ctx, cab::RecvDesc desc);
+  // Receive coalescing: descriptors are held briefly and delivered in one
+  // interrupt; in-order same-flow TCP segments merge into one record.
+  struct GroEntry {
+    cab::RecvDesc desc;
+    std::uint64_t tel_key = 0;  // gro_hold span (0 = telemetry off)
+  };
+  [[nodiscard]] bool gro_active() const noexcept {
+    return offload_enabled_ && oc_.gro_budget > 1 && degraded_ == 0 &&
+           state_ == AdaptorState::kUp;
+  }
+  void gro_enqueue(cab::RecvDesc&& desc);
+  void gro_flush();
+  sim::Task<void> gro_drain();
+  sim::Task<void> recv_batch_intr(std::vector<GroEntry> batch);
+  sim::Task<void> deliver_merged(net::KernCtx ctx, std::vector<cab::RecvDesc> descs,
+                                 std::size_t thl, std::size_t total_payload);
   [[nodiscard]] hippi::Addr resolve(net::IpAddr next_hop) const;
   sim::Task<void> output_rewrite(net::KernCtx ctx, mbuf::Mbuf* pkt,
                                  net::IpAddr next_hop);
@@ -181,6 +246,19 @@ class CabDriver final : public net::Ifnet {
 
   cab::CabDevice& dev_;
   std::unordered_map<net::IpAddr, hippi::Addr> neighbors_;
+
+  // Offload state.
+  bool offload_enabled_ = false;
+  OffloadConfig oc_;
+  std::deque<GroEntry> gro_q_;
+  bool gro_timer_armed_ = false;
+  sim::TimerHandle gro_timer_;
+  // Flushed batches awaiting delivery. A single drainer coroutine works
+  // through them in flush order: concurrently spawned per-batch deliveries
+  // would interleave at suspension points and reorder records, and TCP would
+  // read the scramble as loss (dup-ack storms on a clean wire).
+  std::deque<std::vector<GroEntry>> gro_pending_;
+  bool gro_draining_ = false;
 
   // Recovery state.
   bool recovery_enabled_ = false;

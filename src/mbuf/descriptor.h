@@ -33,6 +33,11 @@ struct CsumInfo {
   bool offload = false;
   std::uint16_t csum_offset = 0;  // byte offset of the 16-bit checksum field
   std::uint16_t skip_words = 0;   // S: leading 4-byte words the engine skips
+  // Large-segment offload: when non-zero, the packet's transport payload is a
+  // multi-MTU super-segment and the adaptor cuts it into wire segments of at
+  // most this many payload bytes at MDMA time, fixing up length/sequence and
+  // recomputing per-segment checksums from the saved slice sums.
+  std::uint16_t tso_seg_payload = 0;
 };
 
 // §4.4.2 synchronization between driver DMA completion and the socket layer.

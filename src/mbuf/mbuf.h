@@ -86,6 +86,10 @@ struct PktHdr {
   // transport header + data).
   std::uint32_t rx_hw_sum = 0;
   bool rx_hw_sum_valid = false;
+  // Receive coalescing: the driver verified every merged segment's hardware
+  // checksum before building this record, so the transport skips its own
+  // verification (a merged record has no single wire checksum to check).
+  bool rx_csum_verified = false;
 };
 
 class Mbuf {

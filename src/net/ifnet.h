@@ -108,13 +108,21 @@ class Ifnet {
   // the body checksum during the transfer. `done` receives the Wcab once the
   // data is outboard (one buffer reference passes to the callee). This is
   // how packetization decisions get made *before* the data leaves user space.
+  // `seg_stride`, when non-zero, marks the staged data as a multi-MTU
+  // super-segment: the device saves one body-checksum slice per stride bytes
+  // so it can segment the packet at transmit time (large-segment offload).
   virtual sim::Task<void> copy_in(KernCtx ctx, mem::Uio data,
                                   std::size_t header_space,
-                                  std::function<void(mbuf::Wcab)> done);
+                                  std::function<void(mbuf::Wcab)> done,
+                                  std::size_t seg_stride = 0);
 
   // Bytes of header the transport+link layers prepend to a data packet out
   // this interface (0 for non-single-copy devices).
   [[nodiscard]] virtual std::size_t tx_header_space() const { return 0; }
+
+  // How many wire MTUs the socket layer may stage into one outboard packet
+  // (1 = no large-segment offload, or offload currently degraded).
+  [[nodiscard]] virtual std::size_t tx_tso_segs() const { return 1; }
 
   void set_stack(NetStack* s) noexcept { stack_ = s; }
   [[nodiscard]] NetStack* stack() const noexcept { return stack_; }

@@ -24,7 +24,14 @@ sim::Task<void> Ip::output(KernCtx ctx, Mbuf* pkt, IpAddr src, IpAddr dst,
     env.pool.free_chain(pkt);
     co_return;
   }
-  if (kIpHdrLen + static_cast<std::size_t>(pkt->pkthdr.len) > 0xffff) {
+  // Large-segment offload: the record is a multi-MTU super-segment that the
+  // adaptor cuts into wire segments at MDMA time. It bypasses the IPv4 size
+  // limit and fragmentation below — no datagram that size ever hits the wire;
+  // the header written here is a per-segment template the MDMA rewrites.
+  const bool tso =
+      pkt->has_pkthdr() && pkt->pkthdr.csum_tx.offload &&
+      pkt->pkthdr.csum_tx.tso_seg_payload > 0;
+  if (!tso && kIpHdrLen + static_cast<std::size_t>(pkt->pkthdr.len) > 0xffff) {
     // IPv4 limit: 16-bit total length / 13-bit fragment offset.
     ++stats_.oversize;
     env.pool.free_chain(pkt);
@@ -39,8 +46,9 @@ sim::Task<void> Ip::output(KernCtx ctx, Mbuf* pkt, IpAddr src, IpAddr dst,
   ih.dont_fragment = dont_fragment;
 
   const std::size_t payload = static_cast<std::size_t>(pkt->pkthdr.len);
-  if (kIpHdrLen + payload <= route->ifp->mtu()) {
-    ih.total_len = static_cast<std::uint16_t>(kIpHdrLen + payload);
+  if (tso || kIpHdrLen + payload <= route->ifp->mtu()) {
+    ih.total_len = static_cast<std::uint16_t>(
+        std::min<std::size_t>(kIpHdrLen + payload, 0xffff));
     Mbuf* m = mbuf::m_prepend(pkt, static_cast<int>(kIpHdrLen));
     write_ip_header({m->data(), kIpHdrLen}, ih);
     ++stats_.opackets;

@@ -198,7 +198,7 @@ sim::Task<void> Ifnet::copy_out_raw(KernCtx, const mbuf::Wcab&, std::size_t,
 }
 
 sim::Task<void> Ifnet::copy_in(KernCtx, mem::Uio, std::size_t,
-                               std::function<void(mbuf::Wcab)>) {
+                               std::function<void(mbuf::Wcab)>, std::size_t) {
   throw std::logic_error("Ifnet(" + name() + "): copy_in on non-single-copy device");
 }
 

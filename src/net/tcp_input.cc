@@ -21,6 +21,13 @@ sim::Task<bool> TcpConnection::verify_checksum(KernCtx ctx, Mbuf* pkt,
                                                const IpHeader& ih,
                                                std::size_t seg_len) {
   auto& env = stack_.env();
+  // A coalesced record (receive offload): the driver verified every merged
+  // wire segment's hardware checksum before building it, and the merged
+  // record has no single wire checksum of its own to re-derive.
+  if (pkt->pkthdr.rx_csum_verified) {
+    ++stats_.hw_csum_rx;
+    co_return true;
+  }
   // A record containing descriptor mbufs cannot be read by the host; the
   // hardware sum is the only option there regardless of policy.
   bool any_descriptor = false;
@@ -220,10 +227,17 @@ sim::Task<void> TcpConnection::process_ack(KernCtx ctx, const TcpHeader& th) {
         snd_nxt_ = snd_una_;
         Sockbuf& sb = cb_->snd();
         const std::uint64_t pos = seq_to_pos(snd_una_);
-        std::size_t rlen = std::min<std::size_t>(mss_, sb.end_pos() - pos);
+        const auto sb_avail = static_cast<std::size_t>(sb.end_pos() - pos);
+        std::size_t rlen = std::min<std::size_t>(mss_, sb_avail);
         if (rlen > 0) {
-          rlen = sb.homogeneous_run(pos, rlen);
-          if (sb.type_at(pos) == mbuf::MbufType::kWcab) rlen = sb.mbuf_run(pos, rlen);
+          if (sb.type_at(pos) == mbuf::MbufType::kWcab) {
+            // An outboard packet retransmits whole — even when it spans
+            // several wire MTUs (large-segment offload): the adaptor re-cuts
+            // it, and the content rule forbids mixing it with adjacent data.
+            rlen = sb.mbuf_run(pos, sb_avail);
+          } else {
+            rlen = sb.homogeneous_run(pos, rlen);
+          }
         }
         co_await send_segment(ctx, snd_nxt_, rlen, kTcpAck, /*rexmt=*/true);
         ++stats_.rexmt_segs;
@@ -392,8 +406,13 @@ sim::Task<void> TcpConnection::accept_data(KernCtx ctx, Mbuf* pkt,
 
   cb_->notify_readable();
 
-  // ACK policy: immediate every Nth segment or on FIN, else delayed.
-  ++unacked_segs_;
+  // ACK policy: immediate every Nth segment or on FIN, else delayed. A
+  // coalesced record (receive offload) stands in for several wire segments:
+  // count its MSS-equivalents, so merging never slows the peer's ack clock
+  // (and with it cwnd growth) below what the unmerged stream would see.
+  unacked_segs_ += data_len > 0
+                       ? static_cast<int>((data_len + mss_ - 1) / mss_)
+                       : 1;
   ack_due_ = true;
   if (got_fin || unacked_segs_ >= par_.ack_every) {
     ack_due_ = false;

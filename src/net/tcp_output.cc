@@ -47,7 +47,7 @@ sim::Task<void> TcpConnection::output(KernCtx ctx) {
       const std::uint64_t in_flight = nxt_pos - una_pos_;
       const std::size_t usable =
           wnd > in_flight ? static_cast<std::size_t>(wnd - in_flight) : 0;
-      std::size_t len = std::min({avail, usable, static_cast<std::size_t>(mss_)});
+      std::size_t len = std::min(avail, usable);
 
       // Single-copy packetization never mixes data formats in one packet and
       // never coalesces separate writes' descriptors (§7.1): descriptor
@@ -61,19 +61,36 @@ sim::Task<void> TcpConnection::output(KernCtx ctx) {
       if (len > 0) {
         len = sb.homogeneous_run(nxt_pos, len);
         const auto t = sb.type_at(nxt_pos);
-        if (t == mbuf::MbufType::kUio) {
-          len = sb.mbuf_run(nxt_pos, len);
-        } else if (t == mbuf::MbufType::kWcab) {
-          // An outboard packet retransmits whole or not at all: the host
-          // cannot split data it cannot read (§4.3). If the window doesn't
-          // cover it, wait (probing if nothing in flight will re-open it).
-          const std::size_t whole =
-              sb.mbuf_run(nxt_pos, static_cast<std::size_t>(mss_));
-          if (len < whole) {
-            if (in_flight == 0) arm_persist();
-            break;
+        if (t == mbuf::MbufType::kWcab) {
+          // An outboard packet (re)transmits whole or not at all: the host
+          // cannot split data it cannot read (§4.3). With large-segment
+          // offload one WCAB mbuf may span several wire MTUs — it still goes
+          // out as one descriptor, exceeding mss_; the adaptor cuts it into
+          // wire segments at MDMA time. If the window doesn't cover the
+          // whole mbuf, wait (probing if nothing in flight will re-open it).
+          const std::size_t whole = sb.mbuf_run(nxt_pos, avail);
+          if (std::min(avail, usable) < whole) {
+            // The congestion window can be smaller than a multi-MTU
+            // super-segment it never had the chance to grow past (growing
+            // requires sending, and this packet cannot be sent partially).
+            // Classic TSO dispensation: while cwnd has any room left and the
+            // peer's window covers the whole packet beyond what's in flight,
+            // send anyway — a bounded overshoot of at most tso_max wire
+            // segments past cwnd, after which cwnd grows normally off the
+            // ACKs. (Requiring cwnd to fully cover a super-segment would
+            // make slow start stop-and-wait: cwnd only grows by sending.)
+            const bool force = avail >= whole && in_flight < cwnd_ &&
+                               static_cast<std::uint64_t>(snd_wnd_) >=
+                                   in_flight + whole;
+            if (!force) {
+              if (in_flight == 0) arm_persist();
+              break;
+            }
           }
           len = whole;
+        } else {
+          len = std::min(len, static_cast<std::size_t>(mss_));
+          if (t == mbuf::MbufType::kUio) len = sb.mbuf_run(nxt_pos, len);
         }
       }
 
@@ -177,7 +194,11 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
     }
   }
   const std::size_t hlen = kTcpHdrLen + tcp_options_len(th);
-  const auto seg_len = static_cast<std::uint16_t>(hlen + len);
+  // A multi-MTU super-segment's wire checksums are recomputed per wire
+  // segment at MDMA fan-out time; seed the header template with the first
+  // segment's pseudo length (hlen + len would overflow the 16-bit field).
+  const std::size_t seed_len = std::min(len, static_cast<std::size_t>(mss_));
+  const auto seg_len = static_cast<std::uint16_t>(hlen + seed_len);
 
   // Descriptor data always travels the hw path: the host cannot read outboard
   // bytes to checksum them. That holds even if the interface has dropped
@@ -212,6 +233,11 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
     h->pkthdr.csum_tx.offload = true;
     h->pkthdr.csum_tx.csum_offset = static_cast<std::uint16_t>(kIpHdrLen + 16);
     h->pkthdr.csum_tx.skip_words = static_cast<std::uint16_t>((kIpHdrLen + hlen) / 4);
+    // Large-segment offload: a WCAB mbuf wider than one MSS goes to the
+    // adaptor as a single descriptor; the MDMA engine cuts the payload into
+    // wire segments of at most mss_ bytes each.
+    if (len > static_cast<std::size_t>(mss_))
+      h->pkthdr.csum_tx.tso_seg_payload = mss_;
   } else {
     ++stats_.sw_csum_tx;
     th.checksum = 0;

@@ -41,8 +41,21 @@ sim::Task<void> Socket::append_single_copy(ProcCtx& p, KernCtx ctx,
   const std::size_t mss = tp_->mss();
 
   const std::size_t total = chunk.total_len();
-  for (std::size_t off = 0; off < total; off += mss) {
-    const std::size_t plen = std::min(mss, total - off);
+  for (std::size_t off = 0; off < total;) {
+    // Large-segment offload: stage up to tx_tso_segs() wire MTUs as one
+    // descriptor — one pin pass, one staging SDMA, one send-buffer mbuf, and
+    // later one MDMA doorbell; the adaptor cuts it into wire segments.
+    // Re-read per packet: degradation can drop the fan-out to 1 mid-write.
+    std::size_t segs = std::max<std::size_t>(1, drv->tx_tso_segs());
+    // Autosizing: never fan out wider than the peer's advertised window can
+    // cover. SYN segments carry unscaled 16-bit windows, so right after the
+    // handshake snd_wnd caps at 64K; a multi-MTU descriptor larger than that
+    // could only leave via a persist probe (WCAB packets send whole).
+    if (segs > 1) {
+      const std::size_t wnd_segs = std::max<std::size_t>(1, tp_->snd_wnd() / mss);
+      segs = std::min(segs, wnd_segs);
+    }
+    const std::size_t plen = std::min(mss * segs, total - off);
     mem::Uio pdata = chunk.slice(off, plen);
     // Pin + map in app context, one packet at a time (§4.4.1, §7.3). The
     // exact ranges are recorded so release is page-for-page symmetric.
@@ -64,7 +77,9 @@ sim::Task<void> Socket::append_single_copy(ProcCtx& p, KernCtx ctx,
     stage_q_.push_back(StagedSlot{plen, false, {}, tel_key});
     Socket* self = this;
     co_await drv->copy_in(ctx, std::move(pdata), header_space,
-                          [self, id](mbuf::Wcab w) { self->stage_complete(id, w); });
+                          [self, id](mbuf::Wcab w) { self->stage_complete(id, w); },
+                          /*seg_stride=*/segs > 1 ? mss : 0);
+    off += plen;
   }
 }
 
@@ -193,7 +208,18 @@ sim::Task<std::size_t> Socket::send(ProcCtx& p, mem::Uio data) {
       if (tp_->state() == net::TcpState::kClosed) co_return done;
       co_await writable_.wait();
     }
-    const std::size_t chunk_len = std::min(total - done, snd_.space() - staged_tx_);
+    std::size_t chunk_len = std::min(total - done, snd_.space() - staged_tx_);
+    if (sc && chunk_len < total - done) {
+      // Never cut a single-copy write off a word boundary: the next chunk's
+      // base must stay 32-bit aligned for the SDMA (§4.5). The final chunk
+      // may be any length — nothing follows it.
+      chunk_len &= ~std::size_t{3};
+      if (chunk_len == 0) {
+        if (tp_->state() == net::TcpState::kClosed) co_return done;
+        co_await writable_.wait();
+        continue;
+      }
+    }
     co_await env.cpu.run(sim::usec(stack_.costs().sosend_chunk_us), ctx.acct,
                          ctx.prio);
     mem::Uio chunk = data.slice(done, chunk_len);

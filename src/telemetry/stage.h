@@ -21,6 +21,10 @@ enum class Stage : std::uint8_t {
   kLinkTransit,  // wire propagation: submit -> remote hippi_receive
   kRecvDma,      // receive staging: frame landed outboard -> delivered to driver
   kSoreceive,    // soreceive delivery: recv unblocked -> bytes in user buffer
+  kTsoFanout,    // MDMA large-segment fan-out: first wire segment cut -> last
+                 // segment on the wire (one span per super-segment)
+  kGroHold,      // receive coalescing residency: descriptor queued for merge
+                 // -> batch interrupt drained it
   kCount,
 };
 
@@ -37,6 +41,8 @@ enum class Stage : std::uint8_t {
     case Stage::kLinkTransit: return "link_transit";
     case Stage::kRecvDma: return "recv_dma";
     case Stage::kSoreceive: return "soreceive";
+    case Stage::kTsoFanout: return "tso_fanout";
+    case Stage::kGroHold: return "gro_hold";
     case Stage::kCount: break;
   }
   return "?";

@@ -222,10 +222,12 @@ TEST(FaultScenario, NetmemLeakIsReclaimedByReset) {
   FaultInjector inj(tb.sim);
   inj.register_adaptor("cab_a", *tb.cab_a);
   FaultPlan plan;
-  // 4 MB network memory = 1024 pages; losing 1000 leaves too little to run,
-  // so allocations start failing and the watchdog's leak heuristic resets.
+  // 4 MB network memory = 1024 pages; leak everything still free at 1 ms so
+  // the next staging allocation must fail and the watchdog's leak heuristic
+  // resets. (A partial leak is not enough: the sender recycles ACKed pages
+  // promptly and can squeeze the whole transfer through a few dozen pages.)
   auto s = at_ms(FaultKind::kNetmemLeak, 1.0);
-  s.leak_pages = 1000;
+  s.leak_pages = 1024;
   plan.add(s);
   inj.arm(plan);
 

@@ -222,10 +222,16 @@ TEST(Telemetry, CleanTransferLeavesNoOpenSpans) {
   EXPECT_GT(tb.tel->spans_completed(), 0u);
   EXPECT_EQ(tb.tel->dropped_events(), 0u);
 
-  // Every datapath stage saw traffic.
-  for (std::size_t i = 0; i < telemetry::kStageCount; ++i)
-    EXPECT_GT(tb.tel->stage_hist(static_cast<Stage>(i)).count(), 0u)
-        << telemetry::stage_name(static_cast<Stage>(i));
+  // Every datapath stage saw traffic — except the offload stages, which are
+  // silent while large-segment offload is disabled (the default here).
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    const auto s = static_cast<Stage>(i);
+    if (s == Stage::kTsoFanout || s == Stage::kGroHold) {
+      EXPECT_EQ(tb.tel->stage_hist(s).count(), 0u) << telemetry::stage_name(s);
+      continue;
+    }
+    EXPECT_GT(tb.tel->stage_hist(s).count(), 0u) << telemetry::stage_name(s);
+  }
 
   // Flow metrics captured RTT and one-way segment latency.
   const core::Json m = tb.tel->metrics_json();
@@ -240,6 +246,22 @@ TEST(Telemetry, CleanTransferLeavesNoOpenSpans) {
   }
   // Netstat carries the schema marker too.
   EXPECT_EQ(core::Netstat(*tb.a).json().find("schema_version")->as_int(), 1);
+}
+
+TEST(Telemetry, OffloadStagesSeeTraffic) {
+  core::TestbedOptions opts;
+  opts.telemetry = true;
+  opts.offload = true;
+  core::Testbed tb(opts);
+  auto r = run_traced_ttcp(tb);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.data_errors, 0u);
+  // The offload stages carry traffic and every residency span closed: TSO
+  // fan-outs end with their last wire segment, GRO holds end at the batch
+  // interrupt that drains them (budget or timer flush — never leaked).
+  EXPECT_GT(tb.tel->stage_hist(Stage::kTsoFanout).count(), 0u);
+  EXPECT_GT(tb.tel->stage_hist(Stage::kGroHold).count(), 0u);
+  EXPECT_EQ(tb.tel->dropped_events(), 0u);
 }
 
 TEST(Telemetry, ChromeTraceIsWellFormed) {
