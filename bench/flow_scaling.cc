@@ -10,10 +10,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/flow_matrix.h"
 #include "core/netstat.h"
+#include "core/sharded_testbed.h"
 
 namespace {
 
@@ -100,6 +102,65 @@ core::Json cell_json(const char* name, std::size_t flows,
   j.set("per_flow", std::move(per_flow));
   j.set("cab_client0", c.cab_json);
   j.set("demux_server0", c.demux_json);
+  return j;
+}
+
+// --- parallel engine sweep ---------------------------------------------------
+
+struct ParallelCell {
+  apps::FlowMatrixResult r;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t epochs = 0;
+  std::string engine_dump;  // parallel_engine_json, for cross-worker identity
+};
+
+ParallelCell run_parallel_cell(std::size_t pairs, std::size_t flows,
+                               std::uint64_t bytes_per_flow,
+                               std::size_t workers) {
+  core::ShardedTestbedOptions so;
+  so.num_pairs = pairs;
+  so.workers = workers;
+  so.arb = cab::ArbPolicy::kRoundRobin;
+  // Same multiplex provisioning as the sequential cells.
+  const std::size_t per_pair = (flows + pairs - 1) / pairs;
+  so.params.cab.sdma.queue_depth =
+      std::max(so.params.cab.sdma.queue_depth, 8 * per_pair);
+  so.params.cab.memory_bytes =
+      std::max(so.params.cab.memory_bytes, per_pair * 256 * 1024);
+  core::ShardedTestbed tb(so);
+
+  apps::FlowMatrixConfig cfg;
+  cfg.num_flows = flows;
+  cfg.bytes_per_flow = bytes_per_flow;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ParallelCell c;
+  c.r = apps::run_flow_matrix(tb, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  c.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  c.events = tb.engine.total_events();
+  c.epochs = tb.engine.epochs();
+  c.events_per_sec = c.wall_s > 0 ? static_cast<double>(c.events) / c.wall_s : 0;
+  c.engine_dump = core::parallel_engine_json(tb.engine).dump(0);
+  return c;
+}
+
+core::Json parallel_cell_json(std::size_t workers, const ParallelCell& c,
+                              double speedup) {
+  core::Json j = core::Json::object();
+  j.set("workers", static_cast<std::uint64_t>(workers));
+  j.set("completed", c.r.completed);
+  j.set("total_bytes", c.r.total_bytes);
+  j.set("aggregate_mbps", c.r.aggregate_mbps);
+  j.set("jain_index", c.r.jain);
+  j.set("elapsed_sim_s", sim::to_seconds(c.r.elapsed));
+  j.set("wall_s", c.wall_s);
+  j.set("events", c.events);
+  j.set("events_per_sec", c.events_per_sec);
+  j.set("epochs", c.epochs);
+  j.set("speedup_vs_1w", speedup);
   return j;
 }
 
@@ -191,6 +252,62 @@ int main(int argc, char** argv) {
     jp.push_back(cell_json("policy", n, bpf, cab::ArbPolicy::kRoundRobin, cr));
     out.set("policy_compare", std::move(jp));
     all_ok = all_ok && cf.r.completed && cr.r.completed;
+  }
+
+  // Parallel sharded engine: the 64-host / 10k-flow matrix on the
+  // ParallelEngine, swept over worker counts. Simulated results must be
+  // bit-identical at every worker count (the 1-worker run is the oracle);
+  // events/s measures how much the worker pool buys on this machine, so the
+  // hardware thread count is recorded next to it. Quick mode shrinks the
+  // topology and stops at 2 workers — that is the TSan smoke lane.
+  {
+    const std::size_t pairs = quick ? 8 : 32;     // 16 or 64 hosts
+    const std::size_t flows = quick ? 256 : 10000;
+    const std::uint64_t bpf = 16 * 1024;
+    const std::vector<std::size_t> worker_sweep =
+        quick ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 4, 8};
+
+    std::printf("parallel engine: %zu hosts, %zu flows (%u hw threads)\n",
+                2 * pairs, flows, std::thread::hardware_concurrency());
+    std::printf("%8s | %4s %9s | %10s %8s %8s %9s\n", "workers", "ok",
+                "aggMb/s", "events/s", "wall_s", "epochs", "speedup");
+
+    core::Json jp = core::Json::object();
+    jp.set("hosts", static_cast<std::uint64_t>(2 * pairs));
+    jp.set("flows", static_cast<std::uint64_t>(flows));
+    jp.set("bytes_per_flow", bpf);
+    jp.set("hardware_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    core::Json jcells2 = core::Json::array();
+    double base_wall = 0.0;
+    std::string oracle_dump;
+    std::uint64_t oracle_bytes = 0;
+    bool deterministic = true;
+    for (const std::size_t w : worker_sweep) {
+      const auto c = run_parallel_cell(pairs, flows, bpf, w);
+      if (w == 1) {
+        base_wall = c.wall_s;
+        oracle_dump = c.engine_dump;
+        oracle_bytes = c.r.total_bytes;
+      } else {
+        deterministic = deterministic && c.engine_dump == oracle_dump &&
+                        c.r.total_bytes == oracle_bytes;
+      }
+      const double speedup = c.wall_s > 0 ? base_wall / c.wall_s : 0.0;
+      std::printf("%8zu | %4s %9.1f | %10.0f %8.2f %8llu %8.2fx\n", w,
+                  c.r.completed ? "yes" : "NO", c.r.aggregate_mbps,
+                  c.events_per_sec, c.wall_s,
+                  static_cast<unsigned long long>(c.epochs), speedup);
+      all_ok = all_ok && c.r.completed;
+      jcells2.push_back(parallel_cell_json(w, c, speedup));
+    }
+    std::printf("determinism across worker counts: %s\n",
+                deterministic ? "ok" : "MISMATCH");
+    all_ok = all_ok && deterministic;
+    jp.set("deterministic_across_workers", deterministic);
+    jp.set("cells", std::move(jcells2));
+    out.set("parallel", std::move(jp));
   }
 
   out.set("all_ok", all_ok);

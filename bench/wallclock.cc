@@ -7,6 +7,7 @@
 // not a claim. Emits BENCH_wallclock.json with --json.
 //
 // Methodology notes live in EXPERIMENTS.md ("Wall-clock methodology").
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <map>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/ttcp.h"
@@ -25,25 +27,27 @@
 #include "net/conn_table.h"
 #include "net/netstack.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_engine.h"
 #include "sim/rng.h"
 #include "telemetry/telemetry.h"
 
 // --- heap allocation counter -------------------------------------------------
-// Single-threaded bench: a plain counter is fine. Every operator-new in the
-// process (including the standard library) lands here. GCC warns that free()
-// pairs with this replacement operator new — that pairing is exactly the
-// point, so the warning is silenced for this file.
+// Every operator-new in the process (including the standard library) lands
+// here. Relaxed atomic: the threads cell allocates from engine workers, and
+// the counter only ever feeds per-op averages. GCC warns that free() pairs
+// with this replacement operator new — that pairing is exactly the point, so
+// the warning is silenced for this file.
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 namespace {
-std::uint64_t g_heap_allocs = 0;
+std::atomic<std::uint64_t> g_heap_allocs{0};
 }
 void* operator new(std::size_t n) {
-  ++g_heap_allocs;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc{};
 }
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  ++g_heap_allocs;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   return std::malloc(n);
 }
 void operator delete(void* p) noexcept { std::free(p); }
@@ -98,6 +102,57 @@ EventBenchResult bench_plain_events(std::uint64_t target) {
   r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
   r.heap_allocs_per_event =
       static_cast<double>(g_heap_allocs - heap0) / static_cast<double>(r.events);
+  return r;
+}
+
+// Sharded engine throughput: the PlainChain workload spread over the shards
+// of a ParallelEngine, with an occasional cross-shard hop (one lookahead out)
+// so every epoch exercises the outbox/drain path, swept over worker counts.
+// On a single-core host the >1-worker cells measure pure coordination
+// overhead; hardware_threads is recorded next to the numbers so a reader can
+// tell which regime they are looking at.
+struct ShardChain {
+  sim::ParallelEngine* e;
+  std::size_t shard;
+  std::uint64_t seed;
+  void operator()() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    sim::Simulator& s = e->sim(shard);
+    if ((seed & 63) == 0) {
+      const std::size_t dst = (shard + 1) % e->num_shards();
+      e->post(shard, dst, s.now() + e->lookahead(), ShardChain{e, dst, seed});
+    } else {
+      s.after(1 + static_cast<sim::Duration>(seed >> 60), *this);
+    }
+  }
+};
+
+struct ThreadCell {
+  std::size_t workers = 0;
+  std::uint64_t events = 0;
+  std::uint64_t epochs = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+};
+
+ThreadCell bench_parallel_events(std::size_t workers, std::uint64_t target) {
+  constexpr std::size_t kShards = 8;
+  constexpr int kChainsPerShard = 32;
+  sim::ParallelEngine eng(kShards, sim::usec(1));
+  eng.set_workers(workers);
+  for (std::size_t s = 0; s < kShards; ++s)
+    for (int i = 0; i < kChainsPerShard; ++i)
+      eng.sim(s).after(1 + i, ShardChain{&eng, s, 0x9e3779b97f4a7c15ull +
+                                                      s * 1000 + i});
+  ThreadCell r;
+  r.workers = workers;
+  const auto t0 = Clock::now();
+  eng.run_until_done([&eng, target] { return eng.total_events() >= target; },
+                     sim::Time{1} << 60);
+  r.wall_s = elapsed_s(t0);
+  r.events = eng.total_events();
+  r.epochs = eng.epochs();
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_s;
   return r;
 }
 
@@ -439,6 +494,19 @@ int main(int argc, char** argv) {
               timer.events_per_sec, timer.heap_allocs_per_event,
               static_cast<unsigned long long>(timer.cancels));
 
+  std::vector<ThreadCell> threads;
+  for (std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}}) {
+    threads.push_back(bench_parallel_events(w, ev_target / 2));
+    const auto& tc = threads.back();
+    std::printf("events (%zu thr)  : %10.0f ev/s  (8 shards, %llu epochs%s)\n",
+                tc.workers, tc.events_per_sec,
+                static_cast<unsigned long long>(tc.epochs),
+                tc.workers > std::thread::hardware_concurrency()
+                    ? ", oversubscribed"
+                    : "");
+  }
+
   const auto mb = bench_mbuf(mbuf_iters);
   std::printf("mbuf get/free   : %10.0f op/s  (%.2f heap allocs/op)\n",
               mb.get_free_per_sec, mb.heap_allocs_per_get_free);
@@ -486,6 +554,22 @@ int main(int argc, char** argv) {
     ev.set("timer_heap_allocs_per_event", timer.heap_allocs_per_event);
     ev.set("timer_cancels", timer.cancels);
     root.set("events", std::move(ev));
+    core::Json jth = core::Json::object();
+    jth.set("hardware_threads",
+            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    jth.set("shards", 8);
+    core::Json jtc = core::Json::array();
+    for (const auto& tc : threads) {
+      core::Json j = core::Json::object();
+      j.set("workers", static_cast<std::uint64_t>(tc.workers));
+      j.set("events", tc.events);
+      j.set("epochs", tc.epochs);
+      j.set("wall_s", tc.wall_s);
+      j.set("events_per_sec", tc.events_per_sec);
+      jtc.push_back(std::move(j));
+    }
+    jth.set("cells", std::move(jtc));
+    root.set("threads", std::move(jth));
     core::Json jm = core::Json::object();
     jm.set("get_free_per_sec", mb.get_free_per_sec);
     jm.set("heap_allocs_per_get_free", mb.heap_allocs_per_get_free);

@@ -58,4 +58,24 @@ cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
       -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload'
 
+# ThreadSanitizer lane over the parallel sharded engine: the barrier,
+# epoch-publication, and outbox/drain handoffs are the only places the
+# codebase shares state across threads, so TSan runs exactly the suites that
+# exercise them — the engine unit tests, the RNG-stream and determinism-
+# oracle tests, and a >=2-worker flow-scaling smoke (quick mode runs its
+# parallel sweep at 1 and 2 workers and fails on any cross-worker
+# divergence).
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build build-tsan -j"$jobs"
+ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
+      -R 'Parallel|RngStreams|EventQueueStats'
+build-tsan/bench/flow_scaling --quick --json \
+    build-tsan/BENCH_flow_scaling_tsan_smoke.json
+grep -q '"deterministic_across_workers": true' \
+    build-tsan/BENCH_flow_scaling_tsan_smoke.json || {
+    echo "ci: tsan flow_scaling smoke lost cross-worker determinism" >&2
+    exit 1
+}
+
 echo "ci: all configs green"

@@ -8,6 +8,7 @@ namespace nectar::apps {
 
 using core::Host;
 using core::MultiTestbed;
+using core::ShardedTestbed;
 
 double jain_index(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
@@ -22,14 +23,20 @@ double jain_index(const std::vector<double>& xs) {
 
 namespace {
 
+// Sender-side fields are written only by the sender coroutine and
+// receiver-side fields only by the receiver. On the sharded engine those run
+// on different threads, so they must stay disjoint members (distinct memory
+// locations); `done` is the handoff bit the coordinator polls between epochs,
+// where the phase barrier orders it after the receiver's writes.
 struct FlowShared {
-  bool established = false;
-  bool failed = false;
-  bool done = false;
-  std::uint64_t received = 0;
-  std::uint64_t data_errors = 0;
-  sim::Time t_established = 0;
-  sim::Time t_finished = 0;
+  bool established = false;   // sender
+  bool tx_failed = false;     // sender: connect() failed
+  bool rx_failed = false;     // receiver: accept() failed
+  bool done = false;          // receiver: stream fully drained (or gave up)
+  std::uint64_t received = 0;       // receiver
+  std::uint64_t data_errors = 0;    // receiver
+  sim::Time t_established = 0;      // sender
+  sim::Time t_finished = 0;         // receiver
 };
 
 struct MatrixShared {
@@ -37,15 +44,15 @@ struct MatrixShared {
   bool all_done = false;
 };
 
-sim::Task<void> flow_receiver(MultiTestbed& tb, const FlowMatrixConfig& cfg,
+sim::Task<void> flow_receiver(sim::Simulator& sim, const FlowMatrixConfig& cfg,
                               std::size_t i, socket::Socket& sock,
                               Host::Process& proc, FlowShared& fs,
-                              MatrixShared& ms) {
+                              MatrixShared* ms) {
   auto ctx = proc.ctx();
   sock.listen(static_cast<std::uint16_t>(cfg.port_base + i));
   const auto seed = cfg.pattern_seed + static_cast<std::uint32_t>(i);
   if (!co_await sock.accept(ctx)) {
-    fs.failed = true;
+    fs.rx_failed = true;
   } else {
     mem::UserBuffer buf(proc.as, cfg.recv_size + 8, 0);
     std::uint64_t pos = 0;
@@ -66,28 +73,27 @@ sim::Task<void> flow_receiver(MultiTestbed& tb, const FlowMatrixConfig& cfg,
       fs.received = pos;
     }
   }
-  fs.t_finished = tb.sim.now();
+  fs.t_finished = sim.now();
   fs.done = true;
-  if (--ms.remaining == 0) ms.all_done = true;
+  if (ms != nullptr && --ms->remaining == 0) ms->all_done = true;
 }
 
-sim::Task<void> flow_sender(MultiTestbed& tb, const FlowMatrixConfig& cfg,
-                            std::size_t i, socket::Socket& sock,
-                            Host::Process& proc, FlowShared& fs) {
+sim::Task<void> flow_sender(sim::Simulator& sim, const FlowMatrixConfig& cfg,
+                            std::size_t i, net::IpAddr dst,
+                            socket::Socket& sock, Host::Process& proc,
+                            FlowShared& fs) {
   auto ctx = proc.ctx();
   // Staggered start: purely event-driven determinism, and the connect storm
   // doesn't land on one simulation instant.
   if (i > 0 && cfg.start_spacing > 0)
-    co_await sim::delay(tb.sim,
-                        static_cast<sim::Duration>(i) * cfg.start_spacing);
-  const net::IpAddr dst = MultiTestbed::server_ip(i % tb.num_pairs());
+    co_await sim::delay(sim, static_cast<sim::Duration>(i) * cfg.start_spacing);
   if (!co_await sock.connect(ctx, dst,
                              static_cast<std::uint16_t>(cfg.port_base + i))) {
-    fs.failed = true;
+    fs.tx_failed = true;
     co_return;  // the paired receiver observes the failed accept
   }
   fs.established = true;
-  fs.t_established = tb.sim.now();
+  fs.t_established = sim.now();
 
   mem::UserBuffer buf(proc.as, cfg.write_size + 8, 0);
   buf.fill_pattern(cfg.pattern_seed + static_cast<std::uint32_t>(i));
@@ -103,45 +109,10 @@ sim::Task<void> flow_sender(MultiTestbed& tb, const FlowMatrixConfig& cfg,
   co_await sock.close(ctx);
 }
 
-}  // namespace
-
-FlowMatrixResult run_flow_matrix(MultiTestbed& tb, const FlowMatrixConfig& cfg) {
-  const std::size_t pairs = tb.num_pairs();
-
-  socket::SocketOptions so;
-  so.policy = cfg.policy;
-  so.single_copy_threshold = cfg.single_copy_threshold;
-  so.tcp = cfg.tcp;
-
-  // One sender process per client host and one receiver process per server
-  // host; flows on the same host share it (the paper's per-process CPU
-  // accounting stays per host, which is what the contention study needs).
-  std::vector<Host::Process*> cprocs(pairs), sprocs(pairs);
-  for (std::size_t p = 0; p < pairs; ++p) {
-    cprocs[p] = &tb.clients[p]->create_process("fmx_tx");
-    sprocs[p] = &tb.servers[p]->create_process("fmx_rx");
-  }
-
-  std::vector<std::unique_ptr<socket::Socket>> tx(cfg.num_flows);
-  std::vector<std::unique_ptr<socket::Socket>> rx(cfg.num_flows);
-  std::vector<FlowShared> fs(cfg.num_flows);
-  MatrixShared ms;
-  ms.remaining = cfg.num_flows;
-
-  for (std::size_t i = 0; i < cfg.num_flows; ++i) {
-    const std::size_t p = i % pairs;
-    tx[i] = std::make_unique<socket::Socket>(tb.clients[p]->stack(),
-                                             socket::Socket::Proto::kTcp, so);
-    rx[i] = std::make_unique<socket::Socket>(tb.servers[p]->stack(),
-                                             socket::Socket::Proto::kTcp, so);
-    sim::spawn(flow_receiver(tb, cfg, i, *rx[i], *sprocs[p], fs[i], ms));
-    sim::spawn(flow_sender(tb, cfg, i, *tx[i], *cprocs[p], fs[i]));
-  }
-
-  tb.run_until_done(ms.all_done, tb.sim.now() + cfg.deadline);
-  // Let teardown (FIN exchanges, in-flight DMAs) quiesce.
-  tb.sim.run_until(tb.sim.now() + 5 * sim::kSecond);
-
+FlowMatrixResult collect_results(
+    const FlowMatrixConfig& cfg, const std::vector<FlowShared>& fs,
+    const std::vector<std::unique_ptr<socket::Socket>>& tx,
+    const std::vector<std::unique_ptr<socket::Socket>>& rx) {
   FlowMatrixResult r;
   r.completed = true;
   r.flows.resize(cfg.num_flows);
@@ -156,7 +127,8 @@ FlowMatrixResult run_flow_matrix(MultiTestbed& tb, const FlowMatrixConfig& cfg) 
     f.data_errors = fs[i].data_errors;
     f.established = fs[i].t_established;
     f.finished = fs[i].t_finished;
-    f.completed = fs[i].done && !fs[i].failed && f.bytes >= cfg.bytes_per_flow;
+    f.completed = fs[i].done && !fs[i].tx_failed && !fs[i].rx_failed &&
+                  f.bytes >= cfg.bytes_per_flow;
     if (f.finished > f.established && f.established > 0) {
       f.goodput_mbps = sim::throughput_mbps(static_cast<std::int64_t>(f.bytes),
                                             f.finished - f.established);
@@ -179,6 +151,97 @@ FlowMatrixResult run_flow_matrix(MultiTestbed& tb, const FlowMatrixConfig& cfg) 
   }
   r.jain = jain_index(goodputs);
   return r;
+}
+
+socket::SocketOptions socket_options(const FlowMatrixConfig& cfg) {
+  socket::SocketOptions so;
+  so.policy = cfg.policy;
+  so.single_copy_threshold = cfg.single_copy_threshold;
+  so.tcp = cfg.tcp;
+  return so;
+}
+
+}  // namespace
+
+FlowMatrixResult run_flow_matrix(MultiTestbed& tb, const FlowMatrixConfig& cfg) {
+  const std::size_t pairs = tb.num_pairs();
+  const socket::SocketOptions so = socket_options(cfg);
+
+  // One sender process per client host and one receiver process per server
+  // host; flows on the same host share it (the paper's per-process CPU
+  // accounting stays per host, which is what the contention study needs).
+  std::vector<Host::Process*> cprocs(pairs), sprocs(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    cprocs[p] = &tb.clients[p]->create_process("fmx_tx");
+    sprocs[p] = &tb.servers[p]->create_process("fmx_rx");
+  }
+
+  std::vector<std::unique_ptr<socket::Socket>> tx(cfg.num_flows);
+  std::vector<std::unique_ptr<socket::Socket>> rx(cfg.num_flows);
+  std::vector<FlowShared> fs(cfg.num_flows);
+  MatrixShared ms;
+  ms.remaining = cfg.num_flows;
+
+  for (std::size_t i = 0; i < cfg.num_flows; ++i) {
+    const std::size_t p = i % pairs;
+    tx[i] = std::make_unique<socket::Socket>(tb.clients[p]->stack(),
+                                             socket::Socket::Proto::kTcp, so);
+    rx[i] = std::make_unique<socket::Socket>(tb.servers[p]->stack(),
+                                             socket::Socket::Proto::kTcp, so);
+    sim::spawn(flow_receiver(tb.sim, cfg, i, *rx[i], *sprocs[p], fs[i], &ms));
+    sim::spawn(flow_sender(tb.sim, cfg, i, MultiTestbed::server_ip(p), *tx[i],
+                           *cprocs[p], fs[i]));
+  }
+
+  tb.run_until_done(ms.all_done, tb.sim.now() + cfg.deadline);
+  // Let teardown (FIN exchanges, in-flight DMAs) quiesce.
+  tb.sim.run_until(tb.sim.now() + 5 * sim::kSecond);
+
+  return collect_results(cfg, fs, tx, rx);
+}
+
+FlowMatrixResult run_flow_matrix(ShardedTestbed& tb,
+                                 const FlowMatrixConfig& cfg) {
+  const std::size_t pairs = tb.num_pairs();
+  const socket::SocketOptions so = socket_options(cfg);
+
+  std::vector<Host::Process*> cprocs(pairs), sprocs(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    cprocs[p] = &tb.clients[p]->create_process("fmx_tx");
+    sprocs[p] = &tb.servers[p]->create_process("fmx_rx");
+  }
+
+  std::vector<std::unique_ptr<socket::Socket>> tx(cfg.num_flows);
+  std::vector<std::unique_ptr<socket::Socket>> rx(cfg.num_flows);
+  std::vector<FlowShared> fs(cfg.num_flows);
+
+  for (std::size_t i = 0; i < cfg.num_flows; ++i) {
+    const std::size_t p = i % pairs;
+    tx[i] = std::make_unique<socket::Socket>(tb.clients[p]->stack(),
+                                             socket::Socket::Proto::kTcp, so);
+    rx[i] = std::make_unique<socket::Socket>(tb.servers[p]->stack(),
+                                             socket::Socket::Proto::kTcp, so);
+    // No MatrixShared: the receivers run on many shards, so completion is a
+    // coordinator-side scan of the per-flow done bits instead of a shared
+    // countdown they would all have to write.
+    sim::spawn(flow_receiver(tb.servers[p]->sim(), cfg, i, *rx[i], *sprocs[p],
+                             fs[i], nullptr));
+    sim::spawn(flow_sender(tb.clients[p]->sim(), cfg, i,
+                           ShardedTestbed::server_ip(p), *tx[i], *cprocs[p],
+                           fs[i]));
+  }
+
+  // Monotone scan hint: each call resumes where the last one stopped, so the
+  // whole run does O(num_flows) work across all epochs, not per epoch.
+  std::size_t scanned = 0;
+  const auto all_done = [&fs, &scanned, n = cfg.num_flows] {
+    while (scanned < n && fs[scanned].done) ++scanned;
+    return scanned == n;
+  };
+  tb.run_until_done(all_done, tb.engine.now() + cfg.deadline);
+  tb.quiesce(5 * sim::kSecond);
+
+  return collect_results(cfg, fs, tx, rx);
 }
 
 }  // namespace nectar::apps

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/multi_testbed.h"
+#include "core/sharded_testbed.h"
 
 namespace nectar::apps {
 
@@ -57,6 +58,15 @@ struct FlowMatrixResult {
 [[nodiscard]] double jain_index(const std::vector<double>& xs);
 
 FlowMatrixResult run_flow_matrix(core::MultiTestbed& tb,
+                                 const FlowMatrixConfig& cfg);
+
+// The same workload on the sharded parallel engine. Each flow's sender runs
+// on its client's shard and its receiver on its server's shard; completion
+// is detected between epochs (every shard quiescent), and per-flow state is
+// split so sender-side and receiver-side fields are never written from two
+// shards. Identical config + seed gives identical FlowMatrixResult at any
+// worker count.
+FlowMatrixResult run_flow_matrix(core::ShardedTestbed& tb,
                                  const FlowMatrixConfig& cfg);
 
 }  // namespace nectar::apps

@@ -1,0 +1,57 @@
+#include "core/impairment_chain.h"
+
+namespace nectar::core {
+
+hippi::Fabric* build_impairment_chain(sim::Simulator& sim, hippi::Fabric& inner,
+                                      const ImpairmentSpec& spec,
+                                      ImpairmentSlots slots) {
+  hippi::Fabric* outer = &inner;
+  if (spec.corrupt_rate > 0.0) {
+    slots.corrupt = std::make_unique<hippi::CorruptFabric>(
+        *outer, spec.corrupt_rate, spec.corrupt_seed);
+    outer = slots.corrupt.get();
+  }
+  if (spec.reorder_rate > 0.0) {
+    slots.reorder = std::make_unique<hippi::ReorderFabric>(
+        sim, *outer, spec.reorder_rate, spec.reorder_hold, spec.reorder_seed);
+    outer = slots.reorder.get();
+  }
+  if (spec.dup_rate > 0.0) {
+    slots.dup = std::make_unique<hippi::DupFabric>(*outer, spec.dup_rate,
+                                                   spec.dup_seed);
+    outer = slots.dup.get();
+  }
+  if (spec.loss_rate > 0.0) {
+    slots.lossy = std::make_unique<hippi::LossyFabric>(*outer, spec.loss_rate,
+                                                       spec.loss_seed);
+    outer = slots.lossy.get();
+  }
+  if (!spec.partition_windows.empty() || spec.with_partition) {
+    slots.partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
+    for (const auto& [start, end] : spec.partition_windows)
+      slots.partition->add_window(start, end);
+    outer = slots.partition.get();
+  }
+  if (spec.rate_limit_bps > 0.0) {
+    slots.rate_limit = std::make_unique<hippi::RateLimitFabric>(
+        sim, *outer, spec.rate_limit_bps, spec.rate_limit_burst);
+    outer = slots.rate_limit.get();
+  }
+  return outer;
+}
+
+std::vector<hippi::ImpairedFabric*> impairment_list(
+    hippi::CorruptFabric* corrupt, hippi::ReorderFabric* reorder,
+    hippi::DupFabric* dup, hippi::LossyFabric* lossy,
+    hippi::PartitionFabric* partition, hippi::RateLimitFabric* rate_limit) {
+  std::vector<hippi::ImpairedFabric*> out;
+  if (rate_limit) out.push_back(rate_limit);
+  if (partition) out.push_back(partition);
+  if (lossy) out.push_back(lossy);
+  if (dup) out.push_back(dup);
+  if (reorder) out.push_back(reorder);
+  if (corrupt) out.push_back(corrupt);
+  return out;
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,60 @@
+// Shared builder for the wire-impairment chain. Testbed, MultiTestbed, and
+// ShardedTestbed all stack the same layers in the same inside-out order —
+// corruption innermost (damage happens "on the wire", after loss/dup
+// decisions), rate limiting outermost (the bottleneck serializes everything
+// submitted to it) — so the layering lives in exactly one place.
+//
+// The testbeds keep their individual unique_ptr members (tests reach into
+// tb.corrupt, tb.lossy, ... for per-impairment counters); the builder fills
+// them through an ImpairmentSlots bundle of references.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hippi/impairment.h"
+
+namespace nectar::core {
+
+struct ImpairmentSpec {
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 42;
+  double reorder_rate = 0.0;
+  sim::Duration reorder_hold = sim::usec(50.0);
+  std::uint64_t reorder_seed = 43;
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 44;
+  double dup_rate = 0.0;
+  std::uint64_t dup_seed = 45;
+  double rate_limit_bps = 0.0;
+  std::size_t rate_limit_burst = 64 * 1024;
+  std::vector<std::pair<sim::Time, sim::Time>> partition_windows;
+  // Create the PartitionFabric even with no windows, so a FaultInjector can
+  // flap the link at runtime.
+  bool with_partition = false;
+};
+
+struct ImpairmentSlots {
+  std::unique_ptr<hippi::CorruptFabric>& corrupt;
+  std::unique_ptr<hippi::ReorderFabric>& reorder;
+  std::unique_ptr<hippi::DupFabric>& dup;
+  std::unique_ptr<hippi::LossyFabric>& lossy;
+  std::unique_ptr<hippi::PartitionFabric>& partition;
+  std::unique_ptr<hippi::RateLimitFabric>& rate_limit;
+};
+
+// Build the enabled layers around `inner` on `sim`; returns the outermost
+// fabric (== &inner when every impairment is off).
+hippi::Fabric* build_impairment_chain(sim::Simulator& sim, hippi::Fabric& inner,
+                                      const ImpairmentSpec& spec,
+                                      ImpairmentSlots slots);
+
+// The active impairments, outermost first (for the JSON stats exporter).
+// Null pointers (disabled layers) are skipped.
+[[nodiscard]] std::vector<hippi::ImpairedFabric*> impairment_list(
+    hippi::CorruptFabric* corrupt, hippi::ReorderFabric* reorder,
+    hippi::DupFabric* dup, hippi::LossyFabric* lossy,
+    hippi::PartitionFabric* partition, hippi::RateLimitFabric* rate_limit);
+
+}  // namespace nectar::core

@@ -1,10 +1,29 @@
 #include "core/multi_testbed.h"
 
+#include "core/impairment_chain.h"
+
 namespace nectar::core {
 
 namespace {
 constexpr hippi::Addr kHaClientBase = 0x200;
 constexpr hippi::Addr kHaServerBase = 0x400;
+
+ImpairmentSpec spec_from(const MultiTestbedOptions& o) {
+  ImpairmentSpec s;
+  s.loss_rate = o.loss_rate;
+  s.loss_seed = o.loss_seed;
+  s.reorder_rate = o.reorder_rate;
+  s.reorder_hold = o.reorder_hold;
+  s.reorder_seed = o.reorder_seed;
+  s.corrupt_rate = o.corrupt_rate;
+  s.corrupt_seed = o.corrupt_seed;
+  s.dup_rate = o.dup_rate;
+  s.dup_seed = o.dup_seed;
+  s.rate_limit_bps = o.rate_limit_bps;
+  s.rate_limit_burst = o.rate_limit_burst;
+  s.partition_windows = o.partition_windows;
+  return s;
+}
 }  // namespace
 
 hippi::Fabric& MultiTestbed::fabric() {
@@ -18,53 +37,17 @@ hippi::Fabric& MultiTestbed::fabric() {
 }
 
 std::vector<hippi::ImpairedFabric*> MultiTestbed::impairments() const {
-  std::vector<hippi::ImpairedFabric*> out;
-  if (rate_limit) out.push_back(rate_limit.get());
-  if (partition) out.push_back(partition.get());
-  if (lossy) out.push_back(lossy.get());
-  if (dup) out.push_back(dup.get());
-  if (reorder) out.push_back(reorder.get());
-  if (corrupt) out.push_back(corrupt.get());
-  return out;
+  return impairment_list(corrupt.get(), reorder.get(), dup.get(), lossy.get(),
+                         partition.get(), rate_limit.get());
 }
 
 MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
   if (opts.num_pairs == 0) opts.num_pairs = 1;
   sw = std::make_unique<hippi::Switch>(sim, opts.mac_mode);
 
-  // Same inside-out layering as Testbed: corruption innermost, rate limit
-  // outermost.
-  hippi::Fabric* outer = sw.get();
-  if (opts.corrupt_rate > 0.0) {
-    corrupt = std::make_unique<hippi::CorruptFabric>(*outer, opts.corrupt_rate,
-                                                     opts.corrupt_seed);
-    outer = corrupt.get();
-  }
-  if (opts.reorder_rate > 0.0) {
-    reorder = std::make_unique<hippi::ReorderFabric>(
-        sim, *outer, opts.reorder_rate, opts.reorder_hold, opts.reorder_seed);
-    outer = reorder.get();
-  }
-  if (opts.dup_rate > 0.0) {
-    dup = std::make_unique<hippi::DupFabric>(*outer, opts.dup_rate, opts.dup_seed);
-    outer = dup.get();
-  }
-  if (opts.loss_rate > 0.0) {
-    lossy = std::make_unique<hippi::LossyFabric>(*outer, opts.loss_rate,
-                                                 opts.loss_seed);
-    outer = lossy.get();
-  }
-  if (!opts.partition_windows.empty()) {
-    partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
-    for (const auto& [start, end] : opts.partition_windows)
-      partition->add_window(start, end);
-    outer = partition.get();
-  }
-  if (opts.rate_limit_bps > 0.0) {
-    rate_limit = std::make_unique<hippi::RateLimitFabric>(
-        sim, *outer, opts.rate_limit_bps, opts.rate_limit_burst);
-    outer = rate_limit.get();
-  }
+  build_impairment_chain(
+      sim, *sw, spec_from(opts),
+      ImpairmentSlots{corrupt, reorder, dup, lossy, partition, rate_limit});
 
   HostParams hp = opts.params;
   hp.cab.sdma.arb = opts.arb;

@@ -169,6 +169,35 @@ Json impairments_json(const std::vector<hippi::ImpairedFabric*>& impairments) {
   return arr;
 }
 
+Json parallel_engine_json(const sim::ParallelEngine& eng) {
+  Json j = Json::object();
+  j.set("schema_version", 1);
+  j.set("lookahead_ns", static_cast<std::int64_t>(eng.lookahead()));
+  j.set("epochs", eng.epochs());
+  j.set("events", eng.total_events());
+  j.set("now_ns", static_cast<std::int64_t>(eng.now()));
+  Json arr = Json::array();
+  for (std::size_t s = 0; s < eng.num_shards(); ++s) {
+    const sim::Shard& sh = eng.shard(s);
+    Json e = Json::object();
+    e.set("id", static_cast<std::uint64_t>(sh.id));
+    e.set("now_ns", static_cast<std::int64_t>(sh.sim.now()));
+    e.set("events", sh.sim.events_processed());
+    e.set("cancelled", sh.sim.events_cancelled());
+    e.set("pending", static_cast<std::uint64_t>(sh.sim.pending()));
+    e.set("tombstones", static_cast<std::uint64_t>(sh.sim.tombstones()));
+    e.set("compactions", sh.sim.compactions());
+    e.set("slots", static_cast<std::uint64_t>(sh.sim.slots_allocated()));
+    e.set("posts_out", sh.posts_out);
+    e.set("posts_in", sh.posts_in);
+    e.set("busy_epochs", sh.busy_epochs);
+    e.set("max_pending", static_cast<std::uint64_t>(sh.max_pending));
+    arr.push_back(std::move(e));
+  }
+  j.set("shard", std::move(arr));
+  return j;
+}
+
 Json Netstat::json() const {
   Host& host = host_;
   Json root = Json::object();

@@ -12,6 +12,7 @@
 #include "fault/fault.h"
 #include "hippi/impairment.h"
 #include "net/tcp.h"
+#include "sim/parallel_engine.h"
 
 namespace nectar::core {
 
@@ -53,5 +54,14 @@ class Netstat {
 // One JSON object per impairment: {"kind": ..., <counter>: <value>, ...}.
 [[nodiscard]] Json impairments_json(
     const std::vector<hippi::ImpairedFabric*>& impairments);
+
+// Engine-level and per-shard counters of a ParallelEngine:
+// {"lookahead_ns", "epochs", "events", "now_ns",
+//  "shard": [{"id", "now_ns", "events", "cancelled", "pending", "tombstones",
+//             "compactions", "slots", "posts_out", "posts_in", "busy_epochs",
+//             "max_pending"}, ...]}.
+// The worker count is deliberately NOT in the dump: every field here is part
+// of the determinism contract and must be byte-identical at any worker count.
+[[nodiscard]] Json parallel_engine_json(const sim::ParallelEngine& eng);
 
 }  // namespace nectar::core

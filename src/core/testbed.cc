@@ -1,6 +1,28 @@
 #include "core/testbed.h"
 
+#include "core/impairment_chain.h"
+
 namespace nectar::core {
+
+namespace {
+ImpairmentSpec spec_from(const TestbedOptions& o) {
+  ImpairmentSpec s;
+  s.loss_rate = o.loss_rate;
+  s.loss_seed = o.loss_seed;
+  s.reorder_rate = o.reorder_rate;
+  s.reorder_hold = o.reorder_hold;
+  s.reorder_seed = o.reorder_seed;
+  s.corrupt_rate = o.corrupt_rate;
+  s.corrupt_seed = o.corrupt_seed;
+  s.dup_rate = o.dup_rate;
+  s.dup_seed = o.dup_seed;
+  s.rate_limit_bps = o.rate_limit_bps;
+  s.rate_limit_burst = o.rate_limit_burst;
+  s.partition_windows = o.partition_windows;
+  s.with_partition = o.with_partition;
+  return s;
+}
+}  // namespace
 
 hippi::Fabric& Testbed::fabric() {
   if (trace) return *trace;
@@ -15,14 +37,8 @@ hippi::Fabric& Testbed::fabric() {
 }
 
 std::vector<hippi::ImpairedFabric*> Testbed::impairments() const {
-  std::vector<hippi::ImpairedFabric*> out;
-  if (rate_limit) out.push_back(rate_limit.get());
-  if (partition) out.push_back(partition.get());
-  if (lossy) out.push_back(lossy.get());
-  if (dup) out.push_back(dup.get());
-  if (reorder) out.push_back(reorder.get());
-  if (corrupt) out.push_back(corrupt.get());
-  return out;
+  return impairment_list(corrupt.get(), reorder.get(), dup.get(), lossy.get(),
+                         partition.get(), rate_limit.get());
 }
 
 Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
@@ -31,43 +47,11 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
   } else {
     wire = std::make_unique<hippi::DirectWire>(sim);
   }
-  // Build the impairment chain inside-out; each layer wraps whatever is
-  // outermost so far. Corruption sits innermost (damage happens "on the
-  // wire", after loss/dup decisions), rate limiting outermost (the
-  // bottleneck serializes everything submitted to it).
-  hippi::Fabric* outer = sw ? static_cast<hippi::Fabric*>(sw.get())
+  hippi::Fabric* inner = sw ? static_cast<hippi::Fabric*>(sw.get())
                             : static_cast<hippi::Fabric*>(wire.get());
-  if (opts.corrupt_rate > 0.0) {
-    corrupt = std::make_unique<hippi::CorruptFabric>(*outer, opts.corrupt_rate,
-                                                     opts.corrupt_seed);
-    outer = corrupt.get();
-  }
-  if (opts.reorder_rate > 0.0) {
-    reorder = std::make_unique<hippi::ReorderFabric>(
-        sim, *outer, opts.reorder_rate, opts.reorder_hold, opts.reorder_seed);
-    outer = reorder.get();
-  }
-  if (opts.dup_rate > 0.0) {
-    dup = std::make_unique<hippi::DupFabric>(*outer, opts.dup_rate,
-                                             opts.dup_seed);
-    outer = dup.get();
-  }
-  if (opts.loss_rate > 0.0) {
-    lossy = std::make_unique<hippi::LossyFabric>(*outer, opts.loss_rate,
-                                                 opts.loss_seed);
-    outer = lossy.get();
-  }
-  if (!opts.partition_windows.empty() || opts.with_partition) {
-    partition = std::make_unique<hippi::PartitionFabric>(sim, *outer);
-    for (const auto& [start, end] : opts.partition_windows)
-      partition->add_window(start, end);
-    outer = partition.get();
-  }
-  if (opts.rate_limit_bps > 0.0) {
-    rate_limit = std::make_unique<hippi::RateLimitFabric>(
-        sim, *outer, opts.rate_limit_bps, opts.rate_limit_burst);
-    outer = rate_limit.get();
-  }
+  hippi::Fabric* outer = build_impairment_chain(
+      sim, *inner, spec_from(opts),
+      ImpairmentSlots{corrupt, reorder, dup, lossy, partition, rate_limit});
   if (opts.trace_packets) {
     trace = std::make_unique<PacketTrace>(sim, *outer);
   }

@@ -1,0 +1,42 @@
+#include "hippi/shard_link.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nectar::hippi {
+
+void ShardDownlink::hippi_receive(Packet&& p) {
+  ++delivered_;
+  const sim::Time t = eng_.sim(fabric_shard_).now() + hop_;
+  eng_.post(fabric_shard_, host_shard_, t,
+            [ep = &ep_, p = std::move(p)]() mutable {
+              ep->hippi_receive(std::move(p));
+            });
+}
+
+ShardUplink::ShardUplink(sim::ParallelEngine& eng, std::size_t host_shard,
+                         std::size_t fabric_shard, sim::Duration hop,
+                         Fabric& chain)
+    : eng_(eng), host_shard_(host_shard), fabric_shard_(fabric_shard),
+      hop_(hop), chain_(chain) {
+  if (hop_ < eng_.lookahead())
+    throw std::invalid_argument(
+        "ShardUplink: wire hop must cover the engine lookahead");
+}
+
+void ShardUplink::attach(Addr addr, Endpoint* ep) {
+  downlinks_.push_back(std::make_unique<ShardDownlink>(
+      eng_, fabric_shard_, host_shard_, hop_, *ep));
+  chain_.attach(addr, downlinks_.back().get());
+}
+
+void ShardUplink::submit(Packet&& p) {
+  ++submitted_;
+  const sim::Time t = eng_.sim(host_shard_).now() + hop_;
+  eng_.post(host_shard_, fabric_shard_, t,
+            [chain = &chain_, p = std::move(p)]() mutable {
+              chain->submit(std::move(p));
+            });
+}
+
+}  // namespace nectar::hippi

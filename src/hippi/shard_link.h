@@ -1,0 +1,78 @@
+// Cross-shard wire handoff for the parallel simulation engine.
+//
+// In a sharded topology every Host owns a shard and the shared fabric — the
+// switch plus its impairment chain — owns a dedicated fabric shard. Frames
+// cross the boundary through two proxies:
+//
+//   host CAB --ShardUplink::submit-->  [post, +hop]  --> fabric-shard chain
+//   fabric chain --ShardDownlink-->    [post, +hop]  --> host CAB endpoint
+//
+// Each crossing adds `hop` of wire propagation, and `hop` must be >= the
+// engine lookahead: that latency is exactly what makes conservative epoch
+// windows sound (nothing a shard sends can land inside the current window).
+// The switch keeps its own store-and-forward timing on the fabric shard, so
+// a sharded path costs hop + switch + hop where the single-simulator switch
+// topology costs its one propagation — physically, longer cables to the
+// switch room.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hippi/framing.h"
+#include "sim/parallel_engine.h"
+
+namespace nectar::hippi {
+
+// Endpoint proxy living on the fabric shard: forwards a delivered frame to
+// the real endpoint on the host's shard, one hop later.
+class ShardDownlink final : public Endpoint {
+ public:
+  ShardDownlink(sim::ParallelEngine& eng, std::size_t fabric_shard,
+                std::size_t host_shard, sim::Duration hop, Endpoint& ep)
+      : eng_(eng), fabric_shard_(fabric_shard), host_shard_(host_shard),
+        hop_(hop), ep_(ep) {}
+
+  void hippi_receive(Packet&& p) override;
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::ParallelEngine& eng_;
+  std::size_t fabric_shard_;
+  std::size_t host_shard_;
+  sim::Duration hop_;
+  Endpoint& ep_;
+  std::uint64_t delivered_ = 0;
+};
+
+// Fabric proxy handed to one host's CAB: submits cross the shard boundary to
+// the real chain; attach() plants a ShardDownlink on the fabric side so
+// deliveries cross back.
+class ShardUplink final : public Fabric {
+ public:
+  // `chain` is the outermost fabric layer on the fabric shard. Throws
+  // std::invalid_argument if hop < the engine lookahead.
+  ShardUplink(sim::ParallelEngine& eng, std::size_t host_shard,
+              std::size_t fabric_shard, sim::Duration hop, Fabric& chain);
+
+  void attach(Addr addr, Endpoint* ep) override;
+  void submit(Packet&& p) override;
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ShardDownlink>>& downlinks()
+      const noexcept {
+    return downlinks_;
+  }
+
+ private:
+  sim::ParallelEngine& eng_;
+  std::size_t host_shard_;
+  std::size_t fabric_shard_;
+  sim::Duration hop_;
+  Fabric& chain_;
+  std::uint64_t submitted_ = 0;
+  std::vector<std::unique_ptr<ShardDownlink>> downlinks_;
+};
+
+}  // namespace nectar::hippi

@@ -157,6 +157,11 @@ void Simulator::run() {
   }
 }
 
+Time Simulator::next_time() {
+  purge_top();
+  return heap_.empty() ? kNoEvent : heap_.front().t;
+}
+
 void Simulator::run_until(Time deadline) {
   for (;;) {
     purge_top();

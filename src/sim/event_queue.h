@@ -75,6 +75,12 @@ class Simulator {
   // still fire) or the queue drains.
   void run_until(Time deadline);
 
+  // Timestamp of the earliest live event, or kNoEvent when the queue is
+  // empty. Purges cancelled entries sitting at the top so the answer reflects
+  // a real event (the parallel engine picks epoch windows from this).
+  static constexpr Time kNoEvent = INT64_MAX;
+  [[nodiscard]] Time next_time();
+
   // Live (non-cancelled) scheduled events.
   [[nodiscard]] std::size_t pending() const noexcept {
     return heap_.size() - tombstones_;
@@ -83,6 +89,8 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_cancelled() const noexcept { return cancelled_; }
   // Tombstone purges performed (each removes every cancelled entry at once).
   [[nodiscard]] std::uint64_t compactions() const noexcept { return compactions_; }
+  // Cancelled entries currently awaiting purge in the heap.
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
   // Slab high-water mark: slots ever allocated (== peak concurrent events).
   [[nodiscard]] std::size_t slots_allocated() const noexcept { return slots_.size(); }
 

@@ -1,0 +1,172 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace nectar::sim {
+
+namespace {
+
+// Brief pause, escalating to a scheduler yield: on a loaded (or single-core)
+// machine a waiting worker must hand the CPU to whoever holds the work.
+inline void relax(int& spins) noexcept {
+  if (++spins < 16) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+void ParallelEngine::PhaseBarrier::arrive_and_wait() noexcept {
+  if (n_ <= 1) return;
+  const std::uint64_t ticket =
+      arrivals_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const std::uint64_t target = ((ticket - 1) / n_ + 1) * n_;
+  if (ticket == target) {
+    released_.store(target, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (released_.load(std::memory_order_acquire) < target) relax(spins);
+  }
+}
+
+ParallelEngine::ParallelEngine(std::size_t num_shards, Duration lookahead,
+                               std::uint64_t global_seed)
+    : lookahead_(lookahead), seed_(global_seed) {
+  if (num_shards == 0) num_shards = 1;
+  if (lookahead_ <= 0)
+    throw std::invalid_argument("ParallelEngine: lookahead must be positive");
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(s, global_seed, num_shards));
+}
+
+void ParallelEngine::set_workers(std::size_t n) noexcept {
+  workers_ = std::clamp<std::size_t>(n, 1, shards_.size());
+}
+
+void ParallelEngine::post(std::size_t src, std::size_t dst, Time t, SmallFn fn) {
+  assert(src < shards_.size() && dst < shards_.size());
+  // Conservative-lookahead invariant: a running epoch may only produce work
+  // for windows after its own.
+  assert(!running_ || t >= window_end_);
+  Shard& s = *shards_[src];
+  s.outbox[dst].push_back(ShardMsg{t, std::move(fn)});
+  ++s.posts_out;
+}
+
+void ParallelEngine::exec_window(Shard& sh) {
+  const std::uint64_t before = sh.sim.events_processed();
+  // Events at exactly window_end_ belong to the next window.
+  sh.sim.run_until(window_end_ - 1);
+  if (sh.sim.events_processed() != before) ++sh.busy_epochs;
+}
+
+void ParallelEngine::drain_inboxes(Shard& dst) {
+  // Fixed merge order — ascending source shard, post order within a source —
+  // so the destination heap's insertion-order tie-break is schedule-invariant.
+  for (auto& src : shards_) {
+    auto& box = src->outbox[dst.id];
+    if (box.empty()) continue;
+    for (ShardMsg& m : box) {
+      dst.sim.at(m.t, std::move(m.fn));
+      ++dst.posts_in;
+    }
+    box.clear();
+  }
+}
+
+Time ParallelEngine::min_next_time() {
+  Time next = Simulator::kNoEvent;
+  for (auto& sh : shards_) {
+    sh->max_pending = std::max(sh->max_pending, sh->sim.pending());
+    next = std::min(next, sh->sim.next_time());
+  }
+  return next;
+}
+
+void ParallelEngine::run_epoch_as(std::size_t w) {
+  for (std::size_t s = w; s < shards_.size(); s += workers_)
+    exec_window(*shards_[s]);
+  barrier_.arrive_and_wait();
+  for (std::size_t s = w; s < shards_.size(); s += workers_)
+    drain_inboxes(*shards_[s]);
+  barrier_.arrive_and_wait();
+}
+
+void ParallelEngine::worker_main(std::size_t w) {
+  // Baseline is the value epoch_ held when the pool was spawned (0), NOT a
+  // fresh load: the coordinator may bump epoch_ before this thread first
+  // runs, and loading here would swallow that epoch and deadlock the barrier.
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) relax(spins);
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_epoch_as(w);
+  }
+}
+
+bool ParallelEngine::run_until_done(const std::function<bool()>& done,
+                                    Time deadline) {
+  // Setup-time posts (topology wiring before the first run) sit in outboxes;
+  // surface them so the first window sees every event.
+  for (auto& sh : shards_) drain_inboxes(*sh);
+
+  bool is_done = done && done();
+  if (is_done) return true;
+
+  const std::size_t nw = workers_;
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  barrier_.reset(static_cast<unsigned>(nw));
+  epoch_.store(0, std::memory_order_relaxed);
+
+  std::vector<std::thread> pool;
+  pool.reserve(nw > 0 ? nw - 1 : 0);
+  for (std::size_t w = 1; w < nw; ++w)
+    pool.emplace_back([this, w] { worker_main(w); });
+
+  for (;;) {
+    const Time next = min_next_time();
+    if (next == Simulator::kNoEvent || next > deadline) break;
+    window_end_ = next + lookahead_;
+    // Publishes window_end_ to the workers and starts the epoch.
+    epoch_.fetch_add(1, std::memory_order_release);
+    run_epoch_as(0);
+    ++epochs_done_;
+    // Every shard is quiescent here: execution and drains are barriered, so
+    // the predicate reads a consistent cross-shard snapshot.
+    if (done && done()) {
+      is_done = true;
+      break;
+    }
+  }
+
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  running_ = false;
+  return is_done;
+}
+
+std::uint64_t ParallelEngine::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sim.events_processed();
+  return n;
+}
+
+Time ParallelEngine::now() const {
+  Time t = 0;
+  for (const auto& sh : shards_) t = std::max(t, sh->sim.now());
+  return t;
+}
+
+}  // namespace nectar::sim

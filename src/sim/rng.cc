@@ -19,6 +19,18 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
 }
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t global_seed,
+                                 std::uint64_t stream_id) noexcept {
+  // Two splitmix64 steps keyed by seed and stream id. splitmix64 is a
+  // bijective mix of a Weyl-sequence counter, so distinct (seed, stream)
+  // pairs land on distinct counters and the outputs decorrelate; deriving
+  // stream 0 also never collides with using the global seed directly.
+  std::uint64_t x = global_seed;
+  std::uint64_t z = splitmix64(x);
+  x = z ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

@@ -11,9 +11,22 @@
 
 namespace nectar::sim {
 
+// Seed for an independent derived stream: a pure function of the global seed
+// and a stable stream id (e.g. a shard id in the parallel engine), never of
+// worker/thread identity — stream k draws the same sequence no matter how
+// many threads run the simulation or in what order shards execute.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t global_seed,
+                                               std::uint64_t stream_id) noexcept;
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept;
+
+  // An Rng over the derived stream (global_seed, stream_id).
+  [[nodiscard]] static Rng for_stream(std::uint64_t global_seed,
+                                      std::uint64_t stream_id) noexcept {
+    return Rng(derive_stream_seed(global_seed, stream_id));
+  }
 
   std::uint64_t next() noexcept;
 

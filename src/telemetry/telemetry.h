@@ -119,6 +119,16 @@ class Telemetry {
   // Metrics document: per-stage span histograms, flow metrics, counters,
   // named histograms, gauge time series, span bookkeeping.
   [[nodiscard]] core::Json metrics_json() const;
+  // Combine per-shard registries (in shard order) into one document with the
+  // same shape as metrics_json: counters summed, histograms and flow metrics
+  // merged, gauge series concatenated, plus a "shards" array of per-registry
+  // span bookkeeping. Deterministic: depends only on registry contents and
+  // order, never on the worker schedule that produced them. Spans that cross
+  // a shard boundary (a segment sent from one host's registry and received
+  // in another's) surface as matched open/orphan_end counts — deterministic,
+  // so the oracle comparison still holds bit-for-bit.
+  [[nodiscard]] static core::Json merged_metrics_json(
+      const std::vector<const Telemetry*>& shards);
   bool write_chrome_trace(const std::string& path) const {
     return core::write_json_file(path, chrome_trace_json());
   }
