@@ -51,12 +51,16 @@ done
 # ride every one of those paths (span ends from abort callbacks, gauge
 # closures over engine internals), and the TSO/GRO paths juggle multi-MTU
 # descriptors and batched receive chains across the same completion
-# callbacks.
+# callbacks.  The control-plane suites join the same lane: the timer wheel
+# recycles bucket slots through a freelist, SYN-cookie acceptance
+# materialises connections from nothing (no embryonic object to misuse, but
+# plenty of room for stale-handle cancels), and the churn smoke slams 5k
+# connections through compact TIME-WAIT slab recycling.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload'
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload|TimerWheel|SynCookie|bench_churn'
 
 # ThreadSanitizer lane over the parallel sharded engine: the barrier,
 # epoch-publication, and outbox/drain handoffs are the only places the

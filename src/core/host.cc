@@ -11,8 +11,10 @@ Host::Host(sim::Simulator& sim, HostParams params, std::string name)
       kernel_as_(name_ + ".kernel"),
       vm_(sim, cpu_, params_.vm),
       pin_cache_(vm_, params_.pin_cache_pages),
-      intr_acct_(cpu_.make_account("intr")) {
+      intr_acct_(cpu_.make_account("intr")),
+      wheel_(sim) {
   net::HostEnv env{sim_, cpu_, pool_, vm_, pin_cache_, params_.costs, intr_acct_};
+  env.wheel = &wheel_;
   stack_ = std::make_unique<net::NetStack>(env);
 }
 

@@ -10,6 +10,7 @@
 #include "drivers/ether_driver.h"
 #include "drivers/loopback.h"
 #include "mem/user_buffer.h"
+#include "sim/timer_wheel.h"
 #include "socket/socket.h"
 #include "telemetry/telemetry.h"
 
@@ -31,6 +32,7 @@ class Host {
   [[nodiscard]] net::NetStack& stack() noexcept { return *stack_; }
   [[nodiscard]] mem::AddressSpace& kernel_as() noexcept { return kernel_as_; }
   [[nodiscard]] sim::AccountId intr_acct() const noexcept { return intr_acct_; }
+  [[nodiscard]] sim::TimerWheel& timer_wheel() noexcept { return wheel_; }
 
   // --- devices (owned by the host) -----------------------------------------
 
@@ -81,6 +83,9 @@ class Host {
   mem::Vm vm_;
   mem::PinCache pin_cache_;
   sim::AccountId intr_acct_;
+  // Declared before stack_: the stack's TIME-WAIT/zombie timers may live on
+  // the wheel, so the stack must be destroyed first.
+  sim::TimerWheel wheel_;
   std::unique_ptr<net::NetStack> stack_;
   std::vector<std::unique_ptr<net::Ifnet>> devices_;
   std::vector<std::unique_ptr<cab::CabDevice>> cabs_;

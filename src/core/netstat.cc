@@ -79,9 +79,22 @@ std::string netstat_protocols(Host& host) {
      << st.bad_checksum << " bad csum, " << st.listen_overflows
      << " listen overflows\n";
   const auto& dm = host.stack().tcp_demux();
-  os << "  table: " << dm.size() << " live / " << dm.buckets() << " buckets, "
-     << dm.tombstones() << " tombstones, " << dm.stats().lookups << " lookups ("
-     << dm.stats().hits << " hits), max probe " << dm.stats().max_probe << "\n";
+  os << "  table: " << dm.size() << " live / " << dm.buckets() << " buckets ("
+     << dm.num_shards() << " shards), " << dm.tombstones() << " tombstones, "
+     << dm.stats().lookups << " lookups (" << dm.stats().hits
+     << " hits), max probe " << dm.stats().max_probe << "\n";
+  os << "  cookies: " << st.syn_cookies_sent << " sent, "
+     << st.syn_cookies_accepted << " accepted, " << st.syn_cookies_rejected
+     << " rejected, " << st.syn_cookie_overflows << " overflow\n";
+  os << "  timewait: " << host.stack().timewait_count() << " live compact, "
+     << st.timewait_enters << " enters, " << st.timewait_acks << " acks, "
+     << st.timewait_recycles << " recycles, " << st.timewait_expiries
+     << " expiries; " << host.stack().zombie_count() << " zombies\n";
+  const auto& tw = host.timer_wheel();
+  os << "  timer wheel: " << tw.pending() << " pending (peak "
+     << tw.stats().max_pending << "), " << tw.stats().scheduled << " scheduled, "
+     << tw.stats().fired << " fired, " << tw.stats().cancelled << " cancelled, "
+     << tw.stats().cascaded << " cascaded, " << tw.stats().alarms << " alarms\n";
   return os.str();
 }
 
@@ -388,8 +401,19 @@ Json Netstat::json() const {
   jd.set("no_port", st.no_port);
   jd.set("bad_checksum", st.bad_checksum);
   jd.set("listen_overflows", st.listen_overflows);
+  jd.set("syn_cookies_sent", st.syn_cookies_sent);
+  jd.set("syn_cookies_accepted", st.syn_cookies_accepted);
+  jd.set("syn_cookies_rejected", st.syn_cookies_rejected);
+  jd.set("syn_cookie_overflows", st.syn_cookie_overflows);
+  jd.set("timewait_enters", st.timewait_enters);
+  jd.set("timewait_acks", st.timewait_acks);
+  jd.set("timewait_recycles", st.timewait_recycles);
+  jd.set("timewait_expiries", st.timewait_expiries);
+  jd.set("timewait_live", static_cast<std::uint64_t>(host.stack().timewait_count()));
+  jd.set("zombies", static_cast<std::uint64_t>(host.stack().zombie_count()));
   // Connection hash-table internals: probe behaviour tells whether the O(1)
-  // demux claim held up under this run's churn.
+  // demux claim held up under this run's churn. Aggregates first, then the
+  // per-shard breakdown (shard order is fixed by the hash, so deterministic).
   const auto& dm = host.stack().tcp_demux();
   Json jt = Json::object();
   jt.set("live", static_cast<std::uint64_t>(dm.size()));
@@ -404,8 +428,37 @@ Json Netstat::json() const {
   jt.set("erases", dm.stats().erases);
   jt.set("grows", dm.stats().grows);
   jt.set("rehashes", dm.stats().rehashes);
+  Json jshards = Json::array();
+  for (std::size_t i = 0; i < dm.num_shards(); ++i) {
+    const auto& sh = dm.shard(i);
+    Json e = Json::object();
+    e.set("live", static_cast<std::uint64_t>(sh.size()));
+    e.set("buckets", static_cast<std::uint64_t>(sh.buckets()));
+    e.set("tombstones", static_cast<std::uint64_t>(sh.tombstones()));
+    e.set("lookups", sh.stats().lookups);
+    e.set("probe_steps", sh.stats().probe_steps);
+    e.set("max_probe", sh.stats().max_probe);
+    e.set("grows", sh.stats().grows);
+    jshards.push_back(std::move(e));
+  }
+  jt.set("shards", std::move(jshards));
   jd.set("table", std::move(jt));
   root.set("demux", std::move(jd));
+
+  // Protocol timer wheel: proves the O(1) control-plane timer claim — peak
+  // pending is the concurrent-timer load, alarms vs fired shows how much the
+  // wheel batches the underlying heap.
+  const auto& tws = host.timer_wheel().stats();
+  Json jw = Json::object();
+  jw.set("pending", static_cast<std::uint64_t>(host.timer_wheel().pending()));
+  jw.set("max_pending", static_cast<std::uint64_t>(tws.max_pending));
+  jw.set("slots", static_cast<std::uint64_t>(host.timer_wheel().slots_allocated()));
+  jw.set("scheduled", tws.scheduled);
+  jw.set("fired", tws.fired);
+  jw.set("cancelled", tws.cancelled);
+  jw.set("cascaded", tws.cascaded);
+  jw.set("alarms", tws.alarms);
+  root.set("timer_wheel", std::move(jw));
 
   Json conns = Json::array();
   for (const auto& [key, tp] : host.stack().tcp_connections()) {

@@ -12,6 +12,12 @@
 // Iteration order of a hash table is not meaningful, and the stats exporter
 // needs a deterministic one — sorted_snapshot() hands out entries ordered
 // by key for that use; nothing on the packet path calls it.
+//
+// Probing is cache-conscious: a parallel 1-byte tag array (7 hash bits + a
+// live bit; 0 = empty, 1 = tombstone) is scanned first, so a probe chain
+// touches one densely-packed tag cache line (64 slots) instead of a 24-byte
+// Slot per step, and full key comparison happens only on a 1/128 tag
+// collision.
 #pragma once
 
 #include <algorithm>
@@ -38,15 +44,24 @@ inline std::uint64_t conn_key_hash(std::uint32_t laddr, std::uint16_t lport,
 // laddr/lport/faddr/fport members and operator==; Value is a raw pointer.
 template <typename Key, typename Value>
 class ConnTable {
-  enum class SlotState : std::uint8_t { kEmpty, kLive, kTomb };
   struct Slot {
     Key key{};
     Value val{};
-    SlotState state = SlotState::kEmpty;
   };
 
+  static constexpr std::uint8_t kEmptyTag = 0;
+  static constexpr std::uint8_t kTombTag = 1;
+  static constexpr std::uint8_t kLiveBit = 0x80;
+
+  static constexpr std::uint8_t tag_of(std::uint64_t h) noexcept {
+    return static_cast<std::uint8_t>(kLiveBit | (h >> 57));
+  }
+
  public:
-  ConnTable() { slots_.resize(kMinSlots); }
+  ConnTable() {
+    slots_.resize(kMinSlots);
+    tags_.assign(kMinSlots, kEmptyTag);
+  }
 
   struct Stats {
     std::uint64_t lookups = 0;
@@ -70,14 +85,16 @@ class ConnTable {
 
   [[nodiscard]] Value find(const Key& k) const noexcept {
     const std::size_t mask = slots_.size() - 1;
-    std::size_t i = index_of(k);
+    const std::uint64_t h = hash_of(k);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = static_cast<std::size_t>(h) & mask;
     std::uint64_t probes = 0;
     Value found{};
     for (;;) {
-      const Slot& s = slots_[i];
-      if (s.state == SlotState::kEmpty) break;
-      if (s.state == SlotState::kLive && s.key == k) {
-        found = s.val;
+      const std::uint8_t t = tags_[i];
+      if (t == kEmptyTag) break;
+      if (t == tag && slots_[i].key == k) {
+        found = slots_[i].val;
         break;
       }
       ++probes;  // tombstone or other key: keep probing
@@ -94,20 +111,23 @@ class ConnTable {
   bool insert(const Key& k, Value v) {
     if ((live_ + tombs_ + 1) * 4 >= slots_.size() * 3) rebuild();
     const std::size_t mask = slots_.size() - 1;
-    std::size_t i = index_of(k);
+    const std::uint64_t h = hash_of(k);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = static_cast<std::size_t>(h) & mask;
     std::size_t grave = slots_.size();  // first tombstone on the probe path
     for (;;) {
-      Slot& s = slots_[i];
-      if (s.state == SlotState::kEmpty) break;
-      if (s.state == SlotState::kLive && s.key == k) return false;
-      if (s.state == SlotState::kTomb && grave == slots_.size()) grave = i;
+      const std::uint8_t t = tags_[i];
+      if (t == kEmptyTag) break;
+      if (t == tag && slots_[i].key == k) return false;
+      if (t == kTombTag && grave == slots_.size()) grave = i;
       i = (i + 1) & mask;
     }
     if (grave != slots_.size()) {
       i = grave;  // recycle the tombstone
       --tombs_;
     }
-    slots_[i] = Slot{k, v, SlotState::kLive};
+    slots_[i] = Slot{k, v};
+    tags_[i] = tag;
     ++live_;
     ++stats_.inserts;
     return true;
@@ -115,13 +135,15 @@ class ConnTable {
 
   bool erase(const Key& k) noexcept {
     const std::size_t mask = slots_.size() - 1;
-    std::size_t i = index_of(k);
+    const std::uint64_t h = hash_of(k);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = static_cast<std::size_t>(h) & mask;
     for (;;) {
-      Slot& s = slots_[i];
-      if (s.state == SlotState::kEmpty) return false;
-      if (s.state == SlotState::kLive && s.key == k) {
-        s.state = SlotState::kTomb;
-        s.val = Value{};
+      const std::uint8_t t = tags_[i];
+      if (t == kEmptyTag) return false;
+      if (t == tag && slots_[i].key == k) {
+        tags_[i] = kTombTag;
+        slots_[i].val = Value{};
         --live_;
         ++tombs_;
         ++stats_.erases;
@@ -134,8 +156,8 @@ class ConnTable {
   // Visit every live entry (unspecified order — hot-path helpers only).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Slot& s : slots_) {
-      if (s.state == SlotState::kLive) fn(s.key, s.val);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if ((tags_[i] & kLiveBit) != 0) fn(slots_[i].key, slots_[i].val);
     }
   }
 
@@ -155,8 +177,8 @@ class ConnTable {
     std::size_t best = 0, run = 0;
     // Two passes over the ring handle a cluster wrapping the array end.
     for (std::size_t pass = 0; pass < 2; ++pass) {
-      for (const Slot& s : slots_) {
-        if (s.state == SlotState::kEmpty) {
+      for (const std::uint8_t t : tags_) {
+        if (t == kEmptyTag) {
           best = std::max(best, run);
           run = 0;
         } else if (++run >= slots_.size()) {
@@ -170,10 +192,8 @@ class ConnTable {
  private:
   static constexpr std::size_t kMinSlots = 16;
 
-  [[nodiscard]] std::size_t index_of(const Key& k) const noexcept {
-    return static_cast<std::size_t>(
-               conn_key_hash(k.laddr, k.lport, k.faddr, k.fport)) &
-           (slots_.size() - 1);
+  [[nodiscard]] static std::uint64_t hash_of(const Key& k) noexcept {
+    return conn_key_hash(k.laddr, k.lport, k.faddr, k.fport);
   }
 
   // Grow when live entries need room; rebuild at the same size when only
@@ -181,14 +201,18 @@ class ConnTable {
   void rebuild() {
     const bool grow = (live_ + 1) * 2 >= slots_.size();
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(grow ? old.size() * 2 : old.size(), Slot{});
+    std::vector<std::uint8_t> old_tags = std::move(tags_);
+    const std::size_t n = grow ? old.size() * 2 : old.size();
+    slots_.assign(n, Slot{});
+    tags_.assign(n, kEmptyTag);
     tombs_ = 0;
-    const std::size_t mask = slots_.size() - 1;
-    for (Slot& s : old) {
-      if (s.state != SlotState::kLive) continue;
-      std::size_t i = index_of(s.key);
-      while (slots_[i].state == SlotState::kLive) i = (i + 1) & mask;
-      slots_[i] = std::move(s);
+    const std::size_t mask = n - 1;
+    for (std::size_t j = 0; j < old.size(); ++j) {
+      if ((old_tags[j] & kLiveBit) == 0) continue;
+      std::size_t i = static_cast<std::size_t>(hash_of(old[j].key)) & mask;
+      while (tags_[i] != kEmptyTag) i = (i + 1) & mask;
+      slots_[i] = std::move(old[j]);
+      tags_[i] = old_tags[j];
     }
     if (grow) {
       ++stats_.grows;
@@ -198,6 +222,7 @@ class ConnTable {
   }
 
   std::vector<Slot> slots_;
+  std::vector<std::uint8_t> tags_;
   std::size_t live_ = 0;
   std::size_t tombs_ = 0;
   mutable Stats stats_;

@@ -7,6 +7,7 @@
 #include "net/ip.h"
 #include "net/tcp.h"
 #include "net/udp.h"
+#include "sim/timer_wheel.h"
 
 namespace nectar::net {
 
@@ -15,7 +16,17 @@ NetStack::NetStack(HostEnv env) : env_(env) {
   udp_ = std::make_unique<Udp>(*this);
 }
 
-NetStack::~NetStack() = default;
+NetStack::~NetStack() {
+  // Outstanding TIME-WAIT / zombie-reaper timers capture `this`; the
+  // simulator (and possibly the wheel) outlive the stack, so disarm them.
+  for (auto& tw : tw_slab_) tw.timer.cancel();
+  for (auto& [tp, timer] : zombies_) timer.cancel();
+}
+
+sim::TimerHandle NetStack::proto_timer(sim::Duration d, sim::SmallFn fn) {
+  if (env_.wheel != nullptr) return env_.wheel->schedule_after(d, std::move(fn));
+  return env_.sim.timer_after(d, std::move(fn));
+}
 
 void NetStack::add_ifnet(Ifnet* ifp) {
   ifp->set_stack(this);
@@ -37,12 +48,17 @@ IpAddr NetStack::source_addr_for(IpAddr dst) const {
 void NetStack::tcp_bind(const ConnKey& key, TcpConnection* tp) {
   if (!tcp_conns_.insert(key, tp))
     throw std::invalid_argument("netstack: tcp tuple in use");
+  ++lport_use_[key.lport];
   // First binding names the flow: the id rides every packet the connection
   // sends so the CAB's DMA arbiter can queue per flow.
   if (tp->flow_id() == 0) tp->set_flow_id(++next_flow_id_);
 }
 
-void NetStack::tcp_unbind(const ConnKey& key) { tcp_conns_.erase(key); }
+void NetStack::tcp_unbind(const ConnKey& key) {
+  if (tcp_conns_.erase(key) && lport_use_[key.lport] > 0) {
+    --lport_use_[key.lport];
+  }
+}
 
 void NetStack::tcp_listen(IpAddr laddr, std::uint16_t lport, TcpConnection* tp) {
   tcp_listeners_[std::make_pair(laddr, lport)].push_back(tp);
@@ -82,21 +98,73 @@ bool NetStack::listen_service_exists(IpAddr laddr, std::uint16_t lport) const {
          listen_services_.contains(std::make_pair(IpAddr{0}, lport));
 }
 
-std::uint16_t NetStack::alloc_ephemeral_port() {
-  for (int tries = 0; tries < 50000; ++tries) {
+std::uint16_t NetStack::alloc_ephemeral_port(IpAddr laddr, IpAddr faddr,
+                                             std::uint16_t fport) {
+  constexpr int kRange = 65536 - 10000;  // candidate ports per sweep
+  // Fast pass: a port with no binding at all is free for any tuple.
+  for (int tries = 0; tries < kRange; ++tries) {
     const std::uint16_t p = next_ephemeral_++;
     if (next_ephemeral_ < 10000) next_ephemeral_ = 10000;
-    bool used = false;
-    tcp_conns_.for_each([&used, p](const ConnKey& key, TcpConnection*) {
-      if (key.lport == p) used = true;
-    });
-    if (!used) return p;
+    if (lport_use_[p] == 0) return p;
+  }
+  // Every port carries bindings (>55k connections): fall back to full-tuple
+  // vacancy — multiple server endpoints let the total keep growing.
+  for (int tries = 0; tries < kRange; ++tries) {
+    const std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ < 10000) next_ephemeral_ = 10000;
+    const ConnKey key{laddr, p, faddr, fport};
+    if (!tcp_conns_.contains(key) && !tw_index_.contains(key)) return p;
   }
   throw std::runtime_error("netstack: ephemeral ports exhausted");
 }
 
 void NetStack::adopt_zombie(std::unique_ptr<TcpConnection> tp) {
-  zombies_.push_back(std::move(tp));
+  // Longest plausible straggler: a retransmission timer backed off to
+  // rto_max. One linger period later nothing can still reference the object.
+  constexpr sim::Duration kZombieLinger = 31 * sim::kSecond;
+  zombies_.emplace_back(std::move(tp), sim::TimerHandle{});
+  const auto it = std::prev(zombies_.end());
+  it->second = proto_timer(kZombieLinger, [this, it] { zombies_.erase(it); });
+}
+
+// --- compact TIME-WAIT ------------------------------------------------------
+
+void NetStack::timewait_enter(const ConnKey& key, std::uint32_t rcv_nxt,
+                              std::uint32_t snd_nxt, sim::Duration linger) {
+  // A recycled tuple can re-enter TIME-WAIT while an old record still
+  // lingers; the new incarnation's state wins.
+  if (TimeWaitRecord* old = tw_index_.find(key)) timewait_release(old);
+  std::uint32_t idx;
+  if (!tw_free_.empty()) {
+    idx = tw_free_.back();
+    tw_free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(tw_slab_.size());
+    tw_slab_.emplace_back();
+    tw_slab_.back().slot = idx;
+  }
+  TimeWaitRecord& tw = tw_slab_[idx];
+  tw.key = key;
+  tw.rcv_nxt = rcv_nxt;
+  tw.snd_nxt = snd_nxt;
+  tw.live = true;
+  tw.timer = proto_timer(linger, [this, idx] {
+    TimeWaitRecord& rec = tw_slab_[idx];
+    if (!rec.live) return;
+    ++stats_.timewait_expiries;
+    timewait_release(&rec);
+  });
+  tw_index_.insert(key, &tw);
+  ++tw_live_;
+  ++stats_.timewait_enters;
+}
+
+void NetStack::timewait_release(TimeWaitRecord* tw) {
+  tw->timer.cancel();
+  tw->live = false;
+  tw_index_.erase(tw->key);
+  tw_free_.push_back(tw->slot);
+  --tw_live_;
 }
 
 void NetStack::set_raw_handler(std::uint8_t proto, RawHandler h) {
@@ -105,6 +173,57 @@ void NetStack::set_raw_handler(std::uint8_t proto, RawHandler h) {
   } else {
     raw_handlers_[proto] = std::move(h);
   }
+}
+
+bool NetStack::demux_checksum_ok(const mbuf::Mbuf* pkt,
+                                 const IpHeader& ih) const {
+  const auto seg_len = static_cast<std::uint16_t>(pkt->pkthdr.len);
+  const std::uint32_t pseudo =
+      transport_pseudo_sum(ih.src, ih.dst, kProtoTcp, seg_len);
+  bool any_descriptor = false;
+  for (const mbuf::Mbuf* m = pkt; m != nullptr; m = m->next) {
+    if (m->is_descriptor()) any_descriptor = true;
+  }
+  if (pkt->pkthdr.rx_hw_sum_valid) {
+    return checksum::fold(pseudo + pkt->pkthdr.rx_hw_sum) == 0xffff;
+  }
+  if (any_descriptor) return true;  // outboard bytes: nothing to read here
+  return checksum::fold(pseudo +
+                        mbuf::in_cksum_range(pkt, 0, pkt->pkthdr.len)) == 0xffff;
+}
+
+sim::Task<void> NetStack::tcp_respond(KernCtx ctx, IpAddr src, IpAddr dst,
+                                      std::uint16_t sport, std::uint16_t dport,
+                                      std::uint32_t seq, std::uint32_t ack,
+                                      std::uint8_t flags, std::uint16_t win,
+                                      std::uint16_t mss) {
+  co_await env_.cpu.run(sim::usec(env_.costs.tcp_output_us), ctx.acct, ctx.prio);
+  TcpHeader th;
+  th.src_port = sport;
+  th.dst_port = dport;
+  th.seq = seq;
+  th.flags = flags;
+  if (flags & kTcpAck) th.ack = ack;
+  th.win = win;
+  // Cookie SYN|ACKs carry the (class-rounded) MSS but never window scaling:
+  // a scale would need cookie bits the MAC can't spare, so the reconstructed
+  // connection runs unscaled.
+  if (flags & kTcpSyn) th.mss = mss;
+  const std::size_t hlen = kTcpHdrLen + tcp_options_len(th);
+  mbuf::Mbuf* h = env_.pool.get_hdr();
+  h->align_end(hlen);
+  std::byte hdr_bytes[64];
+  std::span<std::byte> hb{hdr_bytes, hlen};
+  th.checksum = 0;
+  write_tcp_header(hb, th);
+  const std::uint32_t sum =
+      transport_pseudo_sum(src, dst, kProtoTcp, static_cast<std::uint16_t>(hlen)) +
+      checksum::ones_sum(hb);
+  th.checksum = checksum::finish(sum);
+  write_tcp_header(hb, th);
+  h->append(hb);
+  h->pkthdr.len = static_cast<int>(hlen);
+  co_await ip_->output(ctx, h, src, dst, kProtoTcp, /*dont_fragment=*/true);
 }
 
 sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
@@ -129,33 +248,112 @@ sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
       }
       const ConnKey key{ih.dst, th.dst_port, ih.src, th.src_port};
       TcpConnection* tp = tcp_lookup(key);
-      if (tp == nullptr) tp = tcp_lookup_listen(ih.dst, th.dst_port);
+
+      // Compact TIME-WAIT interception: the tuple's connection object is
+      // gone but its 2*MSL obligations aren't. Checksum first — a corrupted
+      // segment must not recycle or re-ACK anything.
+      if (tp == nullptr) {
+        if (TimeWaitRecord* tw = timewait_lookup(key)) {
+          if (!demux_checksum_ok(pkt, ih)) {
+            ++stats_.bad_checksum;
+            env_.pool.free_chain(pkt);
+            co_return;
+          }
+          if ((th.flags & kTcpRst) != 0) {
+            // RFC 1337: RSTs don't cut TIME-WAIT short.
+            env_.pool.free_chain(pkt);
+            co_return;
+          }
+          if ((th.flags & kTcpSyn) != 0 && (th.flags & kTcpAck) == 0 &&
+              seq_gt(th.seq, tw->rcv_nxt)) {
+            // A fresh SYN above the old window recycles the tuple (BSD): drop
+            // the record and let the SYN take the normal listen path below.
+            ++stats_.timewait_recycles;
+            timewait_release(tw);
+          } else {
+            // Anything else (late FIN retransmission, stray data) re-earns
+            // the final ACK the record exists to send.
+            ++stats_.timewait_acks;
+            const std::uint32_t snd_nxt = tw->snd_nxt;
+            const std::uint32_t rcv_nxt = tw->rcv_nxt;
+            env_.pool.free_chain(pkt);
+            co_await tcp_respond(ctx, ih.dst, ih.src, th.dst_port, th.src_port,
+                                 snd_nxt, rcv_nxt, kTcpAck, /*win=*/0, 0);
+            co_return;
+          }
+        }
+      }
+
+      if (tp == nullptr) {
+        // A pure ACK with no bound tuple and no SYN_RCVD socket may complete
+        // a cookie handshake: validate before the listener fallback would
+        // silently eat it. Checksum precedes the cookie check — a corrupted
+        // ACK field must be charged to the checksum, not "rejected cookie".
+        const bool pure_ack = (th.flags & kTcpAck) != 0 &&
+                              (th.flags & (kTcpSyn | kTcpRst)) == 0;
+        if (syn_cookies_ && pure_ack &&
+            listen_service_exists(ih.dst, th.dst_port)) {
+          if (!demux_checksum_ok(pkt, ih)) {
+            ++stats_.bad_checksum;
+            env_.pool.free_chain(pkt);
+            co_return;
+          }
+          const SynCookieJar::Decoded dec =
+              cookie_jar_.decode(ih.dst, th.dst_port, ih.src, th.src_port,
+                                 th.ack - 1, env_.sim.now());
+          if (dec.valid) {
+            if (TcpConnection* lp = tcp_lookup_listen(ih.dst, th.dst_port)) {
+              // Reconstruct the connection the cookie stands for and feed it
+              // this ACK (which may piggyback data).
+            ++stats_.syn_cookies_accepted;
+              ++stats_.tcp_in;
+              lp->cookie_establish(ih, th, dec.mss);
+              co_await lp->input(ctx, pkt, ih);
+            } else {
+              // Valid cookie, but accept's backlog is still exhausted: the
+              // client's data retransmission retries the completion later.
+              ++stats_.syn_cookie_overflows;
+              env_.pool.free_chain(pkt);
+            }
+          } else {
+            ++stats_.syn_cookies_rejected;
+            env_.pool.free_chain(pkt);
+          }
+          co_return;
+        }
+        tp = tcp_lookup_listen(ih.dst, th.dst_port);
+      }
       if (tp == nullptr) {
         // Checksum before concluding "no such port" (BSD verifies before the
         // PCB lookup): a bit flip in a port field must be charged to the
         // checksum, not mistaken for a connection-less segment.
-        const auto seg_len = static_cast<std::uint16_t>(pkt->pkthdr.len);
-        const std::uint32_t pseudo =
-            transport_pseudo_sum(ih.src, ih.dst, kProtoTcp, seg_len);
-        bool any_descriptor = false;
-        for (const mbuf::Mbuf* m = pkt; m != nullptr; m = m->next) {
-          if (m->is_descriptor()) any_descriptor = true;
-        }
-        bool bad = false;
-        if (pkt->pkthdr.rx_hw_sum_valid) {
-          bad = checksum::fold(pseudo + pkt->pkthdr.rx_hw_sum) != 0xffff;
-        } else if (!any_descriptor) {
-          bad = checksum::fold(pseudo + mbuf::in_cksum_range(
-                                            pkt, 0, pkt->pkthdr.len)) != 0xffff;
-        }
-        if (bad) {
+        if (!demux_checksum_ok(pkt, ih)) {
           ++stats_.bad_checksum;
         } else if ((th.flags & kTcpSyn) != 0 && (th.flags & kTcpAck) == 0 &&
                    listen_service_exists(ih.dst, th.dst_port)) {
           // A clean SYN for a live listen service whose embryonic-socket
-          // backlog is empty: the accept path is overflowing. The client's
-          // SYN retransmission recovers once the backlog is re-armed.
+          // backlog is empty: the accept path is overflowing.
           ++stats_.listen_overflows;
+          if (syn_cookies_) {
+            // Answer statelessly: the cookie ISS remembers the handshake so
+            // this stack doesn't have to. MSS defaults to the classic 536
+            // when the SYN carried none.
+            ++stats_.syn_cookies_sent;
+            const std::uint16_t peer_mss = th.mss != 0 ? th.mss : 536;
+            const std::uint32_t cookie =
+                cookie_jar_.encode(ih.dst, th.dst_port, ih.src, th.src_port,
+                                   peer_mss, env_.sim.now());
+            const std::uint32_t ack = th.seq + 1;
+            const std::uint16_t mss_echo =
+                SynCookieJar::kMssTable[SynCookieJar::mss_class(peer_mss)];
+            env_.pool.free_chain(pkt);
+            co_await tcp_respond(ctx, ih.dst, ih.src, th.dst_port, th.src_port,
+                                 cookie, ack, kTcpSyn | kTcpAck,
+                                 /*win=*/0xffff, mss_echo);
+            co_return;
+          }
+          // Without cookies the client's SYN retransmission recovers once
+          // the backlog is re-armed.
         } else {
           ++stats_.no_port;
         }

@@ -7,18 +7,25 @@
 
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mem/pin_cache.h"
 #include "mem/vm.h"
-#include "net/conn_table.h"
 #include "net/ifnet.h"
 #include "net/route.h"
+#include "net/sharded_conn_table.h"
+#include "net/syn_cookie.h"
 
 namespace nectar::telemetry {
 class Telemetry;
+}
+
+namespace nectar::sim {
+class TimerWheel;
 }
 
 namespace nectar::net {
@@ -41,6 +48,11 @@ struct HostEnv {
   // every instrumentation site guards on that.
   telemetry::Telemetry* telemetry = nullptr;
   int tel_pid = 0;  // this host's trace pid
+  // Hierarchical timer wheel for protocol timers (RTO/delack/persist/
+  // TIME-WAIT): O(1) schedule/cancel regardless of how many connections are
+  // ticking. Null when the host doesn't provide one — timers then fall back
+  // to the simulator's binary heap.
+  sim::TimerWheel* wheel = nullptr;
 };
 
 // Four-tuple connection key (host byte-order addresses).
@@ -87,7 +99,13 @@ class NetStack {
   void tcp_unlisten(IpAddr laddr, std::uint16_t lport, TcpConnection* tp);
   [[nodiscard]] TcpConnection* tcp_lookup(const ConnKey& key) const;
   [[nodiscard]] TcpConnection* tcp_lookup_listen(IpAddr laddr, std::uint16_t lport) const;
-  [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+  // Pick a free local port for an outgoing connection to (faddr, fport).
+  // O(1) in the common case: a per-port use count (maintained by
+  // tcp_bind/tcp_unbind) finds an entirely unused port without scanning the
+  // connection table; only when every port carries at least one binding does
+  // the full-tuple fallback probe the table per candidate.
+  [[nodiscard]] std::uint16_t alloc_ephemeral_port(IpAddr laddr, IpAddr faddr,
+                                                   std::uint16_t fport);
 
   // Listen-service registry (held for the lifetime of a socket::Listener):
   // while a service is registered, a SYN that finds no armed embryonic
@@ -103,10 +121,42 @@ class NetStack {
   sim::Task<void> transport_input(KernCtx ctx, std::uint8_t proto, mbuf::Mbuf* pkt,
                                   const IpHeader& ih);
 
-  // Keep an orphaned TCP connection alive until the stack itself dies:
-  // protocol coroutines still in flight may hold pointers to it (§5's
-  // asynchronous DMA makes this unavoidable; kernels refcount PCBs).
+  // Stateless header-only TCP segment (RST/ACK/cookie SYN|ACK) sent on
+  // behalf of no connection — BSD's tcp_respond. Software checksum; `mss`
+  // is carried only when `flags` has SYN.
+  sim::Task<void> tcp_respond(KernCtx ctx, IpAddr src, IpAddr dst,
+                              std::uint16_t sport, std::uint16_t dport,
+                              std::uint32_t seq, std::uint32_t ack,
+                              std::uint8_t flags, std::uint16_t win,
+                              std::uint16_t mss);
+
+  // --- compact TIME-WAIT ----------------------------------------------------
+
+  // A connection finishing its active close parks a 2*MSL record here and
+  // frees the full TcpConnection (buffers, timers, socket) immediately: a
+  // TIME-WAIT tuple costs ~32 bytes plus a wheel timer instead of a live
+  // connection object. Late segments for the tuple are answered with a bare
+  // ACK; a fresh SYN above rcv_nxt recycles the tuple early (BSD-style).
+  void timewait_enter(const ConnKey& key, std::uint32_t rcv_nxt,
+                      std::uint32_t snd_nxt, sim::Duration linger);
+  [[nodiscard]] std::size_t timewait_count() const noexcept { return tw_live_; }
+
+  // --- SYN cookies ----------------------------------------------------------
+
+  // When the embryonic backlog for a live listen service is exhausted, a
+  // clean SYN is answered with a stateless cookie SYN|ACK instead of being
+  // dropped; the handshake-completing ACK reconstructs the connection. On by
+  // default; the baseline benches switch it off.
+  void set_syn_cookies(bool on) noexcept { syn_cookies_ = on; }
+  [[nodiscard]] bool syn_cookies() const noexcept { return syn_cookies_; }
+
+  // Keep an orphaned TCP connection alive while protocol coroutines still in
+  // flight may hold pointers to it (§5's asynchronous DMA makes this
+  // unavoidable; kernels refcount PCBs). A linger timer reaps the zombie
+  // once every coroutine has long since completed, so connection churn does
+  // not grow the stack's footprint without bound.
   void adopt_zombie(std::unique_ptr<TcpConnection> tp);
+  [[nodiscard]] std::size_t zombie_count() const noexcept { return zombies_.size(); }
 
   // Raw-protocol taps (ICMP-like in-kernel applications, §5). Handler takes
   // ownership of the record.
@@ -125,10 +175,24 @@ class NetStack {
     // SYNs that arrived for a registered listen service whose backlog of
     // embryonic sockets was exhausted (recovered by SYN retransmission).
     std::uint64_t listen_overflows = 0;
+    // SYN-cookie path: cookies minted for backlog-overflow SYNs, ACKs that
+    // validated and reconstructed a connection, ACKs whose cookie failed
+    // (stale/forged), and valid cookies that found no embryonic socket to
+    // adopt the connection (client data retransmission recovers).
+    std::uint64_t syn_cookies_sent = 0;
+    std::uint64_t syn_cookies_accepted = 0;
+    std::uint64_t syn_cookies_rejected = 0;
+    std::uint64_t syn_cookie_overflows = 0;
+    // Compact TIME-WAIT records: tuples parked, late segments ACKed on their
+    // behalf, tuples recycled early by a fresh SYN, and 2*MSL expiries.
+    std::uint64_t timewait_enters = 0;
+    std::uint64_t timewait_acks = 0;
+    std::uint64_t timewait_recycles = 0;
+    std::uint64_t timewait_expiries = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  using ConnMap = ConnTable<ConnKey, TcpConnection*>;
+  using ConnMap = ShardedConnTable<ConnKey, TcpConnection*>;
   // Demux-table internals (probe lengths, tombstones, ...) for the exporter.
   [[nodiscard]] const ConnMap& tcp_demux() const noexcept { return tcp_conns_; }
 
@@ -140,6 +204,29 @@ class NetStack {
   }
 
  private:
+  // Compact TIME-WAIT record: everything needed to answer (or recycle on) a
+  // late segment for a closed tuple. Slab-allocated; the deque keeps record
+  // addresses stable for the index.
+  struct TimeWaitRecord {
+    ConnKey key;
+    std::uint32_t rcv_nxt = 0;
+    std::uint32_t snd_nxt = 0;
+    std::uint32_t slot = 0;       // own slab index
+    bool live = false;
+    sim::TimerHandle timer;
+  };
+
+  // True when the segment's transport checksum verifies (or is vouched for
+  // by rx hardware / descriptor data the host can't read).
+  [[nodiscard]] bool demux_checksum_ok(const mbuf::Mbuf* pkt,
+                                       const IpHeader& ih) const;
+  [[nodiscard]] TimeWaitRecord* timewait_lookup(const ConnKey& key) const {
+    return tw_index_.find(key);
+  }
+  void timewait_release(TimeWaitRecord* tw);  // cancel + unindex + freelist
+  // Arm a protocol-timer callback on the wheel when the host provides one.
+  sim::TimerHandle proto_timer(sim::Duration d, sim::SmallFn fn);
+
   HostEnv env_;
   RouteTable routes_;
   std::vector<Ifnet*> ifnets_;
@@ -150,7 +237,17 @@ class NetStack {
       tcp_listeners_;
   std::map<std::pair<IpAddr, std::uint16_t>, int> listen_services_;
   std::map<std::uint8_t, RawHandler> raw_handlers_;
-  std::vector<std::unique_ptr<TcpConnection>> zombies_;
+  // list: zombie reapers erase by iterator in O(1) without invalidating
+  // peers' iterators.
+  std::list<std::pair<std::unique_ptr<TcpConnection>, sim::TimerHandle>> zombies_;
+  std::deque<TimeWaitRecord> tw_slab_;
+  std::vector<std::uint32_t> tw_free_;
+  ShardedConnTable<ConnKey, TimeWaitRecord*> tw_index_;
+  std::size_t tw_live_ = 0;
+  SynCookieJar cookie_jar_;
+  bool syn_cookies_ = true;
+  // Per-port count of live full-tuple bindings (ephemeral allocator).
+  std::vector<std::uint32_t> lport_use_ = std::vector<std::uint32_t>(65536, 0);
   std::uint16_t next_ephemeral_ = 10000;
   std::uint32_t next_flow_id_ = 0;
   Stats stats_;

@@ -1,0 +1,131 @@
+// ShardedConnTable: the demux table split into power-of-two ConnTable
+// shards.
+//
+// One flat table serves a few thousand flows fine, but at hundreds of
+// thousands of connections every grow is a single stop-the-world rebuild of
+// the whole array, and the probe statistics stop telling you *where* the
+// clustering is. Sharding by the high bits of the key hash (the per-shard
+// tables consume the low bits, so the two selections are independent) caps
+// each rebuild at 1/N of the connection count, keeps per-shard occupancy
+// and probe-length stats observable in Netstat, and gives a future
+// multi-worker stack a natural lock boundary.
+//
+// The wrapper preserves the ConnTable surface (find/insert/erase/for_each/
+// sorted_snapshot/max_cluster) plus aggregate stats, and exposes each shard
+// read-only for the exporter.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/conn_table.h"
+
+namespace nectar::net {
+
+template <typename Key, typename Value>
+class ShardedConnTable {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit ShardedConnTable(std::size_t shards = kDefaultShards)
+      : shards_(round_up_pow2(shards)) {}
+
+  using Stats = typename ConnTable<Key, Value>::Stats;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] const ConnTable<Key, Value>& shard(std::size_t i) const noexcept {
+    return shards_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s.buckets();
+    return n;
+  }
+  [[nodiscard]] std::size_t tombstones() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s.tombstones();
+    return n;
+  }
+
+  // Aggregate over shards; max_probe is the worst shard's worst probe.
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats out;
+    for (const auto& s : shards_) {
+      const Stats& st = s.stats();
+      out.lookups += st.lookups;
+      out.hits += st.hits;
+      out.probe_steps += st.probe_steps;
+      out.max_probe = std::max(out.max_probe, st.max_probe);
+      out.inserts += st.inserts;
+      out.erases += st.erases;
+      out.grows += st.grows;
+      out.rehashes += st.rehashes;
+    }
+    return out;
+  }
+
+  [[nodiscard]] Value find(const Key& k) const noexcept {
+    return shard_for(k).find(k);
+  }
+  [[nodiscard]] bool contains(const Key& k) const noexcept {
+    return shard_for(k).contains(k);
+  }
+  bool insert(const Key& k, Value v) { return shard_for(k).insert(k, v); }
+  bool erase(const Key& k) noexcept { return shard_for(k).erase(k); }
+
+  // Visit every live entry, shard-major (unspecified order within a shard).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : shards_) s.for_each(fn);
+  }
+
+  // Deterministic (key-sorted across all shards) view for the exporter.
+  [[nodiscard]] std::vector<std::pair<Key, Value>> sorted_snapshot() const {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(size());
+    for_each([&out](const Key& k, Value v) { out.emplace_back(k, v); });
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  // Worst single-shard cluster (the probe bound a lookup can actually hit).
+  [[nodiscard]] std::size_t max_cluster() const noexcept {
+    std::size_t best = 0;
+    for (const auto& s : shards_) best = std::max(best, s.max_cluster());
+    return best;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  [[nodiscard]] ConnTable<Key, Value>& shard_for(const Key& k) noexcept {
+    return shards_[shard_index(k)];
+  }
+  [[nodiscard]] const ConnTable<Key, Value>& shard_for(const Key& k) const noexcept {
+    return shards_[shard_index(k)];
+  }
+  [[nodiscard]] std::size_t shard_index(const Key& k) const noexcept {
+    // High hash bits: independent of both the shard tables' index bits (low)
+    // and their tag bits (63..57).
+    return static_cast<std::size_t>(
+               conn_key_hash(k.laddr, k.lport, k.faddr, k.fport) >> 48) &
+           (shards_.size() - 1);
+  }
+
+  std::vector<ConnTable<Key, Value>> shards_;
+};
+
+}  // namespace nectar::net

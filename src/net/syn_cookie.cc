@@ -1,0 +1,69 @@
+#include "net/syn_cookie.h"
+
+namespace nectar::net {
+
+namespace {
+
+// splitmix64 finalizer — the same mix quality the demux hash uses; two
+// rounds keyed with the secret give the 26-bit MAC its diffusion.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int SynCookieJar::mss_class(std::uint16_t mss) noexcept {
+  int idx = 0;
+  for (int i = 1; i < 8; ++i) {
+    if (kMssTable[i] <= mss) idx = i;
+  }
+  return idx;
+}
+
+std::uint32_t SynCookieJar::mac(std::uint32_t laddr, std::uint16_t lport,
+                                std::uint32_t faddr, std::uint16_t fport,
+                                std::uint64_t counter,
+                                std::uint32_t mss_idx) const noexcept {
+  std::uint64_t x = secret_;
+  x = mix(x ^ ((static_cast<std::uint64_t>(laddr) << 32) | faddr));
+  x = mix(x ^ ((static_cast<std::uint64_t>(lport) << 48) |
+               (static_cast<std::uint64_t>(fport) << 32) |
+               (counter << 3) | mss_idx));
+  return static_cast<std::uint32_t>(x) & 0x03ffffffu;
+}
+
+std::uint32_t SynCookieJar::encode(std::uint32_t laddr, std::uint16_t lport,
+                                   std::uint32_t faddr, std::uint16_t fport,
+                                   std::uint16_t peer_mss,
+                                   sim::Time now) const noexcept {
+  const auto counter = static_cast<std::uint64_t>(now / kWindow);
+  const auto idx = static_cast<std::uint32_t>(mss_class(peer_mss));
+  return (static_cast<std::uint32_t>(counter & 7) << 29) | (idx << 26) |
+         mac(laddr, lport, faddr, fport, counter, idx);
+}
+
+SynCookieJar::Decoded SynCookieJar::decode(std::uint32_t laddr,
+                                           std::uint16_t lport,
+                                           std::uint32_t faddr,
+                                           std::uint16_t fport,
+                                           std::uint32_t cookie,
+                                           sim::Time now) const noexcept {
+  const std::uint32_t ctr3 = cookie >> 29;
+  const std::uint32_t idx = (cookie >> 26) & 7;
+  const auto cur = static_cast<std::uint64_t>(now / kWindow);
+  for (int age = 0; age <= kMaxAge; ++age) {
+    if (age > static_cast<int>(cur)) break;  // before sim time zero
+    const std::uint64_t cand = cur - static_cast<std::uint64_t>(age);
+    if ((cand & 7) != ctr3) continue;
+    if (mac(laddr, lport, faddr, fport, cand, idx) ==
+        (cookie & 0x03ffffffu)) {
+      return Decoded{true, kMssTable[idx]};
+    }
+  }
+  return Decoded{};
+}
+
+}  // namespace nectar::net

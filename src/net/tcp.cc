@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "sim/timer_wheel.h"
+
 namespace nectar::net {
 
 using mbuf::Mbuf;
@@ -72,11 +74,23 @@ void TcpConnection::drop_ooo_queue() {
   ooo_fin_.clear();
 }
 
+sim::TimerHandle TcpConnection::proto_timer(sim::Duration d, sim::SmallFn fn) {
+  auto& env = stack_.env();
+  if (par_.timer_wheel && env.wheel != nullptr) {
+    return env.wheel->schedule_after(d, std::move(fn));
+  }
+  return env.sim.timer_after(d, std::move(fn));
+}
+
 void TcpConnection::enter_state(TcpState s) {
   if (state_ == s) return;
   state_ = s;
-  if (s == TcpState::kTimeWait) {
-    timewait_timer_ = stack_.env().sim.timer_after(2 * par_.msl, [this] {
+  if (s == TcpState::kEstablished) ever_established_ = true;
+  // Compact TIME-WAIT hands the 2*MSL obligation to the stack instead
+  // (TcpConnection::input converts after the final ACK goes out); only the
+  // classic mode keeps the whole connection alive under a timer.
+  if (s == TcpState::kTimeWait && !par_.compact_timewait) {
+    timewait_timer_ = proto_timer(2 * par_.msl, [this] {
       enter_state(TcpState::kClosed);
       teardown();
     });
@@ -106,7 +120,9 @@ sim::Task<bool> TcpConnection::connect(KernCtx ctx, IpAddr faddr,
   key_.faddr = faddr;
   key_.fport = fport;
   key_.laddr = stack_.source_addr_for(faddr);
-  key_.lport = lport != 0 ? lport : stack_.alloc_ephemeral_port();
+  key_.lport = lport != 0
+                   ? lport
+                   : stack_.alloc_ephemeral_port(key_.laddr, faddr, fport);
   stack_.tcp_bind(key_, this);
   bound_ = true;
 
@@ -140,9 +156,13 @@ void TcpConnection::listen(std::uint16_t lport, IpAddr laddr) {
 }
 
 sim::Task<bool> TcpConnection::wait_established() {
-  while (state_ != TcpState::kEstablished && state_ != TcpState::kClosed)
+  // Wait on the *ever-established* latch, not the current state: a peer that
+  // connects, sends, and FINs while the acceptor is busy elsewhere moves the
+  // connection on to CLOSE_WAIT before anyone observes ESTABLISHED. The
+  // connection is still perfectly acceptable — its data is in rcv().
+  while (!ever_established_ && state_ != TcpState::kClosed)
     co_await state_cond_.wait();
-  co_return established();
+  co_return ever_established_;
 }
 
 sim::Task<void> TcpConnection::close(KernCtx ctx) {
@@ -228,8 +248,7 @@ sim::Task<void> TcpConnection::window_update(KernCtx ctx) {
 
 void TcpConnection::start_rexmt_timer() {
   if (rexmt_timer_.armed()) return;
-  rexmt_timer_ = stack_.env().sim.timer_after(
-      rto() << rexmt_backoff_, [this] { rexmt_fire(); });
+  rexmt_timer_ = proto_timer(rto() << rexmt_backoff_, [this] { rexmt_fire(); });
 }
 
 void TcpConnection::stop_rexmt_timer() {
@@ -298,6 +317,15 @@ sim::Duration TcpConnection::rto() const noexcept {
 
 sim::Task<void> TcpConnection::input(KernCtx ctx, Mbuf* pkt, const IpHeader& ih) {
   co_await input_locked(ctx, pkt, ih);
+  // Compact TIME-WAIT: the final ACK (sent inside input_locked) is on its
+  // way; park the 2*MSL obligation as a ~32-byte stack record and free this
+  // connection's buffers and demux slot right now. Late segments and tuple
+  // recycling are handled by NetStack against the record.
+  if (state_ == TcpState::kTimeWait && par_.compact_timewait) {
+    stack_.timewait_enter(key_, rcv_nxt_, snd_nxt_, 2 * par_.msl);
+    enter_state(TcpState::kClosed);
+    teardown();
+  }
 }
 
 void TcpConnection::debug_dump(const char* tag) const {

@@ -420,8 +420,39 @@ sim::Task<void> TcpConnection::accept_data(KernCtx ctx, Mbuf* pkt,
     delack_timer_.cancel();
     co_await send_control(ctx, snd_nxt_, kTcpAck);
   } else if (!delack_timer_.armed()) {
-    delack_timer_ = env.sim.timer_after(par_.delack, [this] { delack_fire(); });
+    delack_timer_ = proto_timer(par_.delack, [this] { delack_fire(); });
   }
+}
+
+void TcpConnection::cookie_establish(const IpHeader& ih, const TcpHeader& th,
+                                     std::uint16_t peer_mss) {
+  assert(state_ == TcpState::kListen);
+  // Same tuple completion as the kListen SYN conversion...
+  stack_.tcp_unlisten(key_.laddr, key_.lport, this);
+  listening_ = false;
+  key_.laddr = ih.dst;
+  key_.faddr = ih.src;
+  key_.fport = th.src_port;
+  stack_.tcp_bind(key_, this);
+  bound_ = true;
+
+  cache_route();
+  mss_ = static_cast<std::uint16_t>(
+      (route_if_ != nullptr ? route_if_->mtu() : 1500) - kIpHdrLen - kTcpHdrLen);
+  mss_ = std::min(mss_, peer_mss);
+  // ...but every handshake variable comes from the cookie ACK instead of a
+  // remembered SYN: the peer acked cookie+1 and its first data byte is
+  // th.seq. Cookies carry no window-scale bits, so both directions run
+  // unscaled.
+  snd_scale_ = rcv_scale_ = 0;
+  irs_ = th.seq - 1;
+  rcv_nxt_ = th.seq;
+  rcv_adv_ = th.seq;
+  iss_ = th.ack - 1;
+  snd_una_ = snd_nxt_ = snd_max_ = th.ack;
+  cwnd_ = mss_;
+  snd_wnd_ = th.win;
+  enter_state(TcpState::kEstablished);
 }
 
 }  // namespace nectar::net

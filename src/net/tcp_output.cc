@@ -292,8 +292,8 @@ sim::Task<void> TcpConnection::send_control(KernCtx ctx, std::uint32_t seq,
 
 void TcpConnection::arm_persist() {
   if (persist_timer_.armed()) return;
-  persist_timer_ = stack_.env().sim.timer_after(
-      std::max<sim::Duration>(rto(), sim::msec(500)), [this] { persist_fire(); });
+  persist_timer_ = proto_timer(std::max<sim::Duration>(rto(), sim::msec(500)),
+                               [this] { persist_fire(); });
 }
 
 void TcpConnection::persist_fire() {

@@ -25,27 +25,55 @@
 namespace nectar::sim {
 
 class Simulator;
+class TimerWheel;
+
+// Issuer interface for cancelable timers. Both the 4-ary heap (Simulator)
+// and the hierarchical TimerWheel hand out TimerHandles; a handle is
+// qualified by the backend that issued it. Slot indices and generation
+// counters are per-backend namespaces: a (slot, gen) pair recycled by one
+// backend can never be cancelled or probed through a stale handle issued by
+// the other, because the handle carries the issuing backend's pointer.
+class TimerBackend {
+ public:
+  TimerBackend() = default;
+  TimerBackend(const TimerBackend&) = delete;
+  TimerBackend& operator=(const TimerBackend&) = delete;
+  virtual ~TimerBackend() = default;
+
+ private:
+  friend class TimerHandle;
+  virtual void cancel_slot(std::uint32_t slot, std::uint32_t gen) = 0;
+  [[nodiscard]] virtual bool slot_armed(std::uint32_t slot,
+                                        std::uint32_t gen) const noexcept = 0;
+};
 
 // Cancelable handle for a scheduled event (used by protocol timers).
 // Copyable; cancel() is idempotent and safe after the event fired. A handle
-// refers to its event by slot index + generation counter, so a handle that
-// outlives its event (fired, cancelled, or slot recycled) is inert.
+// refers to its event by backend + slot index + generation counter, so a
+// handle that outlives its event (fired, cancelled, or slot recycled) is
+// inert, and a handle from one backend is inert against every other backend
+// even when slot and generation numbers collide.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  inline void cancel();
-  [[nodiscard]] inline bool armed() const;
+  void cancel() {
+    if (backend_ != nullptr) backend_->cancel_slot(slot_, gen_);
+  }
+  [[nodiscard]] bool armed() const {
+    return backend_ != nullptr && backend_->slot_armed(slot_, gen_);
+  }
 
  private:
   friend class Simulator;
-  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
-      : sim_(sim), slot_(slot), gen_(gen) {}
-  Simulator* sim_ = nullptr;
+  friend class TimerWheel;
+  TimerHandle(TimerBackend* backend, std::uint32_t slot, std::uint32_t gen)
+      : backend_(backend), slot_(slot), gen_(gen) {}
+  TimerBackend* backend_ = nullptr;
   std::uint32_t slot_ = 0;
   std::uint32_t gen_ = 0;
 };
 
-class Simulator {
+class Simulator : public TimerBackend {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -95,8 +123,6 @@ class Simulator {
   [[nodiscard]] std::size_t slots_allocated() const noexcept { return slots_.size(); }
 
  private:
-  friend class TimerHandle;
-
   enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
 
   struct Slot {
@@ -130,8 +156,9 @@ class Simulator {
   // Rebuild the heap without tombstones once they dominate.
   void maybe_compact();
 
-  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
-  [[nodiscard]] bool slot_armed(std::uint32_t slot, std::uint32_t gen) const noexcept {
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen) override;
+  [[nodiscard]] bool slot_armed(std::uint32_t slot,
+                                std::uint32_t gen) const noexcept override {
     return slot < slots_.size() && slots_[slot].gen == gen &&
            slots_[slot].state == SlotState::kPending;
   }
@@ -146,13 +173,5 @@ class Simulator {
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
 };
-
-inline void TimerHandle::cancel() {
-  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
-}
-
-inline bool TimerHandle::armed() const {
-  return sim_ != nullptr && sim_->slot_armed(slot_, gen_);
-}
 
 }  // namespace nectar::sim

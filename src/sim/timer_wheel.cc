@@ -1,0 +1,272 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace nectar::sim {
+
+TimerWheel::TimerWheel(Simulator& sim) : sim_(sim) {
+  heads_.fill(kNil);
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    cursor_[lvl] = static_cast<std::uint64_t>(sim_.now()) >> level_shift(lvl);
+  }
+}
+
+TimerWheel::~TimerWheel() { alarm_.cancel(); }
+
+// --- slab -------------------------------------------------------------------
+
+std::uint32_t TimerWheel::acquire(SmallFn fn, Time t) {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    if (idx == kNil) throw std::length_error("TimerWheel: too many timers");
+    slab_.emplace_back();
+  }
+  Entry& e = slab_[idx];
+  e.fn = std::move(fn);
+  e.deadline = t;
+  e.seq = seq_++;
+  e.armed = true;
+  return idx;
+}
+
+void TimerWheel::release(std::uint32_t idx) noexcept {
+  Entry& e = slab_[idx];
+  e.fn.reset();
+  e.armed = false;
+  ++e.gen;  // invalidate outstanding TimerHandles
+  e.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// --- bucket placement -------------------------------------------------------
+
+// Level selection works on tick indices, not raw deltas: the entry goes to
+// the lowest level where its tick is within kSlots of the current tick. That
+// guarantees (a) no bucket aliasing — a placed entry's tick is at most
+// cur + kSlots - 1, so distinct offsets mean distinct ticks — and (b) for
+// cascade levels (>= 1) the tick is strictly in the future (same-tick
+// deadlines always fit a lower level), so an entry is never parked in a
+// bucket the cascade cursor has already drained. Only the top level parks
+// entries beyond its horizon; they re-cascade (and re-park) once per wrap.
+int TimerWheel::link(std::uint32_t idx) {
+  Entry& e = slab_[idx];
+  const auto t = static_cast<std::uint64_t>(e.deadline);
+  const auto now = static_cast<std::uint64_t>(sim_.now());
+  int lvl = kLevels - 1;
+  for (int l = 0; l < kLevels - 1; ++l) {
+    if ((t >> level_shift(l)) - (now >> level_shift(l)) <
+        static_cast<std::uint64_t>(kSlots)) {
+      lvl = l;
+      break;
+    }
+  }
+  const int slot = static_cast<int>((t >> level_shift(lvl)) & (kSlots - 1));
+  const int b = lvl * kSlots + slot;
+  e.bucket = static_cast<std::uint16_t>(b);
+  e.prev = kNil;
+  e.next = heads_[b];
+  if (heads_[b] != kNil) slab_[heads_[b]].prev = idx;
+  heads_[b] = idx;
+  occ_[static_cast<std::size_t>(b) >> 6] |= 1ull << (b & 63);
+  return lvl;
+}
+
+void TimerWheel::unlink(std::uint32_t idx) noexcept {
+  Entry& e = slab_[idx];
+  if (e.prev != kNil) {
+    slab_[e.prev].next = e.next;
+  } else {
+    heads_[e.bucket] = e.next;
+  }
+  if (e.next != kNil) slab_[e.next].prev = e.prev;
+  if (heads_[e.bucket] == kNil) {
+    occ_[static_cast<std::size_t>(e.bucket) >> 6] &= ~(1ull << (e.bucket & 63));
+  }
+  e.prev = e.next = kNil;
+}
+
+// --- alarm computation ------------------------------------------------------
+
+int TimerWheel::first_occupied_offset(int lvl, int from) const noexcept {
+  constexpr int kWords = kSlots / 64;
+  const std::uint64_t* w = &occ_[static_cast<std::size_t>(lvl) * kWords];
+  for (int step = 0; step <= kWords; ++step) {
+    const int wi = ((from >> 6) + step) & (kWords - 1);
+    std::uint64_t word = w[wi];
+    if (step == 0) {
+      word &= ~0ull << (from & 63);
+    } else if (step == kWords) {
+      const int r = from & 63;
+      word &= r != 0 ? (1ull << r) - 1 : 0;
+    }
+    if (word != 0) {
+      const int slot = wi * 64 + std::countr_zero(word);
+      return (slot - from) & (kSlots - 1);
+    }
+  }
+  return -1;
+}
+
+Time TimerWheel::next_wake() const noexcept {
+  if (pending_ == 0) return Simulator::kNoEvent;
+  const auto now = static_cast<std::uint64_t>(sim_.now());
+  Time best = Simulator::kNoEvent;
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    const int shift = level_shift(lvl);
+    const std::uint64_t base = now >> shift;
+    const int off = first_occupied_offset(lvl, static_cast<int>(base & (kSlots - 1)));
+    if (off < 0) continue;
+    std::uint64_t tick = base + static_cast<std::uint64_t>(off);
+    Time cand;
+    if (lvl == 0) {
+      // Exact: the earliest deadline lives in the first occupied level-0
+      // bucket (offsets order ticks, ticks order deadlines).
+      cand = Simulator::kNoEvent;
+      const int b = static_cast<int>(tick & (kSlots - 1));
+      for (std::uint32_t i = heads_[b]; i != kNil; i = slab_[i].next) {
+        if (slab_[i].deadline < cand) cand = slab_[i].deadline;
+      }
+    } else {
+      // A cascade level's current-tick bucket is always drained before
+      // next_wake runs, so an occupied bucket at offset 0 can only hold
+      // parked entries at least one full wrap ahead — and a *later* slot may
+      // then still hold the earlier cascade point. Rescan from the next
+      // slot: the current slot itself reappears at wrap distance kSlots - 1
+      // if nothing nearer is occupied.
+      if (off == 0) {
+        const int from = static_cast<int>(base & (kSlots - 1));
+        const int off2 = first_occupied_offset(lvl, (from + 1) & (kSlots - 1));
+        tick = base + 1 + static_cast<std::uint64_t>(off2);
+      }
+      cand = static_cast<Time>(tick << shift);
+    }
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+void TimerWheel::arm(Time t) {
+  if (armed_at_ <= t) return;  // an earlier (or equal) alarm covers t
+  alarm_.cancel();
+  armed_at_ = t;
+  alarm_ = sim_.timer_at(t, SmallFn([this] { on_alarm(); }));
+}
+
+// --- cascade + firing -------------------------------------------------------
+
+void TimerWheel::cascade_bucket(int lvl, int slot) {
+  const int b = lvl * kSlots + slot;
+  std::uint32_t i = heads_[b];
+  if (i == kNil) return;
+  heads_[b] = kNil;
+  occ_[static_cast<std::size_t>(b) >> 6] &= ~(1ull << (b & 63));
+  while (i != kNil) {
+    const std::uint32_t next = slab_[i].next;
+    slab_[i].prev = slab_[i].next = kNil;
+    link(i);
+    ++stats_.cascaded;
+    i = next;
+  }
+}
+
+void TimerWheel::on_alarm() {
+  ++stats_.alarms;
+  armed_at_ = Simulator::kNoEvent;
+  alarm_ = TimerHandle{};
+  const Time now = sim_.now();
+  // 1. Cascade every level >= 1 bucket whose window start has been reached.
+  //    After a gap of a full wrap or more, every occupied bucket at that
+  //    level is due (placement bounds ticks to cur + kSlots - 1).
+  for (int lvl = 1; lvl < kLevels; ++lvl) {
+    const std::uint64_t cur =
+        static_cast<std::uint64_t>(now) >> level_shift(lvl);
+    if (cur == cursor_[lvl]) continue;
+    if (cur - cursor_[lvl] >= static_cast<std::uint64_t>(kSlots)) {
+      for (int s = 0; s < kSlots; ++s) cascade_bucket(lvl, s);
+    } else {
+      for (std::uint64_t tick = cursor_[lvl] + 1; tick <= cur; ++tick) {
+        cascade_bucket(lvl, static_cast<int>(tick & (kSlots - 1)));
+      }
+    }
+    cursor_[lvl] = cur;
+  }
+  // 2. Fire every entry whose deadline is exactly now, in schedule order.
+  //    The snapshot is validated per entry before firing: a callback may
+  //    cancel a peer, and a freed slot may be re-acquired by a new schedule
+  //    (generation check catches both). Entries scheduled by these callbacks
+  //    at t == now are picked up by the re-armed alarm below, which the
+  //    Simulator orders after everything already queued at `now` — the same
+  //    order the heap backend gives them.
+  due_.clear();
+  const int slot0 = static_cast<int>(
+      (static_cast<std::uint64_t>(now) >> kShift0) & (kSlots - 1));
+  for (std::uint32_t i = heads_[slot0]; i != kNil; i = slab_[i].next) {
+    if (slab_[i].deadline == now) due_.push_back(i);
+  }
+  std::sort(due_.begin(), due_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slab_[a].seq < slab_[b].seq;
+            });
+  // Generation snapshot must happen before any callback runs; reuse due_'s
+  // storage layout by pairing idx with its gen in a parallel scratch.
+  gens_.clear();
+  for (std::uint32_t idx : due_) gens_.push_back(slab_[idx].gen);
+  for (std::size_t k = 0; k < due_.size(); ++k) {
+    const std::uint32_t idx = due_[k];
+    Entry& e = slab_[idx];
+    if (!e.armed || e.gen != gens_[k]) continue;  // cancelled or recycled
+    unlink(idx);
+    SmallFn fn = std::move(e.fn);
+    release(idx);
+    --pending_;
+    ++stats_.fired;
+    fn();  // may schedule (growing the slab) — no Entry refs held past here
+  }
+  // 3. Re-arm for the next exact deadline or cascade point.
+  const Time w = next_wake();
+  if (w != Simulator::kNoEvent) arm(w);
+}
+
+// --- public API -------------------------------------------------------------
+
+TimerHandle TimerWheel::schedule_at(Time t, SmallFn fn) {
+  assert(fn);
+  if (t < sim_.now()) {
+    throw std::logic_error("TimerWheel::schedule_at: time in the past");
+  }
+  const std::uint32_t idx = acquire(std::move(fn), t);
+  const int lvl = link(idx);
+  ++pending_;
+  ++stats_.scheduled;
+  if (pending_ > stats_.max_pending) stats_.max_pending = pending_;
+  // This entry needs control at its exact deadline (level 0) or at its
+  // bucket's cascade point; arm() keeps any earlier alarm.
+  const int shift = level_shift(lvl);
+  const Time cand =
+      lvl == 0 ? t
+               : static_cast<Time>(
+                     (static_cast<std::uint64_t>(t) >> shift) << shift);
+  arm(cand);
+  return TimerHandle{this, idx, slab_[idx].gen};
+}
+
+TimerHandle TimerWheel::schedule_after(Duration d, SmallFn fn) {
+  return schedule_at(sim_.now() + d, std::move(fn));
+}
+
+void TimerWheel::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slot_armed(slot, gen)) return;  // already fired / cancelled / recycled
+  unlink(slot);
+  release(slot);
+  --pending_;
+  ++stats_.cancelled;
+}
+
+}  // namespace nectar::sim

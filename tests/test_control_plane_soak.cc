@@ -1,0 +1,195 @@
+// Control-plane soak (slow lane): the million-timer wheel load and the
+// 100k-connection churn cycle, with determinism as the oracle — a same-seed
+// rerun of the whole churn must produce byte-identical Netstat JSON on both
+// hosts. Per-connection work is hashed demux lookups, wheel timers, compact
+// TIME-WAIT records, and ephemeral-port allocation; if any of them had
+// iteration-order or address-dependent behaviour, the dumps would diverge.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/netstat.h"
+#include "core/testbed.h"
+#include "sim/timer_wheel.h"
+#include "socket/listener.h"
+
+namespace nectar {
+namespace {
+
+using core::Testbed;
+using socket::Listener;
+using socket::Socket;
+
+TEST(ControlPlaneSoak, MillionTimersOnOneWheel) {
+  sim::Simulator sim;
+  sim::TimerWheel wheel(sim);
+  constexpr std::size_t kTimers = 1'000'000;
+
+  std::mt19937_64 rng(0x71c7ac);
+  std::vector<sim::TimerHandle> handles;
+  handles.reserve(kTimers);
+  std::size_t fired = 0;
+  // Deadlines spread over every wheel level: sub-granule to multi-hour.
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    const auto d = static_cast<sim::Duration>(1 + rng() % (3600ull * sim::kSecond));
+    handles.push_back(wheel.schedule_after(d, [&fired] { ++fired; }));
+  }
+  EXPECT_EQ(wheel.pending(), kTimers);
+  EXPECT_EQ(wheel.stats().max_pending, kTimers);
+
+  // Cancel every third timer — O(1) each, and none of them may fire.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < kTimers; i += 3) {
+    handles[i].cancel();
+    ++cancelled;
+  }
+  EXPECT_EQ(wheel.pending(), kTimers - cancelled);
+
+  sim.run_until(sim.now() + 2 * 3600ull * sim::kSecond);
+  EXPECT_EQ(fired, kTimers - cancelled);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.stats().scheduled, kTimers);
+  EXPECT_EQ(wheel.stats().cancelled, cancelled);
+  EXPECT_EQ(wheel.stats().fired, kTimers - cancelled);
+}
+
+// One full churn cycle: ramp `target` idle connections (round-robin over
+// `nports` listen ports), hold, close every one from both ends, drain past
+// 2*MSL and the zombie linger, and return both hosts' Netstat JSON.
+struct ChurnShared {
+  std::size_t target = 0;
+  std::size_t connected = 0, failures = 0;
+  std::size_t workers_done = 0, workers = 0;
+  std::size_t accepted = 0;
+  std::size_t acceptors_done = 0, acceptors = 0;
+  bool ramp_done = false;
+  std::size_t closers_done = 0, closers = 0;
+  bool teardown_done = false;
+};
+
+sim::Task<void> soak_connector(Testbed& tb, core::Host::Process& proc,
+                               std::vector<std::unique_ptr<Socket>>& tx,
+                               std::size_t w, std::size_t stride,
+                               std::size_t nports, std::uint16_t port_base,
+                               ChurnShared& sh) {
+  auto ctx = proc.ctx();
+  for (std::size_t i = w; i < sh.target; i += stride) {
+    tx[i] = std::make_unique<Socket>(tb.a->stack(), Socket::Proto::kTcp);
+    const auto port = static_cast<std::uint16_t>(port_base + i % nports);
+    if (co_await tx[i]->connect(ctx, Testbed::kIpB, port))
+      ++sh.connected;
+    else
+      ++sh.failures;
+  }
+  if (++sh.workers_done == sh.workers && sh.acceptors_done == sh.acceptors)
+    sh.ramp_done = true;
+}
+
+sim::Task<void> soak_acceptor(Listener& ln, std::size_t expected,
+                              std::vector<std::unique_ptr<Socket>>& rx,
+                              ChurnShared& sh) {
+  for (std::size_t k = 0; k < expected; ++k) {
+    auto s = co_await ln.accept();
+    if (s == nullptr) continue;
+    rx.push_back(std::move(s));
+    ++sh.accepted;
+  }
+  if (++sh.acceptors_done == sh.acceptors && sh.workers_done == sh.workers)
+    sh.ramp_done = true;
+}
+
+sim::Task<void> soak_closer(std::vector<std::unique_ptr<Socket>>& socks,
+                            core::Host::Process& proc, std::size_t w,
+                            std::size_t stride, ChurnShared& sh) {
+  auto ctx = proc.ctx();
+  for (std::size_t i = w; i < socks.size(); i += stride) {
+    if (socks[i] != nullptr) co_await socks[i]->close(ctx);
+  }
+  if (++sh.closers_done == sh.closers) sh.teardown_done = true;
+}
+
+struct ChurnDump {
+  bool ok = false;
+  std::size_t accepted = 0;
+  std::uint64_t wheel_scheduled = 0;
+  std::string netstat_a, netstat_b;
+};
+
+ChurnDump run_churn(std::size_t target, std::size_t nports,
+                    std::size_t concurrency) {
+  Testbed tb;
+  auto& cproc = tb.a->create_process("soak_tx");
+  auto& sproc = tb.b->create_process("soak_rx");
+  const std::uint16_t port_base = 6001;
+
+  std::vector<std::unique_ptr<Listener>> listeners;
+  for (std::size_t j = 0; j < nports; ++j) {
+    listeners.push_back(std::make_unique<Listener>(
+        tb.b->stack(), static_cast<std::uint16_t>(port_base + j),
+        socket::SocketOptions{}, /*backlog=*/256));
+  }
+
+  std::vector<std::unique_ptr<Socket>> tx(target);
+  std::vector<std::unique_ptr<Socket>> rx;
+  rx.reserve(target);
+
+  ChurnShared sh;
+  sh.target = target;
+  sh.workers = concurrency;
+  sh.acceptors = nports;
+  sh.closers = 2 * concurrency;
+
+  for (std::size_t j = 0; j < nports; ++j) {
+    const std::size_t expected = target / nports + (j < target % nports ? 1 : 0);
+    sim::spawn(soak_acceptor(*listeners[j], expected, rx, sh));
+  }
+  for (std::size_t w = 0; w < concurrency; ++w)
+    sim::spawn(soak_connector(tb, cproc, tx, w, concurrency, nports, port_base, sh));
+  EXPECT_TRUE(tb.run_until_done(sh.ramp_done, tb.sim.now() + 600 * sim::kSecond));
+
+  tb.sim.run_until(tb.sim.now() + sim::msec(500));
+
+  for (std::size_t w = 0; w < concurrency; ++w) {
+    sim::spawn(soak_closer(tx, cproc, w, concurrency, sh));
+    sim::spawn(soak_closer(rx, sproc, w, concurrency, sh));
+  }
+  EXPECT_TRUE(tb.run_until_done(sh.teardown_done, tb.sim.now() + 600 * sim::kSecond));
+
+  // Drain compact TIME-WAIT (2*MSL) and the zombie linger.
+  tb.sim.run_until(tb.sim.now() + 40 * sim::kSecond);
+
+  ChurnDump d;
+  d.accepted = sh.accepted;
+  d.wheel_scheduled = tb.a->timer_wheel().stats().scheduled +
+                      tb.b->timer_wheel().stats().scheduled;
+  d.ok = sh.connected == target && sh.failures == 0 && sh.accepted == target &&
+         tb.a->stack().timewait_count() == 0 &&
+         tb.b->stack().timewait_count() == 0 &&
+         tb.a->stack().zombie_count() == 0 && tb.b->stack().zombie_count() == 0;
+  d.netstat_a = core::Netstat(*tb.a).json().dump(2);
+  d.netstat_b = core::Netstat(*tb.b).json().dump(2);
+  return d;
+}
+
+TEST(ControlPlaneSoak, HundredThousandConnChurnIsDeterministic) {
+  constexpr std::size_t kConns = 100000;
+  const auto first = run_churn(kConns, 4, 512);
+  EXPECT_TRUE(first.ok);
+  EXPECT_EQ(first.accepted, kConns);
+  // Every connection armed wheel timers (handshake RTO bookkeeping, compact
+  // TIME-WAIT, zombie linger) on one wheel or the other.
+  EXPECT_GT(first.wheel_scheduled, kConns);
+
+  const auto second = run_churn(kConns, 4, 512);
+  EXPECT_TRUE(second.ok);
+  // Same seed, same event order, same hash tables: the full stats dump of
+  // both hosts must reproduce byte for byte.
+  EXPECT_EQ(first.netstat_a, second.netstat_a);
+  EXPECT_EQ(first.netstat_b, second.netstat_b);
+}
+
+}  // namespace
+}  // namespace nectar

@@ -9,6 +9,7 @@
 
 #include "sim/cpu.h"
 #include "sim/rng.h"
+#include "sim/timer_wheel.h"
 #include "tests/test_util.h"
 
 namespace nectar::sim {
@@ -74,6 +75,60 @@ TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
   EXPECT_TRUE(t2.armed());
   s.run();
   EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, HandlesAreBackendQualified) {
+  // The heap (Simulator) and the hierarchical wheel are independent timer
+  // backends sharing one clock. Both hand out (slot, gen) handles and both
+  // start numbering from the same values, so the first heap timer and the
+  // first wheel timer collide on slot AND generation. A stale handle from
+  // one backend must never cancel (or report armed) the other backend's
+  // timer: the handle is qualified by the issuing backend, not just by its
+  // numbers.
+  Simulator s;
+  TimerWheel wheel(s);
+  int heap_fired = 0, wheel_fired = 0;
+  TimerHandle from_heap = s.timer_after(usec(50), [&] { ++heap_fired; });
+  TimerHandle from_wheel = wheel.schedule_after(usec(50), [&] { ++wheel_fired; });
+
+  // Fire both, leaving two stale handles whose numbers now alias whatever
+  // each backend recycles next.
+  s.run_until(usec(100));
+  EXPECT_EQ(heap_fired, 1);
+  EXPECT_EQ(wheel_fired, 1);
+  EXPECT_FALSE(from_heap.armed());
+  EXPECT_FALSE(from_wheel.armed());
+
+  // Recycle the slots on the *opposite* backend and attack each live timer
+  // with the other backend's stale handle.
+  TimerHandle live_wheel = wheel.schedule_after(usec(50), [&] { ++wheel_fired; });
+  TimerHandle live_heap = s.timer_after(usec(50), [&] { ++heap_fired; });
+  from_heap.cancel();   // stale heap handle: must not touch the wheel timer
+  from_wheel.cancel();  // stale wheel handle: must not touch the heap timer
+  EXPECT_TRUE(live_wheel.armed());
+  EXPECT_TRUE(live_heap.armed());
+  s.run_until(usec(200));
+  EXPECT_EQ(heap_fired, 2);
+  EXPECT_EQ(wheel_fired, 2);
+}
+
+TEST(Simulator, CrossBackendCancelOnlyAffectsIssuer) {
+  // Live-vs-live aliasing: heap timer 0 and wheel timer 0 are both armed
+  // with identical (slot, gen). Cancelling through each handle must take
+  // down exactly its own backend's timer.
+  Simulator s;
+  TimerWheel wheel(s);
+  int heap_fired = 0, wheel_fired = 0;
+  TimerHandle h = s.timer_after(usec(10), [&] { ++heap_fired; });
+  TimerHandle w = wheel.schedule_after(usec(10), [&] { ++wheel_fired; });
+  EXPECT_TRUE(h.armed());
+  EXPECT_TRUE(w.armed());
+  h.cancel();
+  EXPECT_FALSE(h.armed());
+  EXPECT_TRUE(w.armed());  // the wheel's aliasing timer survives
+  s.run_until(usec(100));
+  EXPECT_EQ(heap_fired, 0);
+  EXPECT_EQ(wheel_fired, 1);
 }
 
 TEST(Simulator, TimerCancelThenReArm) {
