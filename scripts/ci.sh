@@ -31,6 +31,8 @@ build-release/bench/latency_profile --quick --json \
     build-release/BENCH_latency_smoke.json
 build-release/bench/offload_sweep --quick --json \
     build-release/BENCH_offload_smoke.json
+build-release/bench/workload --quick --json \
+    build-release/BENCH_workload_smoke.json
 
 # Schema validation: every benchmark artifact — committed or freshly emitted
 # by the smoke runs above — must carry the versioned-schema marker so
@@ -55,12 +57,17 @@ done
 # recycles bucket slots through a freelist, SYN-cookie acceptance
 # materialises connections from nothing (no embryonic object to misuse, but
 # plenty of room for stale-handle cancels), and the churn smoke slams 5k
-# connections through compact TIME-WAIT slab recycling.
+# connections through compact TIME-WAIT slab recycling.  The wload frontend
+# rides along because the socket shim owns Socket/Listener lifetimes across
+# coroutine suspension points (wclose's linger, wpoll's readiness probes) and
+# the population generator tears down hundreds of shim sockets concurrently —
+# the exact shape of use-after-free the zombie-socket machinery exists to
+# prevent.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload|TimerWheel|SynCookie|bench_churn'
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload|TimerWheel|SynCookie|bench_churn|Wload|PacketTrace\.PcapRoundTrip|bench_workload'
 
 # ThreadSanitizer lane over the parallel sharded engine: the barrier,
 # epoch-publication, and outbox/drain handoffs are the only places the

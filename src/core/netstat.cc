@@ -77,7 +77,8 @@ std::string netstat_protocols(Host& host) {
   os << "demux: " << st.tcp_in << " tcp, " << st.udp_in << " udp, " << st.raw_in
      << " raw, " << st.no_port << " no-port, " << st.no_proto << " no-proto, "
      << st.bad_checksum << " bad csum, " << st.listen_overflows
-     << " listen overflows\n";
+     << " listen overflows, " << st.eph_port_exhausted
+     << " eph-port exhausted\n";
   const auto& dm = host.stack().tcp_demux();
   os << "  table: " << dm.size() << " live / " << dm.buckets() << " buckets ("
      << dm.num_shards() << " shards), " << dm.tombstones() << " tombstones, "
@@ -401,6 +402,7 @@ Json Netstat::json() const {
   jd.set("no_port", st.no_port);
   jd.set("bad_checksum", st.bad_checksum);
   jd.set("listen_overflows", st.listen_overflows);
+  jd.set("eph_port_exhausted", st.eph_port_exhausted);
   jd.set("syn_cookies_sent", st.syn_cookies_sent);
   jd.set("syn_cookies_accepted", st.syn_cookies_accepted);
   jd.set("syn_cookies_rejected", st.syn_cookies_rejected);

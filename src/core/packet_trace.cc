@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "net/headers.h"
@@ -126,6 +127,59 @@ bool PacketTrace::write_pcap(const std::string& path) const {
   }
   os.flush();
   return static_cast<bool>(os);
+}
+
+bool PacketTrace::read_pcap(const std::string& path, PcapFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<unsigned char> buf{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  if (buf.size() < 24) return false;
+
+  bool swap = false;        // file byte order != little-endian
+  bool nsec_ts = false;     // nanosecond-resolution timestamp magic
+  const auto u32_at = [&buf](std::size_t off, bool sw) {
+    std::uint32_t v = static_cast<std::uint32_t>(buf[off]) |
+                      (static_cast<std::uint32_t>(buf[off + 1]) << 8) |
+                      (static_cast<std::uint32_t>(buf[off + 2]) << 16) |
+                      (static_cast<std::uint32_t>(buf[off + 3]) << 24);
+    if (sw) {
+      v = ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+          ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+    }
+    return v;
+  };
+  switch (u32_at(0, false)) {
+    case 0xa1b2c3d4u: break;                          // LE, usec
+    case 0xa1b23c4du: nsec_ts = true; break;          // LE, nsec
+    case 0xd4c3b2a1u: swap = true; break;             // BE, usec
+    case 0x4d3cb2a1u: swap = true; nsec_ts = true; break;  // BE, nsec
+    default: return false;
+  }
+
+  out.records.clear();
+  out.snaplen = u32_at(16, swap);
+  out.linktype = u32_at(20, swap);
+  std::size_t off = 24;
+  while (off < buf.size()) {
+    if (off + 16 > buf.size()) return false;  // record header cut off
+    const std::uint32_t ts_sec = u32_at(off, swap);
+    const std::uint32_t ts_frac = u32_at(off + 4, swap);
+    const std::uint32_t incl = u32_at(off + 8, swap);
+    const std::uint32_t orig = u32_at(off + 12, swap);
+    if (off + 16 + incl > buf.size()) return false;  // payload cut off
+    PcapRecord r;
+    r.when = static_cast<sim::Time>(ts_sec) * sim::kSecond +
+             static_cast<sim::Time>(ts_frac) *
+                 (nsec_ts ? sim::kNanosecond : sim::kMicrosecond);
+    r.orig_len = orig;
+    r.truncated = incl < orig;
+    const auto* p = reinterpret_cast<const std::byte*>(buf.data() + off + 16);
+    r.bytes.assign(p, p + incl);
+    out.records.push_back(std::move(r));
+    off += 16 + incl;
+  }
+  return true;
 }
 
 std::string PacketTrace::dump(std::size_t n) const {

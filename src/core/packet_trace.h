@@ -72,6 +72,37 @@ class PacketTrace final : public hippi::Fabric {
   // looks short.
   bool write_pcap(const std::string& path) const;
 
+  // One record parsed back out of a pcap file. `truncated` marks a record
+  // whose captured bytes fall short of the original datagram (snaplen cut):
+  // the wload replayer must size the replayed flow from the *headers* inside
+  // `bytes` (IP total_len survives any snaplen >= 40), never from
+  // bytes.size(), or truncated captures silently replay short.
+  struct PcapRecord {
+    sim::Time when = 0;            // capture timestamp as sim-time ns
+    std::size_t orig_len = 0;      // original on-the-wire datagram length
+    bool truncated = false;        // bytes.size() < orig_len
+    std::vector<std::byte> bytes;  // captured prefix (starts at the IP header
+                                   // for LINKTYPE_RAW files)
+  };
+  struct PcapFile {
+    std::uint32_t snaplen = 0;
+    std::uint32_t linktype = 0;    // 101 (LINKTYPE_RAW) for our own exports
+    std::vector<PcapRecord> records;
+  };
+
+  // Parse a classic pcap file (either byte order, usec 0xa1b2c3d4 or nsec
+  // 0xa1b23c4d magic). Returns false on open/magic/structural error; a file
+  // whose final record is cut off mid-header also fails rather than
+  // returning a silently shorter capture.
+  //
+  // Replay caveats (see src/wload/trace_replay.h): the reader returns raw
+  // records — it does not reassemble IP fragments, resequence retransmitted
+  // TCP segments, or pair the two directions of a connection. A capture of
+  // lossy traffic therefore replays the *wire* behavior (duplicates
+  // included), not the application byte stream; and timestamps below the
+  // exporter's microsecond resolution collapse to the same instant.
+  static bool read_pcap(const std::string& path, PcapFile& out);
+
  private:
   sim::Simulator& sim_;
   hippi::Fabric& inner_;

@@ -115,7 +115,12 @@ std::uint16_t NetStack::alloc_ephemeral_port(IpAddr laddr, IpAddr faddr,
     const ConnKey key{laddr, p, faddr, fport};
     if (!tcp_conns_.contains(key) && !tw_index_.contains(key)) return p;
   }
-  throw std::runtime_error("netstack: ephemeral ports exhausted");
+  // True exhaustion: every (laddr, p, faddr, fport) tuple is taken. Under
+  // population churn this is an operating condition, not a program error —
+  // report it (0 is never a valid ephemeral port) and let the caller fail
+  // the one connect with an EADDRNOTAVAIL-style error.
+  ++stats_.eph_port_exhausted;
+  return 0;
 }
 
 void NetStack::adopt_zombie(std::unique_ptr<TcpConnection> tp) {

@@ -103,7 +103,10 @@ class NetStack {
   // O(1) in the common case: a per-port use count (maintained by
   // tcp_bind/tcp_unbind) finds an entirely unused port without scanning the
   // connection table; only when every port carries at least one binding does
-  // the full-tuple fallback probe the table per candidate.
+  // the full-tuple fallback probe the table per candidate. Returns 0 (never
+  // a valid ephemeral port) when every tuple toward (faddr, fport) is in use
+  // — counted as eph_port_exhausted; callers surface it as an
+  // EADDRNOTAVAIL-style connect failure.
   [[nodiscard]] std::uint16_t alloc_ephemeral_port(IpAddr laddr, IpAddr faddr,
                                                    std::uint16_t fport);
 
@@ -175,6 +178,9 @@ class NetStack {
     // SYNs that arrived for a registered listen service whose backlog of
     // embryonic sockets was exhausted (recovered by SYN retransmission).
     std::uint64_t listen_overflows = 0;
+    // Outgoing connects that found no free (laddr, lport, faddr, fport)
+    // tuple — the EADDRNOTAVAIL condition population churn can reach.
+    std::uint64_t eph_port_exhausted = 0;
     // SYN-cookie path: cookies minted for backlog-overflow SYNs, ACKs that
     // validated and reconstructed a connection, ACKs whose cookie failed
     // (stale/forged), and valid cookies that found no embryonic socket to

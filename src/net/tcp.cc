@@ -123,6 +123,12 @@ sim::Task<bool> TcpConnection::connect(KernCtx ctx, IpAddr faddr,
   key_.lport = lport != 0
                    ? lport
                    : stack_.alloc_ephemeral_port(key_.laddr, faddr, fport);
+  if (key_.lport == 0) {
+    // Ephemeral ports exhausted (already counted by the allocator): fail
+    // this connect without binding; the connection stays CLOSED and
+    // reusable once churn frees tuples.
+    co_return false;
+  }
   stack_.tcp_bind(key_, this);
   bound_ = true;
 

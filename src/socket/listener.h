@@ -49,6 +49,15 @@ class Listener {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] std::size_t backlog() const noexcept { return backlog_; }
 
+  // True when accept() would return without blocking: the oldest embryonic
+  // socket has completed (or given up on) its handshake. Readiness probe for
+  // the wload shim's wpoll.
+  [[nodiscard]] bool accept_ready() const noexcept {
+    if (pending_.empty()) return false;
+    const auto& tp = pending_.front()->tcp();
+    return tp.ever_established() || tp.state() == net::TcpState::kClosed;
+  }
+
  private:
   void rearm() {
     auto s = std::make_unique<Socket>(stack_, Socket::Proto::kTcp, opts_);

@@ -35,11 +35,12 @@ Socket::~Socket() {
   }
 }
 
-sim::Task<bool> Socket::connect(ProcCtx& p, net::IpAddr addr, std::uint16_t port) {
+sim::Task<bool> Socket::connect(ProcCtx& p, net::IpAddr addr, std::uint16_t port,
+                                std::uint16_t lport) {
   KernCtx ctx{p.sys_acct, p.prio};
   co_await stack_.env().cpu.run(sim::usec(stack_.costs().syscall_us), ctx.acct,
                                 ctx.prio);
-  co_return co_await tp_->connect(ctx, addr, port);
+  co_return co_await tp_->connect(ctx, addr, port, lport);
 }
 
 void Socket::listen(std::uint16_t port) { tp_->listen(port); }

@@ -64,7 +64,11 @@ class Socket final : public net::TcpCallbacks, public net::UdpSocketIface {
   Socket& operator=(const Socket&) = delete;
 
   // ------------------------------------------------------------------- TCP
-  sim::Task<bool> connect(ProcCtx& p, net::IpAddr addr, std::uint16_t port);
+  // `lport` 0 lets the stack pick an ephemeral port; the wload shim passes
+  // an explicitly pre-allocated one so exhaustion is distinguishable from
+  // an unreachable/refusing peer.
+  sim::Task<bool> connect(ProcCtx& p, net::IpAddr addr, std::uint16_t port,
+                          std::uint16_t lport = 0);
   void listen(std::uint16_t port);
   sim::Task<bool> accept(ProcCtx& p);  // single-shot: wait for establishment
   sim::Task<void> close(ProcCtx& p);
@@ -105,6 +109,28 @@ class Socket final : public net::TcpCallbacks, public net::UdpSocketIface {
     std::uint16_t sport = 0;
   };
   sim::Task<KernelDatagram> recvfrom_mbufs(net::KernCtx ctx);
+
+  // Readiness probes for the wload shim's wpoll (no side effects, no
+  // blocking): "readable" means a recv/accept-style call would not block —
+  // buffered data, a delivered datagram, or stream EOF; "writable" means
+  // send-buffer space on an established stream.
+  [[nodiscard]] bool recv_ready() const noexcept {
+    if (proto_ == Proto::kUdp) return !dgrams_.empty();
+    return !rcv_.empty() || tp_->fin_received() ||
+           tp_->state() == net::TcpState::kClosed;
+  }
+  [[nodiscard]] bool send_ready() const noexcept {
+    return proto_ == Proto::kTcp && tp_->established() && snd_.space() > 0;
+  }
+  // Every byte send() accepted has been ACKed (the send sockbuf drops data
+  // only on ACK), or the connection is dead so nothing more can drain.
+  // Destroying a Socket orphans its TCP connection onto zero-capacity
+  // buffers, which discards un-ACKed send data — callers that promise
+  // close-does-not-lose-data (the wload shim) wait for this before teardown.
+  [[nodiscard]] bool tx_drained() const noexcept {
+    return proto_ != Proto::kTcp || snd_.empty() ||
+           tp_->state() == net::TcpState::kClosed;
+  }
 
   [[nodiscard]] net::TcpConnection& tcp() noexcept { return *tp_; }
   [[nodiscard]] net::NetStack& stack() noexcept { return stack_; }

@@ -1,0 +1,253 @@
+#include "wload/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/rng.h"
+
+namespace nectar::wload {
+
+namespace {
+
+// Pareto(alpha, xm) clamped to [xm, cap]: xm * u^(-1/alpha). The clamp is
+// what makes a heavy tail usable in a finite run — the p99.9 still spans
+// orders of magnitude while no single flow dwarfs the simulation.
+std::uint64_t pareto_size(sim::Rng& rng, const CohortConfig& c) {
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double v = static_cast<double>(c.pareto_xm) *
+                   std::pow(u, -1.0 / std::max(c.pareto_alpha, 1e-6));
+  const double capped = std::min(v, static_cast<double>(c.size_cap));
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(capped), c.pareto_xm);
+}
+
+// Start offset within the arrival window from the 24-bin diurnal table.
+sim::Duration arrival_offset(sim::Rng& rng, const std::vector<std::uint32_t>& w,
+                             sim::Duration window) {
+  constexpr std::size_t kBins = 24;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBins; ++b)
+    total += b < w.size() ? w[b] : (w.empty() ? 1 : 0);
+  if (total == 0) total = 1;
+  std::uint64_t r = rng.uniform_below(total);
+  std::size_t bin = 0;
+  for (; bin < kBins; ++bin) {
+    const std::uint64_t wb = bin < w.size() ? w[bin] : (w.empty() ? 1 : 0);
+    if (r < wb) break;
+    r -= wb;
+  }
+  if (bin >= kBins) bin = kBins - 1;
+  const double frac = (static_cast<double>(bin) + rng.uniform()) / kBins;
+  return static_cast<sim::Duration>(frac * static_cast<double>(window));
+}
+
+struct Shared {
+  std::size_t finished = 0;
+  std::size_t total = 0;
+  bool done = false;
+};
+
+struct UserParams {
+  net::IpAddr server = 0;
+  std::uint16_t port = 0;
+  std::uint32_t base_id = 0;  // request ids: base_id + request number
+  int requests = 0;
+  bool flash = false;              // one-shot surge user
+  std::uint64_t fixed_size = 0;    // flash: everyone fetches this
+  sim::Time start_at = 0;          // absolute arrival time
+};
+
+// One user's whole life: arrive, then (connect, request, read, think) x N.
+sim::Task<void> user_loop(Shim& sh, UserParams up, const CohortConfig cfg,
+                          sim::Rng rng, CohortResult* cres, FlashResult* fres,
+                          telemetry::LogHistogram* tel_hist, Shared& shared) {
+  auto& sim = sh.sim();
+  if (up.start_at > sim.now()) co_await sim::delay(sim, up.start_at - sim.now());
+  if (cres != nullptr) {
+    if (cres->first_start == 0 || sim.now() < cres->first_start)
+      cres->first_start = sim.now();
+  }
+  mem::UserBuffer req = sh.walloc(kRpcReqLen);
+  mem::UserBuffer buf = sh.walloc(64 * 1024);
+  for (int r = 0; r < up.requests; ++r) {
+    const std::uint64_t size = up.flash ? up.fixed_size : pareto_size(rng, cfg);
+    const sim::Time t0 = sim.now();
+    const int fd = sh.wsocket();
+    const int rc = co_await sh.wconnect(fd, up.server, up.port);
+    if (rc == W_EADDRNOTAVAIL) {
+      // Local tuple space exhausted: back off one think interval and retry
+      // this request — churn (TIME-WAIT recycling) frees tuples.
+      if (cres != nullptr) ++cres->eaddrnotavail;
+      co_await sh.wclose(fd);
+      co_await sim::delay(sim, static_cast<sim::Duration>(
+                                   rng.exponential(static_cast<double>(
+                                       std::max<sim::Duration>(cfg.think_mean, 1)))));
+      --r;
+      continue;
+    }
+    bool ok = rc == 0;
+    std::uint64_t got = 0;
+    if (ok) {
+      encode_rpc_request(req.view(),
+                         RpcRequest{up.base_id + static_cast<std::uint32_t>(r), size});
+      ok = co_await sh.wsend(fd, req.as_uio()) == static_cast<long>(kRpcReqLen);
+      while (ok) {
+        const long n = co_await sh.wrecv(fd, buf.as_uio());
+        if (n <= 0) break;
+        got += static_cast<std::uint64_t>(n);
+      }
+    }
+    co_await sh.wclose(fd);
+    const auto lat = static_cast<std::uint64_t>(sim.now() - t0);
+    if (ok && got == size) {
+      if (cres != nullptr) {
+        ++cres->requests_done;
+        cres->bytes_received += got;
+        cres->bytes_expected += size;
+        cres->resp_ns.record(lat);
+      }
+      if (fres != nullptr) {
+        ++fres->requests_done;
+        fres->resp_ns.record(lat);
+      }
+      if (tel_hist != nullptr) tel_hist->record(lat);
+    } else {
+      if (cres != nullptr) ++cres->requests_failed;
+      if (fres != nullptr) ++fres->requests_failed;
+    }
+    if (!up.flash && r + 1 < up.requests) {
+      co_await sim::delay(sim, static_cast<sim::Duration>(rng.exponential(
+                                   static_cast<double>(
+                                       std::max<sim::Duration>(cfg.think_mean, 1)))));
+    }
+  }
+  if (cres != nullptr) cres->last_done = std::max(cres->last_done, sim.now());
+  if (fres != nullptr) fres->last_done = std::max(fres->last_done, sim.now());
+  if (++shared.finished == shared.total) shared.done = true;
+}
+
+}  // namespace
+
+PopulationResult run_population(core::MultiTestbed& tb,
+                                const PopulationConfig& cfg) {
+  PopulationResult out;
+  const std::size_t pairs = tb.num_pairs();
+
+  // One shim per host: clients carry the users, servers carry the services.
+  std::vector<std::unique_ptr<Shim>> cl, sv;
+  Shim::Options copts, sopts;
+  copts.process_name = "users";
+  sopts.process_name = "svc";
+  for (std::size_t p = 0; p < pairs; ++p) {
+    cl.push_back(std::make_unique<Shim>(*tb.clients[p], copts));
+    sv.push_back(std::make_unique<Shim>(*tb.servers[p], sopts));
+  }
+
+  // Every server host serves every cohort port (users are striped over
+  // pairs, so each pair must offer the full service set).
+  std::vector<std::vector<RpcServerCtl>> sctl(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    sctl[p] = std::vector<RpcServerCtl>(cfg.cohorts.size());
+    for (std::size_t c = 0; c < cfg.cohorts.size(); ++c) {
+      const std::uint16_t port =
+          cfg.cohorts[c].port != 0
+              ? cfg.cohorts[c].port
+              : static_cast<std::uint16_t>(9000 + c);
+      sim::spawn(rpc_server(*sv[p], port, cfg.listen_backlog, sctl[p][c]));
+    }
+  }
+
+  Shared shared;
+  out.cohorts.resize(cfg.cohorts.size());
+  for (std::size_t c = 0; c < cfg.cohorts.size(); ++c) {
+    out.cohorts[c].name = cfg.cohorts[c].name;
+    out.cohorts[c].users = cfg.cohorts[c].users;
+    shared.total += cfg.cohorts[c].users;
+  }
+  if (cfg.flash.enabled) {
+    shared.total += cfg.flash.users;
+    out.flash.users = cfg.flash.users;
+    out.flash.surge_start = cfg.flash.at;
+  }
+  if (shared.total == 0) shared.done = true;  // empty population: nothing to run
+
+  // Spawn the population. Stream ids are the global user index, so adding a
+  // cohort at the end never reshuffles earlier users' randomness.
+  std::uint64_t uidx = 0;
+  for (std::size_t c = 0; c < cfg.cohorts.size(); ++c) {
+    const CohortConfig& cc = cfg.cohorts[c];
+    const std::uint16_t port =
+        cc.port != 0 ? cc.port : static_cast<std::uint16_t>(9000 + c);
+    telemetry::LogHistogram* th =
+        tb.tel ? &tb.tel->histogram("wload." + cc.name + ".resp_ns") : nullptr;
+    for (std::size_t u = 0; u < cc.users; ++u, ++uidx) {
+      sim::Rng rng = sim::Rng::for_stream(cfg.seed, uidx);
+      const std::size_t pair = uidx % pairs;
+      UserParams up;
+      up.server = core::MultiTestbed::server_ip(pair);
+      up.port = port;
+      up.base_id = static_cast<std::uint32_t>(uidx << 10);
+      up.requests = cc.requests_per_user;
+      up.start_at = arrival_offset(rng, cfg.diurnal_weights, cfg.arrival_window);
+      sim::spawn(user_loop(*cl[pair], up, cc, std::move(rng), &out.cohorts[c],
+                           nullptr, th, shared));
+    }
+  }
+  if (cfg.flash.enabled) {
+    const std::size_t fc = std::min(cfg.flash.cohort, cfg.cohorts.size() - 1);
+    const CohortConfig& cc = cfg.cohorts[fc];
+    const std::uint16_t port =
+        cc.port != 0 ? cc.port : static_cast<std::uint16_t>(9000 + fc);
+    for (std::size_t u = 0; u < cfg.flash.users; ++u, ++uidx) {
+      sim::Rng rng = sim::Rng::for_stream(cfg.seed, uidx);
+      const std::size_t pair = uidx % pairs;
+      UserParams up;
+      up.server = core::MultiTestbed::server_ip(pair);
+      up.port = port;
+      up.base_id = static_cast<std::uint32_t>(uidx << 10);
+      up.requests = 1;
+      up.flash = true;
+      up.fixed_size = cfg.flash.resp_bytes;
+      up.start_at = cfg.flash.at;
+      sim::spawn(user_loop(*cl[pair], up, cc, std::move(rng), nullptr,
+                           &out.flash, nullptr, shared));
+    }
+  }
+
+  out.completed = tb.run_until_done(shared.done, cfg.deadline);
+
+  // Orderly server teardown: raise the stop flags, then run simulated time
+  // forward until every accept loop has exited and every handler drained.
+  for (auto& per_pair : sctl)
+    for (RpcServerCtl& ctl : per_pair) ctl.stop = true;
+  for (int spin = 0; spin < 1000; ++spin) {
+    bool all_idle = true;
+    for (const auto& per_pair : sctl)
+      for (const RpcServerCtl& ctl : per_pair)
+        if (!ctl.exited || ctl.active != 0) all_idle = false;
+    if (all_idle) break;
+    tb.sim.run_until(tb.sim.now() + sim::msec(1.0));
+  }
+
+  for (std::size_t c = 0; c < out.cohorts.size(); ++c) {
+    CohortResult& r = out.cohorts[c];
+    if (r.last_done > r.first_start && r.bytes_received > 0) {
+      r.goodput_mbps = sim::throughput_mbps(
+          static_cast<std::int64_t>(r.bytes_received), r.last_done - r.first_start);
+    }
+  }
+  if (cfg.flash.enabled && out.flash.last_done > out.flash.surge_start)
+    out.flash.recovery = out.flash.last_done - out.flash.surge_start;
+
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto& sst = tb.servers[p]->stack().stats();
+    out.flash.syn_cookies_sent += sst.syn_cookies_sent;
+    out.flash.syn_cookies_accepted += sst.syn_cookies_accepted;
+    out.flash.listen_overflows += sst.listen_overflows;
+    out.eph_port_exhausted += tb.clients[p]->stack().stats().eph_port_exhausted;
+    for (const RpcServerCtl& ctl : sctl[p]) out.conns_total += ctl.conns;
+  }
+  return out;
+}
+
+}  // namespace nectar::wload

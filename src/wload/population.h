@@ -1,0 +1,116 @@
+// Seeded user-population traffic generator over the wload shim.
+//
+// Models a population of users in N cohorts issuing request/response calls
+// (the RPC service from wapps.h) against a MultiTestbed: each user connects,
+// sends one 16-byte request naming a Pareto heavy-tailed response size, reads
+// the response to EOF, thinks for an exponential on/off interval, repeats.
+// Cohort start times follow a 24-bin integer-weight arrival ramp (the
+// diurnal analogue, scaled into arrival_window), and a flash crowd — a burst
+// of one-shot users all hitting one cohort's service at a configured instant
+// — can be triggered to drive listen backlogs into the SYN-cookie slow lane.
+//
+// Everything random draws from sim::Rng streams derived from (seed, user
+// index), so the same config + seed replays the identical population
+// byte-for-byte regardless of completion interleaving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/multi_testbed.h"
+#include "telemetry/histogram.h"
+#include "wload/wapps.h"
+
+namespace nectar::wload {
+
+struct CohortConfig {
+  std::string name = "cohort";
+  std::size_t users = 8;        // concurrent users
+  int requests_per_user = 4;
+  // Pareto(alpha, xm) response sizes in bytes, clamped to [xm, size_cap].
+  double pareto_alpha = 1.2;
+  std::uint64_t pareto_xm = 2048;
+  std::uint64_t size_cap = 1 << 20;
+  sim::Duration think_mean = sim::msec(5.0);  // exponential think time
+  std::uint16_t port = 0;  // service port; 0 = 9000 + cohort index
+};
+
+struct FlashCrowdConfig {
+  bool enabled = false;
+  sim::Time at = 0;          // surge instant (absolute sim time)
+  std::size_t users = 0;     // one-shot surge users (arrive simultaneously)
+  std::size_t cohort = 0;    // whose service they hit
+  std::uint64_t resp_bytes = 2048;  // the hot object everyone fetches
+};
+
+struct PopulationConfig {
+  std::uint64_t seed = 1;
+  std::vector<CohortConfig> cohorts;
+  FlashCrowdConfig flash;
+  // Arrival ramp: 24 integer weights over arrival_window; a user's start
+  // time lands in bin b with probability weight[b]/sum, uniform within the
+  // bin. Empty = flat. Integer weights keep the ramp shape exactly seedable.
+  std::vector<std::uint32_t> diurnal_weights;
+  sim::Duration arrival_window = sim::msec(20.0);
+  int listen_backlog = 16;
+  // Give up (result.completed = false) if the population has not drained by
+  // this sim time. Must be generous: abandoning blocked user coroutines at
+  // simulation end leaks their frames.
+  sim::Time deadline = 30 * sim::kSecond;
+};
+
+struct CohortResult {
+  std::string name;
+  std::size_t users = 0;
+  std::uint64_t requests_done = 0;
+  std::uint64_t requests_failed = 0;   // connect refused / short response
+  std::uint64_t eaddrnotavail = 0;     // connects that lost the port lottery
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_expected = 0;    // sum of requested response sizes
+  telemetry::LogHistogram resp_ns;     // response latency, connect -> EOF
+  sim::Time first_start = 0;
+  sim::Time last_done = 0;
+  double goodput_mbps = 0.0;  // bytes_received over [first_start, last_done]
+};
+
+struct FlashResult {
+  std::size_t users = 0;
+  std::uint64_t requests_done = 0;
+  std::uint64_t requests_failed = 0;
+  sim::Time surge_start = 0;
+  sim::Time last_done = 0;
+  // How long the service took to absorb the surge: last surge-user
+  // completion minus surge start (0 when no flash crowd ran).
+  sim::Duration recovery = 0;
+  telemetry::LogHistogram resp_ns;
+  // Server-side SYN-cookie counters summed across server stacks (whole run).
+  std::uint64_t syn_cookies_sent = 0;
+  std::uint64_t syn_cookies_accepted = 0;
+  std::uint64_t listen_overflows = 0;
+};
+
+struct PopulationResult {
+  bool completed = false;  // every user finished before the deadline
+  std::vector<CohortResult> cohorts;
+  FlashResult flash;
+  std::uint64_t conns_total = 0;         // server-side accepted connections
+  std::uint64_t eph_port_exhausted = 0;  // summed over client stacks
+  [[nodiscard]] bool conserved() const noexcept {
+    if (!completed) return false;
+    for (const CohortResult& c : cohorts) {
+      if (c.requests_failed != 0 || c.bytes_received != c.bytes_expected)
+        return false;
+    }
+    return flash.requests_failed == 0;
+  }
+};
+
+// Run the population to completion (or deadline) on `tb`. Spawns one RPC
+// server per (server host, cohort port) and one coroutine per user; user i
+// talks over testbed pair i mod num_pairs. When tb.tel is enabled, response
+// latencies are also recorded into the shared telemetry registry as
+// histogram "wload.<cohort>.resp_ns".
+PopulationResult run_population(core::MultiTestbed& tb,
+                                const PopulationConfig& cfg);
+
+}  // namespace nectar::wload

@@ -149,5 +149,62 @@ TEST(PacketTrace, PcapExportIsWellFormed) {
   EXPECT_GT(records, 0u);
 }
 
+TEST(PacketTrace, PcapRoundTrip) {
+  core::TestbedOptions opts;
+  opts.trace_packets = true;
+  core::Testbed tb(opts);
+  ASSERT_NE(tb.trace, nullptr);
+  tb.trace->enable_capture(/*snaplen=*/96);  // data segments will be cut
+  apps::TtcpConfig cfg;
+  cfg.write_size = 16 * 1024;
+  cfg.total_bytes = 128 * 1024;
+  auto r = apps::run_ttcp(tb, cfg);
+  ASSERT_TRUE(r.completed);
+
+  const std::string path = ::testing::TempDir() + "nectar_trace_rt.pcap";
+  ASSERT_TRUE(tb.trace->write_pcap(path));
+
+  // write_pcap then read_pcap is the identity on everything the format
+  // keeps: frame count, captured lengths, original lengths, timestamps.
+  core::PacketTrace::PcapFile pf;
+  ASSERT_TRUE(core::PacketTrace::read_pcap(path, pf));
+  EXPECT_EQ(pf.snaplen, 96u);
+  EXPECT_EQ(pf.linktype, 101u);
+
+  std::vector<const core::PacketTrace::Entry*> kept;
+  for (const auto& e : tb.trace->entries())
+    if (!e.captured.empty()) kept.push_back(&e);
+  ASSERT_EQ(pf.records.size(), kept.size());
+  ASSERT_GT(pf.records.size(), 0u);
+
+  std::size_t truncated = 0;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const auto& rec = pf.records[i];
+    EXPECT_EQ(rec.bytes.size(), kept[i]->captured.size());
+    EXPECT_EQ(rec.bytes, kept[i]->captured);
+    EXPECT_EQ(rec.orig_len, kept[i]->ip_len);
+    // Snaplen-cut entries come back flagged, never silently short.
+    EXPECT_EQ(rec.truncated, kept[i]->ip_len > 96);
+    if (rec.truncated) ++truncated;
+    // Timestamps survive at the format's microsecond resolution.
+    const auto us = static_cast<std::uint64_t>(sim::to_usec(kept[i]->when));
+    EXPECT_EQ(rec.when, static_cast<sim::Time>(us) * sim::kMicrosecond);
+  }
+  EXPECT_GT(truncated, 0u);  // the 16 KB writes exceeded the 96-byte snaplen
+
+  // Structural failures are detected, not papered over: a file whose last
+  // record is cut off mid-payload must fail to parse.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> whole{std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>()};
+  const std::string cut = ::testing::TempDir() + "nectar_trace_cut.pcap";
+  std::ofstream outf(cut, std::ios::binary | std::ios::trunc);
+  outf.write(whole.data(), static_cast<std::streamsize>(whole.size() - 3));
+  outf.close();
+  core::PacketTrace::PcapFile bad;
+  EXPECT_FALSE(core::PacketTrace::read_pcap(cut, bad));
+  EXPECT_FALSE(core::PacketTrace::read_pcap("no_such_file.pcap", bad));
+}
+
 }  // namespace
 }  // namespace nectar
