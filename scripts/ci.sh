@@ -33,6 +33,8 @@ build-release/bench/offload_sweep --quick --json \
     build-release/BENCH_offload_smoke.json
 build-release/bench/workload --quick --json \
     build-release/BENCH_workload_smoke.json
+build-release/bench/overload --quick --json \
+    build-release/BENCH_overload_smoke.json
 
 # Schema validation: every benchmark artifact — committed or freshly emitted
 # by the smoke runs above — must carry the versioned-schema marker so
@@ -62,12 +64,17 @@ done
 # coroutine suspension points (wclose's linger, wpoll's readiness probes) and
 # the population generator tears down hundreds of shim sockets concurrently —
 # the exact shape of use-after-free the zombie-socket machinery exists to
-# prevent.
+# prevent.  The overload suites round out the lane: the admission gate and
+# ECN hooks poll resource samplers (closures over pool/arbiter/network-memory
+# internals) from deep inside the send and SYN paths, and the ops console
+# holds host references across periodic coroutine ticks — both are fresh
+# aliasing surfaces.  The 10x flash-crowd soak stays out of this fast lane
+# and runs under TSan below instead.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload|TimerWheel|SynCookie|bench_churn|Wload|PacketTrace\.PcapRoundTrip|bench_workload'
+      -R 'ConnTable|FlowMatrix|FlowSoak|flow_scaling|Fault|bench_fault_recovery|Telemetry|LogHistogram|PacketTraceDropped|bench_latency|Offload|TsoCutFuzz|bench_offload|TimerWheel|SynCookie|bench_churn|Wload|PacketTrace\.PcapRoundTrip|bench_workload|ArbPolicyNames|WeightedFair|OverloadManager|OverloadEndToEnd|OverloadNetstat|OpsConsole|bench_overload'
 
 # ThreadSanitizer lane over the parallel sharded engine: the barrier,
 # epoch-publication, and outbox/drain handoffs are the only places the
@@ -75,12 +82,14 @@ ctest --test-dir build-asan --output-on-failure -j"$jobs" \
 # exercise them — the engine unit tests, the RNG-stream and determinism-
 # oracle tests, and a >=2-worker flow-scaling smoke (quick mode runs its
 # parallel sweep at 1 and 2 workers and fails on any cross-worker
-# divergence).
+# divergence).  The overload flash-crowd soak also rides this slow lane: it
+# is the longest-running integration test, so it pairs with the slow
+# sanitizer config rather than bloating the ASan sweep above.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 cmake --build build-tsan -j"$jobs"
 ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-      -R 'Parallel|RngStreams|EventQueueStats'
+      -R 'Parallel|RngStreams|EventQueueStats|OverloadSoak'
 build-tsan/bench/flow_scaling --quick --json \
     build-tsan/BENCH_flow_scaling_tsan_smoke.json
 grep -q '"deterministic_across_workers": true' \

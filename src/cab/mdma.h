@@ -72,6 +72,9 @@ class MdmaXmit {
   [[nodiscard]] bool idle() const noexcept { return !busy_ && q_.empty(); }
   [[nodiscard]] const ArbQueue<Request>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
+  void set_flow_weight(std::uint32_t flow, std::uint32_t weight) {
+    q_.set_flow_weight(flow, weight);
+  }
 
   // Opt-in span tracing: queue wait (mdma_queue) and serialization time
   // (mdma_xfer) per transmit.

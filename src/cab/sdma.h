@@ -100,6 +100,9 @@ class SdmaEngine {
   [[nodiscard]] ChecksumEngine& checksum() noexcept { return csum_; }
   [[nodiscard]] const ArbQueue<SdmaRequest>& arb() const noexcept { return q_; }
   void set_arb_policy(ArbPolicy p) noexcept { q_.set_policy(p); }
+  void set_flow_weight(std::uint32_t flow, std::uint32_t weight) {
+    q_.set_flow_weight(flow, weight);
+  }
 
   // Opt-in span tracing: queue wait (sdma_queue) and bus time (sdma_xfer)
   // per request, keyed by request id under a private key namespace.

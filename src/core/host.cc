@@ -27,6 +27,7 @@ drivers::CabDriver& Host::attach_cab(hippi::Fabric& fabric, hippi::Addr haddr,
     dev->set_telemetry(tel_, tel_pid_);
     register_cab_gauges(*dev, cabs_.size());
   }
+  if (ovl_ != nullptr) register_cab_samplers(*dev);
   cabs_.push_back(std::move(dev));
   auto& ref = *drv;
   stack_->add_ifnet(drv.get());
@@ -110,6 +111,37 @@ void Host::set_telemetry(telemetry::Telemetry* t) {
   tel_->register_gauge(name_ + ".mbuf_in_use", tel_pid_, [this] {
     return static_cast<double>(pool_.in_use());
   });
+}
+
+void Host::register_cab_samplers(cab::CabDevice& dev) {
+  cab::CabDevice* d = &dev;
+  // The SDMA command queue has a configured depth; the transmit MDMA shares
+  // it as a nominal bound (it has no hardware limit of its own, so the same
+  // order-of-magnitude watermark applies).
+  const std::uint64_t qcap = params_.cab.sdma.queue_depth;
+  ovl_->add_sampler(overload::Resource::kArbQueue, [d, qcap] {
+    return std::pair<std::uint64_t, std::uint64_t>(d->sdma().arb().size(), qcap);
+  });
+  ovl_->add_sampler(overload::Resource::kArbQueue, [d, qcap] {
+    return std::pair<std::uint64_t, std::uint64_t>(d->mdma_xmit().arb().size(),
+                                                   qcap);
+  });
+  ovl_->add_sampler(overload::Resource::kNetMem, [d] {
+    return std::pair<std::uint64_t, std::uint64_t>(d->nm().used_bytes(),
+                                                   d->nm().total_bytes());
+  });
+}
+
+void Host::set_overload(overload::OverloadManager* ovl) {
+  ovl_ = ovl;
+  stack_->env().overload = ovl;
+  if (ovl == nullptr) return;
+  ovl->add_sampler(overload::Resource::kMbufPool,
+                   [this, cap = ovl->config().mbuf_cap] {
+                     return std::pair<std::uint64_t, std::uint64_t>(
+                         pool_.in_use(), cap);
+                   });
+  for (auto& dev : cabs_) register_cab_samplers(*dev);
 }
 
 }  // namespace nectar::core

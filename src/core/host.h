@@ -10,6 +10,7 @@
 #include "drivers/ether_driver.h"
 #include "drivers/loopback.h"
 #include "mem/user_buffer.h"
+#include "overload/overload.h"
 #include "sim/timer_wheel.h"
 #include "socket/socket.h"
 #include "telemetry/telemetry.h"
@@ -70,9 +71,19 @@ class Host {
   [[nodiscard]] telemetry::Telemetry* telemetry() noexcept { return tel_; }
   [[nodiscard]] int tel_pid() const noexcept { return tel_pid_; }
 
+  // --- overload protection ---------------------------------------------------
+
+  // Opt-in: thread the overload manager through the stack env (SYN admission
+  // gate, descriptor gate, ECN marking) and register occupancy samplers for
+  // every attached CAB's arbitration queues and outboard memory plus the
+  // host mbuf pool. CABs attached later are wired as they appear.
+  void set_overload(overload::OverloadManager* ovl);
+  [[nodiscard]] overload::OverloadManager* overload() noexcept { return ovl_; }
+
  private:
   void register_cpu_gauges(sim::AccountId first);
   void register_cab_gauges(cab::CabDevice& dev, std::size_t index);
+  void register_cab_samplers(cab::CabDevice& dev);
 
   std::string name_;
   HostParams params_;
@@ -92,6 +103,7 @@ class Host {
   // unique_ptr because Process embeds an immovable AddressSpace.
   std::vector<std::unique_ptr<Process>> processes_;
   telemetry::Telemetry* tel_ = nullptr;
+  overload::OverloadManager* ovl_ = nullptr;
   int tel_pid_ = 0;
   sim::AccountId tel_accts_done_ = 0;  // CPU accounts already published as gauges
 };

@@ -64,6 +64,15 @@ MultiTestbed::MultiTestbed(MultiTestbedOptions o) : opts(std::move(o)) {
       clients[i]->set_telemetry(tel.get());
       servers[i]->set_telemetry(tel.get());
     }
+    if (opts.overload) {
+      // set_overload before attach_cab: the hosts register their CAB
+      // samplers as the devices appear.
+      for (Host* h : {clients[i].get(), servers[i].get()}) {
+        overload_mgrs.push_back(
+            std::make_unique<overload::OverloadManager>(opts.overload_cfg));
+        h->set_overload(overload_mgrs.back().get());
+      }
+    }
     const auto ha_c = static_cast<hippi::Addr>(kHaClientBase + i);
     const auto ha_s = static_cast<hippi::Addr>(kHaServerBase + i);
     cab_clients.push_back(&clients[i]->attach_cab(fabric(), ha_c, client_ip(i)));

@@ -50,6 +50,11 @@ struct MultiTestbedOptions {
   // Large-segment offload (TSO/GRO analogue) on every CAB driver.
   bool offload = false;
   drivers::OffloadConfig offload_cfg = {};
+  // Overload-survival subsystem (admission control + ECN backpressure): one
+  // OverloadManager per host — pressure on one host must not mark or defer
+  // another host's traffic.
+  bool overload = false;
+  overload::OverloadConfig overload_cfg = {};
 };
 
 class MultiTestbed {
@@ -76,6 +81,9 @@ class MultiTestbed {
   std::unique_ptr<hippi::PartitionFabric> partition;
   std::unique_ptr<hippi::RateLimitFabric> rate_limit;
   std::unique_ptr<telemetry::Telemetry> tel;  // when opts.telemetry
+  // Per-host overload managers (when opts.overload): clients then servers,
+  // same order as the host vectors.
+  std::vector<std::unique_ptr<overload::OverloadManager>> overload_mgrs;
 
   std::vector<std::unique_ptr<Host>> clients;
   std::vector<std::unique_ptr<Host>> servers;

@@ -87,6 +87,19 @@ std::string netstat_protocols(Host& host) {
   os << "  cookies: " << st.syn_cookies_sent << " sent, "
      << st.syn_cookies_accepted << " accepted, " << st.syn_cookies_rejected
      << " rejected, " << st.syn_cookie_overflows << " overflow\n";
+  if (auto* ovl = host.overload()) {
+    const auto& ov = ovl->stats();
+    os << "  overload: " << (ovl->overloaded() ? "OVERLOADED" : "ok") << ", "
+       << ov.syn_deferred << " SYNs deferred, " << ov.sc_deferred
+       << " copies forced, " << ov.ecn_marked << " ECN marks";
+    for (std::size_t r = 0; r < overload::kNumResources; ++r) {
+      const auto rr = static_cast<overload::Resource>(r);
+      os << ", " << overload::resource_name(rr) << ' '
+         << static_cast<int>(ovl->occupancy(rr) * 100.0) << '%'
+         << (ovl->overloaded(rr) ? "!" : "");
+    }
+    os << "\n";
+  }
   os << "  timewait: " << host.stack().timewait_count() << " live compact, "
      << st.timewait_enters << " enters, " << st.timewait_acks << " acks, "
      << st.timewait_recycles << " recycles, " << st.timewait_expiries
@@ -159,6 +172,10 @@ Json tcp_stats_json(const net::TcpConnection::Stats& s) {
   j.set("sw_csum_rx", s.sw_csum_rx);
   j.set("hw_csum_tx", s.hw_csum_tx);
   j.set("sw_csum_tx", s.sw_csum_tx);
+  j.set("ecn_ce_rcvd", s.ecn_ce_rcvd);
+  j.set("ecn_ece_rcvd", s.ecn_ece_rcvd);
+  j.set("ecn_cwnd_cuts", s.ecn_cwnd_cuts);
+  j.set("ecn_cwr_sent", s.ecn_cwr_sent);
   return j;
 }
 
@@ -276,11 +293,13 @@ Json Netstat::json() const {
         a.set("pops", arb.stats().pops);
         a.set("max_depth", arb.stats().max_depth);
         a.set("max_flows", arb.stats().max_flows);
+        a.set("credit_recharges", arb.stats().credit_recharges);
         a.set("queued_now", static_cast<std::uint64_t>(arb.size()));
         Json flows = Json::array();
         for (const auto& [flow, fs] : arb.flow_stats()) {
           Json f = Json::object();
           f.set("flow", static_cast<std::uint64_t>(flow));
+          f.set("weight", static_cast<std::uint64_t>(arb.flow_weight(flow)));
           f.set("pushes", fs.pushes);
           f.set("pops", fs.pops);
           f.set("max_depth", fs.max_depth);
@@ -379,6 +398,7 @@ Json Netstat::json() const {
   jip.set("no_route", ip.no_route);
   jip.set("frag_timeouts", ip.frag_timeouts);
   jip.set("oversize", ip.oversize);
+  jip.set("ecn_marked", ip.ecn_marked);
   root.set("ip", std::move(jip));
 
   const auto& udp = host.stack().udp().stats();
@@ -403,6 +423,7 @@ Json Netstat::json() const {
   jd.set("bad_checksum", st.bad_checksum);
   jd.set("listen_overflows", st.listen_overflows);
   jd.set("eph_port_exhausted", st.eph_port_exhausted);
+  jd.set("syn_admission_deferred", st.syn_admission_deferred);
   jd.set("syn_cookies_sent", st.syn_cookies_sent);
   jd.set("syn_cookies_accepted", st.syn_cookies_accepted);
   jd.set("syn_cookies_rejected", st.syn_cookies_rejected);
@@ -446,6 +467,39 @@ Json Netstat::json() const {
   jt.set("shards", std::move(jshards));
   jd.set("table", std::move(jt));
   root.set("demux", std::move(jd));
+
+  // Overload-survival state: emitted only when a manager is attached, so
+  // overload-off dumps stay byte-identical (the recovery/offload pattern).
+  if (auto* ovl = host.overload()) {
+    const auto& os = ovl->stats();
+    Json jo = Json::object();
+    jo.set("overloaded", ovl->overloaded());
+    jo.set("polls", os.polls);
+    jo.set("syn_checks", os.syn_checks);
+    jo.set("syn_deferred", os.syn_deferred);
+    jo.set("sc_checks", os.sc_checks);
+    jo.set("sc_deferred", os.sc_deferred);
+    jo.set("mark_checks", os.mark_checks);
+    jo.set("ecn_marked", os.ecn_marked);
+    Json jres = Json::array();
+    for (std::size_t r = 0; r < overload::kNumResources; ++r) {
+      const auto rr = static_cast<overload::Resource>(r);
+      Json e = Json::object();
+      e.set("resource", overload::resource_name(rr));
+      e.set("over", ovl->overloaded(rr));
+      e.set("occupancy", ovl->occupancy(rr));
+      e.set("enters", os.enters[r]);
+      e.set("exits", os.exits[r]);
+      const auto& wm = r == 0   ? ovl->config().arb
+                       : r == 1 ? ovl->config().nm
+                                : ovl->config().mbuf;
+      e.set("high", wm.high);
+      e.set("low", wm.low);
+      jres.push_back(std::move(e));
+    }
+    jo.set("resources", std::move(jres));
+    root.set("overload", std::move(jo));
+  }
 
   // Protocol timer wheel: proves the O(1) control-plane timer claim — peak
   // pending is the concurrent-timer load, alarms vs fired shows how much the

@@ -71,6 +71,14 @@ Testbed::Testbed(TestbedOptions o) : opts(std::move(o)) {
     tel->start_ticker(opts.telemetry_tick);
   }
 
+  if (opts.overload) {
+    // Before attach_cab: samplers register as the CABs appear.
+    ovl_a = std::make_unique<overload::OverloadManager>(opts.overload_cfg);
+    ovl_b = std::make_unique<overload::OverloadManager>(opts.overload_cfg);
+    a->set_overload(ovl_a.get());
+    b->set_overload(ovl_b.get());
+  }
+
   const std::size_t mtu = opts.cab_mtu != 0 ? opts.cab_mtu : 32 * 1024;
   cab_a = &a->attach_cab(fabric(), kHaA, kIpA, mtu);
   cab_b = &b->attach_cab(fabric(), kHaB, kIpB, mtu);

@@ -53,6 +53,9 @@ struct TestbedOptions {
   // Large-segment offload (TSO/GRO analogue) on both CAB drivers.
   bool offload = false;
   drivers::OffloadConfig offload_cfg = {};
+  // Overload-survival subsystem: one OverloadManager per host.
+  bool overload = false;
+  overload::OverloadConfig overload_cfg = {};
 };
 
 class Testbed {
@@ -84,6 +87,9 @@ class Testbed {
   std::unique_ptr<drivers::EtherSegment> ether;
 
   std::unique_ptr<telemetry::Telemetry> tel;  // when opts.telemetry
+  // Per-host overload managers (when opts.overload).
+  std::unique_ptr<overload::OverloadManager> ovl_a;
+  std::unique_ptr<overload::OverloadManager> ovl_b;
 
   std::unique_ptr<Host> a;
   std::unique_ptr<Host> b;

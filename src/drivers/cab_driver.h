@@ -99,6 +99,13 @@ class CabDriver final : public net::Ifnet {
     return oc_.tso_max;
   }
 
+  // Weighted-fair arbitration class: forward the flow's weight to both DMA
+  // engines' arbiters (no-op under kFifo/kRoundRobin).
+  void set_flow_weight(std::uint32_t flow, std::uint32_t weight) override {
+    dev_.sdma().set_flow_weight(flow, weight);
+    dev_.mdma_xmit().set_flow_weight(flow, weight);
+  }
+
   [[nodiscard]] cab::CabDevice& device() noexcept { return dev_; }
 
   [[nodiscard]] const mbuf::OutboardOwner* outboard_owner() const override {

@@ -11,6 +11,7 @@ void write_ip_header(std::span<std::byte> out, const IpHeader& h) {
   if (out.size() < kIpHdrLen) throw std::invalid_argument("write_ip_header: short buffer");
   std::memset(out.data(), 0, kIpHdrLen);
   out[0] = std::byte{0x45};  // v4, ihl=5
+  out[1] = std::byte{static_cast<std::uint8_t>(h.ecn & 0x3)};  // TOS bits 0-1
   wire::store_be16(out.data() + 2, h.total_len);
   wire::store_be16(out.data() + 4, h.id);
   std::uint16_t fl = h.frag_offset & 0x1fff;
@@ -30,6 +31,7 @@ IpHeader read_ip_header(std::span<const std::byte> in) {
   if (std::to_integer<unsigned>(in[0]) != 0x45)
     throw std::runtime_error("read_ip_header: not IPv4/IHL-5");
   IpHeader h;
+  h.ecn = std::to_integer<std::uint8_t>(in[1]) & 0x3;
   h.total_len = wire::load_be16(in.data() + 2);
   h.id = wire::load_be16(in.data() + 4);
   const std::uint16_t fl = wire::load_be16(in.data() + 6);

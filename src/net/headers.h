@@ -28,9 +28,14 @@ inline constexpr std::uint8_t kProtoUdp = 17;
 
 // ---------------------------------------------------------------------- IP
 
+// ECN codepoints, TOS byte bits 0-1 (RFC 3168 field layout).
+inline constexpr std::uint8_t kEcnNotEct = 0b00;
+inline constexpr std::uint8_t kEcnCe = 0b11;  // congestion experienced
+
 struct IpHeader {
   std::uint16_t total_len = 0;  // IP header + payload
   std::uint16_t id = 0;
+  std::uint8_t ecn = 0;  // kEcnNotEct / kEcnCe (TOS bits 0-1)
   bool dont_fragment = false;
   bool more_fragments = false;
   std::uint16_t frag_offset = 0;  // in 8-byte units
@@ -57,6 +62,8 @@ enum TcpFlags : std::uint8_t {
   kTcpRst = 0x04,
   kTcpPsh = 0x08,
   kTcpAck = 0x10,
+  kTcpEce = 0x40,  // ECN echo: receiver saw a CE-marked segment
+  kTcpCwr = 0x80,  // sender reduced its window in response to ECE
 };
 
 struct TcpHeader {

@@ -124,6 +124,14 @@ class Ifnet {
   // (1 = no large-segment offload, or offload currently degraded).
   [[nodiscard]] virtual std::size_t tx_tso_segs() const { return 1; }
 
+  // Arbitration class weight for `flow` under kWeightedFair DMA scheduling.
+  // NetStack broadcasts a connection's weight when it assigns the flow id;
+  // devices without per-flow arbitration ignore it.
+  virtual void set_flow_weight(std::uint32_t flow, std::uint32_t weight) {
+    (void)flow;
+    (void)weight;
+  }
+
   void set_stack(NetStack* s) noexcept { stack_ = s; }
   [[nodiscard]] NetStack* stack() const noexcept { return stack_; }
 

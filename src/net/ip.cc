@@ -1,6 +1,7 @@
 #include "net/ip.h"
 
 #include "net/netstack.h"
+#include "overload/overload.h"
 
 namespace nectar::net {
 
@@ -44,6 +45,13 @@ sim::Task<void> Ip::output(KernCtx ctx, Mbuf* pkt, IpAddr src, IpAddr dst,
   ih.src = src;
   ih.dst = dst;
   ih.dont_fragment = dont_fragment;
+  // ECN backpressure: while a watermark is tripped, departing packets carry
+  // CE so receivers echo congestion back to senders — load sheds at the
+  // source instead of as queue drops. Inert without an OverloadManager.
+  if (auto* ovl = env.overload; ovl != nullptr && ovl->mark_ecn()) {
+    ih.ecn = kEcnCe;
+    ++stats_.ecn_marked;
+  }
 
   const std::size_t payload = static_cast<std::size_t>(pkt->pkthdr.len);
   if (tso || kIpHdrLen + payload <= route->ifp->mtu()) {

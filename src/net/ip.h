@@ -41,6 +41,7 @@ class Ip {
     std::uint64_t frag_timeouts = 0;
     std::uint64_t forwarded = 0;
     std::uint64_t oversize = 0;  // datagrams beyond the IPv4 65535-byte limit
+    std::uint64_t ecn_marked = 0;  // packets CE-marked by overload policy
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -7,6 +7,7 @@
 #include "net/ip.h"
 #include "net/tcp.h"
 #include "net/udp.h"
+#include "overload/overload.h"
 #include "sim/timer_wheel.h"
 
 namespace nectar::net {
@@ -50,8 +51,16 @@ void NetStack::tcp_bind(const ConnKey& key, TcpConnection* tp) {
     throw std::invalid_argument("netstack: tcp tuple in use");
   ++lport_use_[key.lport];
   // First binding names the flow: the id rides every packet the connection
-  // sends so the CAB's DMA arbiter can queue per flow.
-  if (tp->flow_id() == 0) tp->set_flow_id(++next_flow_id_);
+  // sends so the CAB's DMA arbiter can queue per flow. The arbitration class
+  // weight travels with the id — broadcast to every interface, since the
+  // route is not pinned yet.
+  if (tp->flow_id() == 0) {
+    tp->set_flow_id(++next_flow_id_);
+    if (tp->params().arb_weight != 1) {
+      for (Ifnet* ifp : ifnets_)
+        ifp->set_flow_weight(tp->flow_id(), tp->params().arb_weight);
+    }
+  }
 }
 
 void NetStack::tcp_unbind(const ConnKey& key) {
@@ -94,8 +103,12 @@ void NetStack::listen_service_unregister(IpAddr laddr, std::uint16_t lport) {
 }
 
 bool NetStack::listen_service_exists(IpAddr laddr, std::uint16_t lport) const {
+  // A service is anything a SYN could reach: an accept-loop registration
+  // (shim listeners) or a live listening connection (raw sockets).
   return listen_services_.contains(std::make_pair(laddr, lport)) ||
-         listen_services_.contains(std::make_pair(IpAddr{0}, lport));
+         listen_services_.contains(std::make_pair(IpAddr{0}, lport)) ||
+         tcp_listeners_.contains(std::make_pair(laddr, lport)) ||
+         tcp_listeners_.contains(std::make_pair(IpAddr{0}, lport));
 }
 
 std::uint16_t NetStack::alloc_ephemeral_port(IpAddr laddr, IpAddr faddr,
@@ -324,6 +337,23 @@ sim::Task<void> NetStack::transport_input(KernCtx ctx, std::uint8_t proto,
             ++stats_.syn_cookies_rejected;
             env_.pool.free_chain(pkt);
           }
+          co_return;
+        }
+        // Overload admission gate: a fresh SYN is the one segment that
+        // commits new connection state, so under resource pressure it is
+        // deferred — dropped before the listen lookup, with the client's SYN
+        // retransmission as the retry. Checksum first so a corrupted SYN is
+        // charged to the checksum, not to admission.
+        if (auto* ovl = env_.overload;
+            ovl != nullptr && (th.flags & kTcpSyn) != 0 &&
+            (th.flags & kTcpAck) == 0 &&
+            listen_service_exists(ih.dst, th.dst_port) && !ovl->admit_syn()) {
+          if (!demux_checksum_ok(pkt, ih)) {
+            ++stats_.bad_checksum;
+          } else {
+            ++stats_.syn_admission_deferred;
+          }
+          env_.pool.free_chain(pkt);
           co_return;
         }
         tp = tcp_lookup_listen(ih.dst, th.dst_port);

@@ -28,6 +28,10 @@ namespace nectar::sim {
 class TimerWheel;
 }
 
+namespace nectar::overload {
+class OverloadManager;
+}
+
 namespace nectar::net {
 
 class Ip;
@@ -53,6 +57,10 @@ struct HostEnv {
   // ticking. Null when the host doesn't provide one — timers then fall back
   // to the simulator's binary heap.
   sim::TimerWheel* wheel = nullptr;
+  // Opt-in overload policy (core/testbed wires it): SYN admission, outboard-
+  // descriptor gating, ECN marking. Null when disabled; every hook site
+  // guards on that, so the datapath carries no policy when off.
+  overload::OverloadManager* overload = nullptr;
 };
 
 // Four-tuple connection key (host byte-order addresses).
@@ -189,6 +197,9 @@ class NetStack {
     std::uint64_t syn_cookies_accepted = 0;
     std::uint64_t syn_cookies_rejected = 0;
     std::uint64_t syn_cookie_overflows = 0;
+    // SYNs deferred (dropped uncounted as overflows) by the overload
+    // admission gate; the client's SYN retransmission is the retry.
+    std::uint64_t syn_admission_deferred = 0;
     // Compact TIME-WAIT records: tuples parked, late segments ACKed on their
     // behalf, tuples recycled early by a fresh SYN, and 2*MSL expiries.
     std::uint64_t timewait_enters = 0;

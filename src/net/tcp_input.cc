@@ -100,6 +100,15 @@ sim::Task<void> TcpConnection::input_locked(KernCtx ctx, Mbuf* pkt,
     co_return;
   }
 
+  // ECN receiver half (RFC 3168 shape): a CE-marked data segment latches the
+  // echo — every ACK carries ECE until the sender's CWR confirms it reduced.
+  // Only checksum-verified segments get here, so corruption can't latch.
+  if (ih.ecn == kEcnCe && data_len > 0) {
+    ++stats_.ecn_ce_rcvd;
+    ecn_echo_ = true;
+  }
+  if ((th.flags & kTcpCwr) != 0) ecn_echo_ = false;
+
   switch (state_) {
     case TcpState::kListen: {
       if (!(th.flags & kTcpSyn) || (th.flags & kTcpAck)) {
@@ -207,6 +216,22 @@ sim::Task<void> TcpConnection::input_locked(KernCtx ctx, Mbuf* pkt,
 
 sim::Task<void> TcpConnection::process_ack(KernCtx ctx, const TcpHeader& th) {
   if (state_ == TcpState::kClosed) co_return;  // orphaned while suspended
+
+  // ECN sender half: an ECE-bearing ACK halves the effective window, at
+  // most once per window of data — ACKs fenced below ecn_cwr_seq_ report
+  // the same congestion event. CWR rides the next data segment out.
+  if ((th.flags & kTcpEce) != 0) {
+    ++stats_.ecn_ece_rcvd;
+    if (!ecn_cut_ever_ || seq_gt(th.ack, ecn_cwr_seq_)) {
+      ecn_cut_ever_ = true;
+      ecn_cwr_seq_ = snd_max_;
+      ++stats_.ecn_cwnd_cuts;
+      ssthresh_ = std::max<std::uint32_t>(2u * mss_, cwnd_ / 2);
+      cwnd_ = ssthresh_;
+      cwr_pending_ = true;
+    }
+  }
+
   // Window update from the most recent acceptable segment.
   const std::uint32_t wnd = static_cast<std::uint32_t>(th.win) << snd_scale_;
 

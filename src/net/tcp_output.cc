@@ -163,6 +163,19 @@ sim::Task<void> TcpConnection::send_segment(KernCtx ctx, std::uint32_t seq,
   // segment a just-closed connection still needs to emit.)
   if (state_ == TcpState::kClosed && !(flags & kTcpRst)) co_return;
   if (len > 0 && seq_lt(seq, snd_una_)) co_return;
+
+  // ECN flags: the latched echo rides every plain ACK until the peer's CWR
+  // clears it; a pending CWR rides the first data segment after a cut.
+  if (ecn_echo_ && (flags & kTcpAck) != 0 &&
+      (flags & (kTcpSyn | kTcpRst)) == 0) {
+    flags |= kTcpEce;
+  }
+  if (cwr_pending_ && len > 0) {
+    flags |= kTcpCwr;
+    cwr_pending_ = false;
+    ++stats_.ecn_cwr_sent;
+  }
+
   ++stats_.segs_out;
   // One-way segment span: both endpoints derive the same key from the
   // canonicalized 4-tuple plus seq, so the receiver's accept_data closes it.

@@ -1,0 +1,176 @@
+#include "overload/ops_console.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "drivers/cab_driver.h"
+
+namespace nectar::core {
+
+namespace {
+
+std::uint64_t delta(std::uint64_t now, std::uint64_t prev) {
+  return now >= prev ? now - prev : 0;
+}
+
+}  // namespace
+
+OpsConsole::OpsConsole(sim::Simulator& sim, OpsConsoleOptions opts)
+    : sim_(sim), opts_(opts) {}
+
+OpsConsole::~OpsConsole() { stop(); }
+
+void OpsConsole::watch(Host& h) {
+  Watched w;
+  w.host = &h;
+  watched_.push_back(std::move(w));
+}
+
+void OpsConsole::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void OpsConsole::stop() {
+  running_ = false;
+  if (timer_.armed()) timer_.cancel();
+}
+
+void OpsConsole::arm() {
+  timer_ = sim_.timer_after(opts_.period, [this] {
+    tick();
+    if (running_) arm();
+  });
+}
+
+Json OpsConsole::host_record(Watched& w) {
+  Host& h = *w.host;
+  Json rec = Json::object();
+  rec.set("host", h.name());
+
+  // Per-class goodput: live connections grouped by arbitration weight.
+  std::map<std::uint32_t, ClassCounters> now;
+  for (const auto& [key, tp] : h.stack().tcp_connections()) {
+    ClassCounters& c = now[tp->params().arb_weight];
+    c.segs_out += tp->stats().segs_out;
+    c.bytes_out += tp->stats().bytes_out;
+    c.bytes_in += tp->stats().bytes_in;
+    ++c.conns;
+  }
+  Json classes = Json::array();
+  for (const auto& [weight, c] : now) {
+    const ClassCounters prev = w.prev_classes.count(weight) != 0
+                                   ? w.prev_classes[weight]
+                                   : ClassCounters{};
+    Json jc = Json::object();
+    jc.set("weight", static_cast<std::int64_t>(weight));
+    jc.set("conns", static_cast<std::int64_t>(c.conns));
+    jc.set("segs_out", static_cast<std::int64_t>(delta(c.segs_out, prev.segs_out)));
+    jc.set("bytes_out",
+           static_cast<std::int64_t>(delta(c.bytes_out, prev.bytes_out)));
+    jc.set("bytes_in", static_cast<std::int64_t>(delta(c.bytes_in, prev.bytes_in)));
+    classes.push_back(std::move(jc));
+  }
+  w.prev_classes = std::move(now);
+  rec.set("classes", std::move(classes));
+
+  // Admission / backpressure decisions and watermark state.
+  if (auto* ovl = h.overload()) {
+    ovl->poll();  // refresh occupancies even if no hook fired this tick
+    const auto& s = ovl->stats();
+    Json jo = Json::object();
+    jo.set("overloaded", ovl->overloaded());
+    jo.set("syn_deferred",
+           static_cast<std::int64_t>(delta(s.syn_deferred, w.prev_ovl.syn_deferred)));
+    jo.set("sc_deferred",
+           static_cast<std::int64_t>(delta(s.sc_deferred, w.prev_ovl.sc_deferred)));
+    jo.set("ecn_marked",
+           static_cast<std::int64_t>(delta(s.ecn_marked, w.prev_ovl.ecn_marked)));
+    Json res = Json::array();
+    for (std::size_t r = 0; r < overload::kNumResources; ++r) {
+      const auto rr = static_cast<overload::Resource>(r);
+      Json jr = Json::object();
+      jr.set("resource", overload::resource_name(rr));
+      jr.set("over", ovl->overloaded(rr));
+      jr.set("occupancy", ovl->occupancy(rr));
+      jr.set("enters", static_cast<std::int64_t>(delta(s.enters[r],
+                                                       w.prev_ovl.enters[r])));
+      jr.set("exits",
+             static_cast<std::int64_t>(delta(s.exits[r], w.prev_ovl.exits[r])));
+      res.push_back(std::move(jr));
+    }
+    jo.set("resources", std::move(res));
+    rec.set("overload", std::move(jo));
+    w.prev_ovl = s;
+  }
+
+  // Listen-side deferrals counted by the stack's SYN gate.
+  const std::uint64_t syn_def = h.stack().stats().syn_admission_deferred;
+  rec.set("syn_admission_deferred",
+          static_cast<std::int64_t>(delta(syn_def, w.prev_syn_deferred)));
+  w.prev_syn_deferred = syn_def;
+
+  // Recovery events (adaptor resets) across the host's CABs.
+  std::uint64_t resets = 0;
+  for (net::Ifnet* ifp : h.stack().ifnets()) {
+    if (auto* cab = dynamic_cast<drivers::CabDriver*>(ifp)) {
+      resets += cab->rec_stats.resets;
+    }
+  }
+  rec.set("recovery_resets",
+          static_cast<std::int64_t>(delta(resets, w.prev_resets)));
+  w.prev_resets = resets;
+  return rec;
+}
+
+void OpsConsole::tick() {
+  ++ticks_;
+  Json record = Json::object();
+  record.set("tick", static_cast<std::int64_t>(ticks_));
+  record.set("t_us", sim::to_usec(sim_.now()));
+  Json hosts = Json::array();
+  for (auto& w : watched_) hosts.push_back(host_record(w));
+  record.set("hosts", std::move(hosts));
+  lines_.push_back(record.dump(0));
+
+  // Text table: one row per (host, class) plus a status column.
+  std::ostringstream os;
+  os << "ops console @ " << sim::to_usec(sim_.now()) << " us (tick " << ticks_
+     << ")\n";
+  os << "  host           cls conns  segs_out   bytes_out  state\n";
+  const Json parsed = Json::parse(lines_.back());
+  for (const auto& jh : parsed.find("hosts")->items()) {
+    std::string state = "ok";
+    if (const Json* jo = jh.find("overload")) {
+      if (jo->find("overloaded")->as_bool()) {
+        state = "OVERLOAD";
+        for (const auto& jr : jo->find("resources")->items()) {
+          if (jr.find("over")->as_bool()) {
+            state += ' ';
+            state += jr.find("resource")->as_string();
+          }
+        }
+      }
+    }
+    for (const auto& jc : jh.find("classes")->items()) {
+      os << "  " << jh.find("host")->as_string();
+      for (std::size_t n = jh.find("host")->as_string().size(); n < 15; ++n)
+        os << ' ';
+      os << jc.find("weight")->as_int() << "   " << jc.find("conns")->as_int()
+         << "   " << jc.find("segs_out")->as_int() << "   "
+         << jc.find("bytes_out")->as_int() << "  " << state << "\n";
+    }
+    if (jh.find("classes")->items().empty()) {
+      os << "  " << jh.find("host")->as_string();
+      for (std::size_t n = jh.find("host")->as_string().size(); n < 15; ++n)
+        os << ' ';
+      os << "-   -   -   -  " << state << "\n";
+    }
+  }
+  last_table_ = os.str();
+  if (opts_.out != nullptr) *opts_.out << last_table_;
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,88 @@
+// OpsConsole: a live operations view of hosts under overload.
+//
+// Watches any number of Hosts and, on a periodic simulated-time tick, emits
+// one record per tick with per-host deltas since the previous tick:
+//   * per-class goodput (live TCP connections grouped by arbitration weight),
+//   * overload-manager decisions (SYN deferrals, copy-path fallbacks, ECN
+//     marks) and per-resource watermark state/occupancy,
+//   * CAB recovery events (adaptor resets).
+// Each record is captured twice: as a compact JSON line (machine tail -f)
+// and, when a stream is supplied, as a human-readable text table — the two
+// formats an operator console actually needs.
+//
+// Deltas are computed from cumulative counters snapshotted per tick.
+// Connections that retire between ticks take their counters with them, so a
+// per-class delta can appear negative; it is clamped to zero (the retired
+// bytes were reported while the connection lived).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/host.h"
+#include "core/json.h"
+
+namespace nectar::core {
+
+struct OpsConsoleOptions {
+  sim::Duration period = sim::msec(10.0);
+  std::ostream* out = nullptr;  // optional live text-table stream
+};
+
+class OpsConsole {
+ public:
+  OpsConsole(sim::Simulator& sim, OpsConsoleOptions opts = {});
+  ~OpsConsole();
+  OpsConsole(const OpsConsole&) = delete;
+  OpsConsole& operator=(const OpsConsole&) = delete;
+
+  // Register a host to report on. Call before start().
+  void watch(Host& h);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  // One compact JSON document per elapsed tick, in tick order.
+  [[nodiscard]] const std::vector<std::string>& json_lines() const noexcept {
+    return lines_;
+  }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  // The most recent tick rendered as a text table (empty before any tick).
+  [[nodiscard]] const std::string& last_table() const noexcept {
+    return last_table_;
+  }
+
+ private:
+  struct ClassCounters {
+    std::uint64_t segs_out = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t conns = 0;  // live connections in the class (not a delta)
+  };
+  struct Watched {
+    Host* host = nullptr;
+    std::map<std::uint32_t, ClassCounters> prev_classes;  // by arb weight
+    overload::OverloadManager::Stats prev_ovl;
+    std::uint64_t prev_resets = 0;
+    std::uint64_t prev_syn_deferred = 0;
+  };
+
+  void arm();
+  void tick();
+  Json host_record(Watched& w);
+
+  sim::Simulator& sim_;
+  OpsConsoleOptions opts_;
+  std::vector<Watched> watched_;
+  std::vector<std::string> lines_;
+  std::string last_table_;
+  std::uint64_t ticks_ = 0;
+  bool running_ = false;
+  sim::TimerHandle timer_;
+};
+
+}  // namespace nectar::core

@@ -1,0 +1,57 @@
+#include "overload/overload.h"
+
+namespace nectar::overload {
+
+void OverloadManager::poll() {
+  ++stats_.polls;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    double worst = 0.0;
+    for (const Sampler& s : samplers_[r]) {
+      const auto [used, cap] = s();
+      if (cap == 0) continue;
+      const double f = static_cast<double>(used) / static_cast<double>(cap);
+      if (f > worst) worst = f;
+    }
+    occ_[r] = worst;
+    const Watermark& wm = watermark(r);
+    if (!over_[r] && worst >= wm.high) {
+      over_[r] = true;
+      ++stats_.enters[r];
+    } else if (over_[r] && worst <= wm.low) {
+      over_[r] = false;
+      ++stats_.exits[r];
+    }
+  }
+}
+
+bool OverloadManager::admit_syn() {
+  ++stats_.syn_checks;
+  if (!cfg_.admission) return true;
+  poll();
+  if (!overloaded()) return true;
+  ++stats_.syn_deferred;
+  return false;
+}
+
+bool OverloadManager::admit_single_copy() {
+  ++stats_.sc_checks;
+  if (!cfg_.admission) return true;
+  poll();
+  // Outboard descriptors pin NetworkMemory and occupy the SDMA queue; mbuf
+  // pressure alone does not gate them (the copy path costs mbufs too).
+  if (!overloaded(Resource::kNetMem) && !overloaded(Resource::kArbQueue))
+    return true;
+  ++stats_.sc_deferred;
+  return false;
+}
+
+bool OverloadManager::mark_ecn() {
+  ++stats_.mark_checks;
+  if (!cfg_.ecn) return false;
+  poll();
+  if (!overloaded()) return false;
+  ++stats_.ecn_marked;
+  return true;
+}
+
+}  // namespace nectar::overload

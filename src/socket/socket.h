@@ -147,6 +147,8 @@ class Socket final : public net::TcpCallbacks, public net::UdpSocketIface {
     std::uint64_t wcab_bytes_received = 0;  // delivered by outboard copy-out
     std::uint64_t unaligned_fallbacks = 0;  // §4.5
     std::uint64_t align_fixups = 0;          // §4.5 prefix fix-ups applied
+    // Chunks the overload descriptor gate diverted to the copy path.
+    std::uint64_t overload_copy_fallbacks = 0;
   };
   [[nodiscard]] const SockStats& sock_stats() const noexcept { return stats_; }
 

@@ -1,6 +1,7 @@
 // sosend: the transmit half of the user socket API.
 #include <cassert>
 
+#include "overload/overload.h"
 #include "socket/socket.h"
 #include "telemetry/telemetry.h"
 
@@ -232,6 +233,15 @@ sim::Task<std::size_t> Socket::send(ProcCtx& p, mem::Uio data) {
     if (sc_chunk) {
       auto route = stack_.routes().lookup(tp_->key().faddr);
       if (!route || !route->ifp->single_copy()) sc_chunk = false;
+    }
+    // Overload descriptor gate: while NetworkMemory or the DMA queues sit
+    // above their watermarks, new chunks ride the copy path instead of
+    // staging more outboard data — the sockbuf then fills at TCP's pace and
+    // the space-wait above becomes sendbuf pushback on the writer.
+    if (sc_chunk && env.overload != nullptr &&
+        !env.overload->admit_single_copy()) {
+      sc_chunk = false;
+      ++stats_.overload_copy_fallbacks;
     }
     if (sc_chunk) {
       co_await append_single_copy(p, ctx, chunk);

@@ -134,13 +134,31 @@ PopulationResult run_population(core::MultiTestbed& tb,
   const std::size_t pairs = tb.num_pairs();
 
   // One shim per host: clients carry the users, servers carry the services.
-  std::vector<std::unique_ptr<Shim>> cl, sv;
-  Shim::Options copts, sopts;
-  copts.process_name = "users";
-  sopts.process_name = "svc";
+  // When any cohort declares an arbitration weight, clients get one shim per
+  // cohort instead (socket options are per-shim, and the weight rides
+  // SocketOptions.tcp); the single-shim layout is preserved otherwise so
+  // weightless runs replay byte-identically.
+  bool per_cohort_shims = false;
+  for (const CohortConfig& cc : cfg.cohorts)
+    if (cc.arb_weight != 1) per_cohort_shims = true;
+  const std::size_t shims_per_pair =
+      per_cohort_shims ? std::max<std::size_t>(cfg.cohorts.size(), 1) : 1;
+  std::vector<std::vector<std::unique_ptr<Shim>>> cl(pairs), sv(pairs);
   for (std::size_t p = 0; p < pairs; ++p) {
-    cl.push_back(std::make_unique<Shim>(*tb.clients[p], copts));
-    sv.push_back(std::make_unique<Shim>(*tb.servers[p], sopts));
+    for (std::size_t s = 0; s < shims_per_pair; ++s) {
+      Shim::Options copts, sopts;
+      copts.process_name =
+          per_cohort_shims ? "users." + cfg.cohorts[s].name : "users";
+      sopts.process_name = per_cohort_shims ? "svc." + cfg.cohorts[s].name : "svc";
+      if (per_cohort_shims) {
+        // Responses flow server -> client, so the server side (the contended
+        // transmit path) carries the class weight too.
+        copts.socket.tcp.arb_weight = cfg.cohorts[s].arb_weight;
+        sopts.socket.tcp.arb_weight = cfg.cohorts[s].arb_weight;
+      }
+      cl[p].push_back(std::make_unique<Shim>(*tb.clients[p], copts));
+      sv[p].push_back(std::make_unique<Shim>(*tb.servers[p], sopts));
+    }
   }
 
   // Every server host serves every cohort port (users are striped over
@@ -153,7 +171,8 @@ PopulationResult run_population(core::MultiTestbed& tb,
           cfg.cohorts[c].port != 0
               ? cfg.cohorts[c].port
               : static_cast<std::uint16_t>(9000 + c);
-      sim::spawn(rpc_server(*sv[p], port, cfg.listen_backlog, sctl[p][c]));
+      sim::spawn(rpc_server(*sv[p][per_cohort_shims ? c : 0], port,
+                            cfg.listen_backlog, sctl[p][c]));
     }
   }
 
@@ -189,8 +208,9 @@ PopulationResult run_population(core::MultiTestbed& tb,
       up.base_id = static_cast<std::uint32_t>(uidx << 10);
       up.requests = cc.requests_per_user;
       up.start_at = arrival_offset(rng, cfg.diurnal_weights, cfg.arrival_window);
-      sim::spawn(user_loop(*cl[pair], up, cc, std::move(rng), &out.cohorts[c],
-                           nullptr, th, shared));
+      sim::spawn(user_loop(*cl[pair][per_cohort_shims ? c : 0], up, cc,
+                           std::move(rng), &out.cohorts[c], nullptr, th,
+                           shared));
     }
   }
   if (cfg.flash.enabled) {
@@ -209,8 +229,9 @@ PopulationResult run_population(core::MultiTestbed& tb,
       up.flash = true;
       up.fixed_size = cfg.flash.resp_bytes;
       up.start_at = cfg.flash.at;
-      sim::spawn(user_loop(*cl[pair], up, cc, std::move(rng), nullptr,
-                           &out.flash, nullptr, shared));
+      sim::spawn(user_loop(*cl[pair][per_cohort_shims ? fc : 0], up, cc,
+                           std::move(rng), nullptr, &out.flash, nullptr,
+                           shared));
     }
   }
 

@@ -33,6 +33,10 @@ struct CohortConfig {
   std::uint64_t size_cap = 1 << 20;
   sim::Duration think_mean = sim::msec(5.0);  // exponential think time
   std::uint16_t port = 0;  // service port; 0 = 9000 + cohort index
+  // Weighted-arbitration class for this cohort's connections (kWeightedFair
+  // CABs serve a backlogged flow `arb_weight` times per credit round).
+  // Plumbed shim -> SocketOptions.tcp -> flow id -> CAB arbiter.
+  std::uint32_t arb_weight = 1;
 };
 
 struct FlashCrowdConfig {
